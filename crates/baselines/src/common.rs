@@ -1,0 +1,137 @@
+//! Shared result type of the baseline miners.
+
+use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp};
+
+/// A generic group pattern: a set of objects together with the timestamps at
+/// which they are grouped.
+///
+/// For convoys, flocks and moving clusters the timestamps are consecutive and
+/// `interval()` describes them exactly; for swarms the timestamps may be
+/// non-consecutive and are listed explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPattern {
+    /// Member objects, sorted.
+    pub objects: Vec<ObjectId>,
+    /// Timestamps at which the group is together, sorted.
+    pub times: Vec<Timestamp>,
+}
+
+impl GroupPattern {
+    /// Creates a pattern, normalising (sorting and deduplicating) both lists.
+    pub fn new(mut objects: Vec<ObjectId>, mut times: Vec<Timestamp>) -> Self {
+        objects.sort_unstable();
+        objects.dedup();
+        times.sort_unstable();
+        times.dedup();
+        GroupPattern { objects, times }
+    }
+
+    /// Number of member objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of grouped timestamps.
+    pub fn duration(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The convex hull of the grouped timestamps, if any.
+    pub fn interval(&self) -> Option<TimeInterval> {
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => Some(TimeInterval::new(a, b)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the grouped timestamps are consecutive.
+    pub fn is_consecutive(&self) -> bool {
+        self.times.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+
+    /// Returns `true` if `other` covers this pattern (superset of objects and
+    /// of timestamps) — used for closedness filtering.
+    pub fn is_subsumed_by(&self, other: &GroupPattern) -> bool {
+        if self.objects.len() > other.objects.len() || self.times.len() > other.times.len() {
+            return false;
+        }
+        self.objects.iter().all(|o| other.objects.binary_search(o).is_ok())
+            && self.times.iter().all(|t| other.times.binary_search(t).is_ok())
+    }
+}
+
+/// Removes patterns that are subsumed by another pattern in the list.
+pub fn retain_maximal(mut patterns: Vec<GroupPattern>) -> Vec<GroupPattern> {
+    patterns.sort_by_key(|p| std::cmp::Reverse(p.object_count() * p.duration()));
+    let mut kept: Vec<GroupPattern> = Vec::new();
+    for p in patterns {
+        if !kept.iter().any(|k| p.is_subsumed_by(k) && *k != p) && !kept.contains(&p) {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(objects: &[u32], times: &[u32]) -> GroupPattern {
+        GroupPattern::new(
+            objects.iter().map(|&i| ObjectId::new(i)).collect(),
+            times.to_vec(),
+        )
+    }
+
+    #[test]
+    fn normalisation_sorts_and_dedups() {
+        let p = pattern(&[3, 1, 3, 2], &[5, 5, 4]);
+        assert_eq!(
+            p.objects,
+            vec![ObjectId::new(1), ObjectId::new(2), ObjectId::new(3)]
+        );
+        assert_eq!(p.times, vec![4, 5]);
+        assert_eq!(p.object_count(), 3);
+        assert_eq!(p.duration(), 2);
+        assert_eq!(p.interval(), Some(TimeInterval::new(4, 5)));
+    }
+
+    #[test]
+    fn consecutive_detection() {
+        assert!(pattern(&[1], &[3, 4, 5]).is_consecutive());
+        assert!(!pattern(&[1], &[3, 5]).is_consecutive());
+        assert!(pattern(&[1], &[7]).is_consecutive());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = pattern(&[1, 2], &[3, 4]);
+        let big = pattern(&[1, 2, 3], &[2, 3, 4, 5]);
+        let other = pattern(&[4, 5], &[3, 4]);
+        assert!(small.is_subsumed_by(&big));
+        assert!(!big.is_subsumed_by(&small));
+        assert!(!small.is_subsumed_by(&other));
+        assert!(small.is_subsumed_by(&small));
+    }
+
+    #[test]
+    fn retain_maximal_drops_subsumed_patterns() {
+        let patterns = vec![
+            pattern(&[1, 2], &[3, 4]),
+            pattern(&[1, 2, 3], &[2, 3, 4, 5]),
+            pattern(&[7, 8], &[0, 1]),
+            pattern(&[1, 2, 3], &[2, 3, 4, 5]), // duplicate
+        ];
+        let maximal = retain_maximal(patterns);
+        assert_eq!(maximal.len(), 2);
+        assert!(maximal.contains(&pattern(&[1, 2, 3], &[2, 3, 4, 5])));
+        assert!(maximal.contains(&pattern(&[7, 8], &[0, 1])));
+    }
+
+    #[test]
+    fn empty_pattern_interval_is_none() {
+        let p = GroupPattern::new(vec![], vec![]);
+        assert_eq!(p.interval(), None);
+        assert_eq!(p.duration(), 0);
+    }
+}

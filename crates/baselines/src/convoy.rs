@@ -1,0 +1,242 @@
+//! Convoy discovery (Jeung et al., VLDB 2008).
+//!
+//! A convoy is a group of at least `m` objects that are density-connected to
+//! each other during at least `k` *consecutive* timestamps.  The discovery
+//! follows the CMC (coherent moving cluster) sweep: snapshot clusters are
+//! intersected with the convoy candidates of the previous timestamp; an
+//! intersection that keeps at least `m` objects extends the candidate, and a
+//! candidate that cannot be extended is reported if it lasted long enough.
+
+use std::collections::BTreeSet;
+
+use gpdt_clustering::{ClusterDatabase, ClusteringParams};
+use gpdt_trajectory::{ObjectId, Timestamp, TrajectoryDatabase};
+
+use crate::common::{retain_maximal, GroupPattern};
+
+/// Parameters of convoy discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvoyParams {
+    /// Minimum number of objects (`m`).
+    pub min_objects: usize,
+    /// Minimum number of consecutive timestamps (`k`).
+    pub min_duration: u32,
+    /// DBSCAN parameters used for the per-timestamp clustering.
+    pub clustering: ClusteringParams,
+}
+
+impl ConvoyParams {
+    /// Creates convoy parameters.
+    pub fn new(min_objects: usize, min_duration: u32, clustering: ClusteringParams) -> Self {
+        assert!(min_objects >= 1, "min_objects must be at least 1");
+        assert!(min_duration >= 1, "min_duration must be at least 1");
+        ConvoyParams {
+            min_objects,
+            min_duration,
+            clustering,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    objects: BTreeSet<ObjectId>,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+/// Discovers convoys in a trajectory database.
+pub fn discover_convoys(db: &TrajectoryDatabase, params: &ConvoyParams) -> Vec<GroupPattern> {
+    let cdb = ClusterDatabase::build(db, &params.clustering);
+    discover_convoys_from_clusters(&cdb, params)
+}
+
+/// Discovers convoys from a pre-built snapshot-cluster database.
+pub fn discover_convoys_from_clusters(
+    cdb: &ClusterDatabase,
+    params: &ConvoyParams,
+) -> Vec<GroupPattern> {
+    let mut results: Vec<GroupPattern> = Vec::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    for set in cdb.iter() {
+        let t = set.time;
+        let clusters: Vec<BTreeSet<ObjectId>> = set
+            .clusters
+            .iter()
+            .map(|c| c.members().iter().copied().collect())
+            .collect();
+
+        let mut next: Vec<Candidate> = Vec::new();
+        let mut absorbed = vec![false; clusters.len()];
+
+        for candidate in candidates.drain(..) {
+            let mut extended = false;
+            for (idx, cluster) in clusters.iter().enumerate() {
+                let intersection: BTreeSet<ObjectId> =
+                    candidate.objects.intersection(cluster).copied().collect();
+                if intersection.len() >= params.min_objects {
+                    absorbed[idx] = true;
+                    extended = true;
+                    next.push(Candidate {
+                        objects: intersection,
+                        start: candidate.start,
+                        end: t,
+                    });
+                }
+            }
+            if !extended {
+                emit(&candidate, params, &mut results);
+            }
+        }
+        for (idx, cluster) in clusters.iter().enumerate() {
+            if !absorbed[idx] && cluster.len() >= params.min_objects {
+                next.push(Candidate {
+                    objects: cluster.clone(),
+                    start: t,
+                    end: t,
+                });
+            }
+        }
+        // Deduplicate identical candidates produced by overlapping
+        // intersections (keeps the sweep from ballooning).
+        next.sort_by(|a, b| (a.start, &a.objects).cmp(&(b.start, &b.objects)));
+        next.dedup_by(|a, b| a.start == b.start && a.objects == b.objects);
+        candidates = next;
+    }
+    for candidate in &candidates {
+        emit(candidate, params, &mut results);
+    }
+    retain_maximal(results)
+}
+
+fn emit(candidate: &Candidate, params: &ConvoyParams, results: &mut Vec<GroupPattern>) {
+    let duration = candidate.end - candidate.start + 1;
+    if duration >= params.min_duration && candidate.objects.len() >= params.min_objects {
+        results.push(GroupPattern::new(
+            candidate.objects.iter().copied().collect(),
+            (candidate.start..=candidate.end).collect(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_trajectory::Trajectory;
+
+    fn straight_trajectory(id: u32, x0: f64, y0: f64, dx: f64, dy: f64, ticks: u32) -> Trajectory {
+        Trajectory::from_points(
+            ObjectId::new(id),
+            (0..ticks)
+                .map(|t| (t, (x0 + dx * t as f64, y0 + dy * t as f64)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn params(m: usize, k: u32) -> ConvoyParams {
+        ConvoyParams::new(m, k, ClusteringParams::new(50.0, m))
+    }
+
+    #[test]
+    fn platoon_is_one_convoy() {
+        // Four vehicles travel together, one lone vehicle far away.
+        let mut trajs = Vec::new();
+        for i in 0..4u32 {
+            trajs.push(straight_trajectory(i, i as f64 * 10.0, 0.0, 100.0, 0.0, 10));
+        }
+        trajs.push(straight_trajectory(99, 50_000.0, 50_000.0, -100.0, 0.0, 10));
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let convoys = discover_convoys(&db, &params(3, 5));
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].object_count(), 4);
+        assert_eq!(convoys[0].duration(), 10);
+        assert!(convoys[0].is_consecutive());
+        assert!(!convoys[0].objects.contains(&ObjectId::new(99)));
+    }
+
+    #[test]
+    fn convoy_requires_consecutive_timestamps() {
+        // The group splits apart for one tick in the middle, so neither half
+        // reaches the duration threshold.
+        let mut trajs = Vec::new();
+        for i in 0..4u32 {
+            let samples: Vec<(u32, (f64, f64))> = (0..9u32)
+                .map(|t| {
+                    if t == 4 {
+                        // Scatter by object so they are not density-connected.
+                        (t, (i as f64 * 10_000.0, 50_000.0))
+                    } else {
+                        (t, (i as f64 * 10.0, t as f64 * 50.0))
+                    }
+                })
+                .collect();
+            trajs.push(Trajectory::from_points(ObjectId::new(i), samples));
+        }
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        assert!(discover_convoys(&db, &params(3, 5)).is_empty());
+        // With a lower duration threshold the two halves appear.
+        let halves = discover_convoys(&db, &params(3, 4));
+        assert_eq!(halves.len(), 2);
+    }
+
+    #[test]
+    fn member_leaving_shrinks_but_does_not_break_convoy() {
+        // Five vehicles together; one peels off halfway.  The convoy of the
+        // remaining four spans the full window.
+        let mut trajs = Vec::new();
+        for i in 0..4u32 {
+            trajs.push(straight_trajectory(i, i as f64 * 10.0, 0.0, 80.0, 0.0, 12));
+        }
+        let deserter: Vec<(u32, (f64, f64))> = (0..12u32)
+            .map(|t| {
+                if t < 6 {
+                    (t, (45.0, t as f64 * 0.0 + 5.0 + 80.0 * t as f64 * 0.0))
+                } else {
+                    (t, (45.0 + (t - 5) as f64 * 5_000.0, 20_000.0))
+                }
+            })
+            .collect();
+        // Keep the deserter near the platoon for the first half: overwrite
+        // with positions matching the platoon's x-progression.
+        let deserter: Vec<(u32, (f64, f64))> = deserter
+            .into_iter()
+            .map(|(t, (x, y))| {
+                if t < 6 {
+                    (t, (80.0 * t as f64 + 45.0, 0.0))
+                } else {
+                    (t, (x, y))
+                }
+            })
+            .collect();
+        trajs.push(Trajectory::from_points(ObjectId::new(9), deserter));
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let convoys = discover_convoys(&db, &params(4, 10));
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].object_count(), 4);
+        assert_eq!(convoys[0].duration(), 12);
+    }
+
+    #[test]
+    fn empty_database_has_no_convoys() {
+        let db = TrajectoryDatabase::new();
+        assert!(discover_convoys(&db, &params(2, 2)).is_empty());
+    }
+
+    #[test]
+    fn results_are_maximal() {
+        let mut trajs = Vec::new();
+        for i in 0..5u32 {
+            trajs.push(straight_trajectory(i, i as f64 * 8.0, 0.0, 60.0, 0.0, 8));
+        }
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let convoys = discover_convoys(&db, &params(3, 3));
+        for a in &convoys {
+            for b in &convoys {
+                if a != b {
+                    assert!(!a.is_subsumed_by(b));
+                }
+            }
+        }
+    }
+}

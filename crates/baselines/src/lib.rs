@@ -1,0 +1,37 @@
+//! Baseline group-pattern miners.
+//!
+//! The paper motivates the gathering pattern by contrasting it with earlier
+//! group patterns — flock, convoy, swarm and moving cluster — and its
+//! effectiveness study (Figure 5) counts closed swarms and convoys alongside
+//! crowds and gatherings.  This crate implements those baselines on top of
+//! the same trajectory and clustering substrates:
+//!
+//! * [`convoy`] — density-connected groups over `k` *consecutive* timestamps
+//!   (Jeung et al., VLDB 2008), discovered with the moving-cluster style
+//!   intersection sweep (CMC).
+//! * [`swarm`] — closed swarms: groups co-clustered in at least `k` possibly
+//!   *non-consecutive* timestamps (Li et al., VLDB 2010), discovered with an
+//!   ObjectGrowth-style depth-first search with apriori and backward pruning.
+//! * [`flock`] — groups staying inside a fixed-radius disc for `k`
+//!   consecutive timestamps (Benkert et al.), using the standard
+//!   pair-generated candidate-disc approximation.
+//! * [`moving_cluster`] — chains of snapshot clusters with sufficient overlap
+//!   between consecutive timestamps (Kalnis et al., SSTD 2005).
+//!
+//! All miners consume a [`gpdt_trajectory::TrajectoryDatabase`] (or a
+//! pre-built [`gpdt_clustering::ClusterDatabase`]) and report
+//! [`GroupPattern`]s.
+
+pub mod common;
+pub mod convoy;
+pub mod flock;
+pub mod moving_cluster;
+pub mod swarm;
+
+pub use common::GroupPattern;
+pub use convoy::{discover_convoys, discover_convoys_from_clusters, ConvoyParams};
+pub use flock::{discover_flocks, FlockParams};
+pub use moving_cluster::{
+    discover_moving_clusters, discover_moving_clusters_from_clusters, MovingClusterParams,
+};
+pub use swarm::{discover_closed_swarms, discover_closed_swarms_from_clusters, SwarmParams};

@@ -1,0 +1,232 @@
+//! Moving-cluster discovery (Kalnis et al., SSTD 2005).
+//!
+//! A moving cluster is a chain of snapshot clusters at consecutive
+//! timestamps such that every two adjacent clusters share a large enough
+//! fraction of objects: `|c_t ∩ c_{t+1}| / |c_t ∪ c_{t+1}| ≥ θ`.  Unlike
+//! convoys and flocks, the member set may change along the chain — but
+//! unlike the gathering pattern, adjacent clusters must overlap heavily and
+//! there is no constraint on where the clusters are, so a moving cluster can
+//! drift arbitrarily far.
+
+use std::collections::BTreeSet;
+
+use gpdt_clustering::{ClusterDatabase, ClusteringParams};
+use gpdt_trajectory::{ObjectId, Timestamp, TrajectoryDatabase};
+
+use crate::common::GroupPattern;
+
+/// Parameters of moving-cluster discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingClusterParams {
+    /// Jaccard-overlap threshold `θ` between consecutive clusters (0, 1].
+    pub theta: f64,
+    /// Minimum chain length in timestamps.
+    pub min_duration: u32,
+    /// DBSCAN parameters for the per-timestamp clustering.
+    pub clustering: ClusteringParams,
+}
+
+impl MovingClusterParams {
+    /// Creates moving-cluster parameters.
+    pub fn new(theta: f64, min_duration: u32, clustering: ClusteringParams) -> Self {
+        assert!(
+            theta > 0.0 && theta <= 1.0,
+            "theta must be in (0, 1], got {theta}"
+        );
+        assert!(min_duration >= 1, "min_duration must be at least 1");
+        MovingClusterParams {
+            theta,
+            min_duration,
+            clustering,
+        }
+    }
+}
+
+/// One discovered moving cluster: the union of members over the chain plus
+/// the chain's time span.
+#[derive(Debug, Clone)]
+struct Chain {
+    /// Cluster (as an object set) at the chain's current end.
+    head: BTreeSet<ObjectId>,
+    /// Union of all members that ever participated.
+    members: BTreeSet<ObjectId>,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+/// Discovers moving clusters in a trajectory database.
+pub fn discover_moving_clusters(
+    db: &TrajectoryDatabase,
+    params: &MovingClusterParams,
+) -> Vec<GroupPattern> {
+    let cdb = ClusterDatabase::build(db, &params.clustering);
+    discover_moving_clusters_from_clusters(&cdb, params)
+}
+
+/// Discovers moving clusters from a pre-built snapshot-cluster database.
+pub fn discover_moving_clusters_from_clusters(
+    cdb: &ClusterDatabase,
+    params: &MovingClusterParams,
+) -> Vec<GroupPattern> {
+    let mut results: Vec<GroupPattern> = Vec::new();
+    let mut chains: Vec<Chain> = Vec::new();
+
+    let jaccard = |a: &BTreeSet<ObjectId>, b: &BTreeSet<ObjectId>| -> f64 {
+        let inter = a.intersection(b).count() as f64;
+        let union = a.union(b).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    };
+
+    for set in cdb.iter() {
+        let t = set.time;
+        let clusters: Vec<BTreeSet<ObjectId>> = set
+            .clusters
+            .iter()
+            .map(|c| c.members().iter().copied().collect())
+            .collect();
+        let mut next: Vec<Chain> = Vec::new();
+        let mut absorbed = vec![false; clusters.len()];
+        for chain in chains.drain(..) {
+            let mut extended = false;
+            for (idx, cluster) in clusters.iter().enumerate() {
+                if jaccard(&chain.head, cluster) >= params.theta {
+                    absorbed[idx] = true;
+                    extended = true;
+                    let mut members = chain.members.clone();
+                    members.extend(cluster.iter().copied());
+                    next.push(Chain {
+                        head: cluster.clone(),
+                        members,
+                        start: chain.start,
+                        end: t,
+                    });
+                }
+            }
+            if !extended {
+                emit(&chain, params, &mut results);
+            }
+        }
+        for (idx, cluster) in clusters.into_iter().enumerate() {
+            if !absorbed[idx] && !cluster.is_empty() {
+                next.push(Chain {
+                    members: cluster.clone(),
+                    head: cluster,
+                    start: t,
+                    end: t,
+                });
+            }
+        }
+        chains = next;
+    }
+    for chain in &chains {
+        emit(chain, params, &mut results);
+    }
+    results
+}
+
+fn emit(chain: &Chain, params: &MovingClusterParams, results: &mut Vec<GroupPattern>) {
+    if chain.end - chain.start + 1 >= params.min_duration {
+        results.push(GroupPattern::new(
+            chain.members.iter().copied().collect(),
+            (chain.start..=chain.end).collect(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_trajectory::Trajectory;
+
+    fn params(theta: f64, k: u32) -> MovingClusterParams {
+        MovingClusterParams::new(theta, k, ClusteringParams::new(50.0, 3))
+    }
+
+    #[test]
+    fn stable_group_forms_one_moving_cluster() {
+        let mut trajs = Vec::new();
+        for i in 0..4u32 {
+            trajs.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (0..8u32)
+                    .map(|t| (t, (t as f64 * 40.0 + i as f64 * 5.0, 0.0)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let mcs = discover_moving_clusters(&db, &params(0.5, 5));
+        assert_eq!(mcs.len(), 1);
+        assert_eq!(mcs[0].object_count(), 4);
+        assert_eq!(mcs[0].duration(), 8);
+    }
+
+    #[test]
+    fn gradual_membership_change_is_tolerated() {
+        // Five objects; object 0 is replaced by object 5 halfway through, but
+        // the overlap between consecutive clusters stays >= 3/5.
+        let mut trajs = Vec::new();
+        for i in 1..5u32 {
+            trajs.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (0..10u32)
+                    .map(|t| (t, (t as f64 * 30.0 + i as f64 * 5.0, 0.0)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        // Object 0 present for the first half only, object 5 for the second.
+        trajs.push(Trajectory::from_points(
+            ObjectId::new(0),
+            (0..5u32).map(|t| (t, (t as f64 * 30.0, 2.0))).collect::<Vec<_>>(),
+        ));
+        trajs.push(Trajectory::from_points(
+            ObjectId::new(5),
+            (5..10u32).map(|t| (t, (t as f64 * 30.0, 2.0))).collect::<Vec<_>>(),
+        ));
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let mcs = discover_moving_clusters(&db, &params(0.6, 8));
+        assert_eq!(mcs.len(), 1);
+        // The union of members contains all six objects.
+        assert_eq!(mcs[0].object_count(), 6);
+        assert_eq!(mcs[0].duration(), 10);
+    }
+
+    #[test]
+    fn low_overlap_breaks_the_chain() {
+        // Complete membership swap halfway: Jaccard across the swap is 0.
+        let mut trajs = Vec::new();
+        for i in 0..3u32 {
+            trajs.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (0..4u32).map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0))).collect::<Vec<_>>(),
+            ));
+        }
+        for i in 10..13u32 {
+            trajs.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (4..8u32).map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0))).collect::<Vec<_>>(),
+            ));
+        }
+        let db = TrajectoryDatabase::from_trajectories(trajs);
+        let mcs = discover_moving_clusters(&db, &params(0.5, 4));
+        assert_eq!(mcs.len(), 2);
+        for mc in &mcs {
+            assert_eq!(mc.duration(), 4);
+            assert_eq!(mc.object_count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_invalid_theta() {
+        let _ = MovingClusterParams::new(1.5, 2, ClusteringParams::new(10.0, 2));
+    }
+
+    #[test]
+    fn empty_database_has_no_moving_clusters() {
+        assert!(discover_moving_clusters(&TrajectoryDatabase::new(), &params(0.5, 2)).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Closed-swarm discovery (Li et al., VLDB 2010).
+//!
+//! A swarm is a set of at least `mino` objects that appear in the same
+//! snapshot cluster at no fewer than `mint` (possibly non-consecutive)
+//! timestamps; it is *closed* when neither another object nor another
+//! timestamp can be added without violating the definition.
+//!
+//! The miner follows the ObjectGrowth idea: a depth-first search over object
+//! sets in id order, maintaining the timestamp set shared by the current
+//! object set, with
+//!
+//! * **apriori pruning** — stop as soon as the shared timestamp set drops
+//!   below `mint`,
+//! * **backward pruning** — stop when some object with a smaller id than the
+//!   last added one could be added without shrinking the timestamp set (that
+//!   superset is explored elsewhere), and
+//! * **forward closure** — report a set only when no object at all can be
+//!   added for free (object-closedness); time-closedness holds by
+//!   construction because the timestamp set is always maximal for the object
+//!   set.
+
+use std::collections::HashMap;
+
+use gpdt_clustering::{ClusterDatabase, ClusteringParams};
+use gpdt_trajectory::{ObjectId, Timestamp, TrajectoryDatabase};
+
+use crate::common::GroupPattern;
+
+/// Parameters of closed-swarm discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmParams {
+    /// Minimum number of objects (`mino`).
+    pub min_objects: usize,
+    /// Minimum number of (possibly non-consecutive) timestamps (`mint`).
+    pub min_duration: usize,
+    /// DBSCAN parameters for the per-timestamp clustering.
+    pub clustering: ClusteringParams,
+}
+
+impl SwarmParams {
+    /// Creates swarm parameters.
+    pub fn new(min_objects: usize, min_duration: usize, clustering: ClusteringParams) -> Self {
+        assert!(min_objects >= 2, "min_objects must be at least 2");
+        assert!(min_duration >= 1, "min_duration must be at least 1");
+        SwarmParams {
+            min_objects,
+            min_duration,
+            clustering,
+        }
+    }
+}
+
+/// Per-object cluster membership: timestamp → cluster index at that
+/// timestamp.
+type Membership = HashMap<ObjectId, HashMap<Timestamp, usize>>;
+
+/// Discovers all closed swarms in a trajectory database.
+pub fn discover_closed_swarms(db: &TrajectoryDatabase, params: &SwarmParams) -> Vec<GroupPattern> {
+    let cdb = ClusterDatabase::build(db, &params.clustering);
+    discover_closed_swarms_from_clusters(&cdb, params)
+}
+
+/// Discovers all closed swarms from a pre-built snapshot-cluster database.
+pub fn discover_closed_swarms_from_clusters(
+    cdb: &ClusterDatabase,
+    params: &SwarmParams,
+) -> Vec<GroupPattern> {
+    // Build per-object membership maps.
+    let mut membership: Membership = HashMap::new();
+    for set in cdb.iter() {
+        for (idx, cluster) in set.clusters.iter().enumerate() {
+            for &obj in cluster.members() {
+                membership.entry(obj).or_default().insert(set.time, idx);
+            }
+        }
+    }
+    // Candidate objects: those appearing in clusters at >= mint timestamps
+    // (an object below that can never be part of a swarm).
+    let mut objects: Vec<ObjectId> = membership
+        .iter()
+        .filter(|(_, times)| times.len() >= params.min_duration)
+        .map(|(&obj, _)| obj)
+        .collect();
+    objects.sort_unstable();
+
+    let mut results = Vec::new();
+    let mut stack: Vec<ObjectId> = Vec::new();
+    grow(
+        &objects,
+        &membership,
+        params,
+        0,
+        &mut stack,
+        None,
+        &mut results,
+    );
+    results
+}
+
+/// The timestamp set shared by `current ∪ {candidate}` given the shared set
+/// of `current` (`None` = unconstrained, i.e. the empty object set).
+fn shared_times(
+    membership: &Membership,
+    shared: Option<&Vec<Timestamp>>,
+    anchor: Option<ObjectId>,
+    candidate: ObjectId,
+) -> Vec<Timestamp> {
+    let cand_map = &membership[&candidate];
+    match (shared, anchor) {
+        (None, _) => {
+            let mut times: Vec<Timestamp> = cand_map.keys().copied().collect();
+            times.sort_unstable();
+            times
+        }
+        (Some(times), Some(anchor)) => {
+            let anchor_map = &membership[&anchor];
+            times
+                .iter()
+                .copied()
+                .filter(|t| match (anchor_map.get(t), cand_map.get(t)) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                })
+                .collect()
+        }
+        (Some(times), None) => times.clone(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    objects: &[ObjectId],
+    membership: &Membership,
+    params: &SwarmParams,
+    start: usize,
+    current: &mut Vec<ObjectId>,
+    shared: Option<Vec<Timestamp>>,
+    results: &mut Vec<GroupPattern>,
+) {
+    // Check object-closedness / emit when the current set qualifies.
+    if current.len() >= params.min_objects {
+        let times = shared.as_ref().expect("non-empty set has a shared time set");
+        if times.len() >= params.min_duration {
+            // Object-closed: no object outside the set can be added without
+            // shrinking the timestamp set.
+            let anchor = current[0];
+            let closed = !objects.iter().any(|&other| {
+                !current.contains(&other)
+                    && shared_times(membership, shared.as_ref(), Some(anchor), other).len()
+                        == times.len()
+            });
+            if closed {
+                results.push(GroupPattern::new(current.clone(), times.clone()));
+            }
+        }
+    }
+
+    for (offset, &candidate) in objects[start..].iter().enumerate() {
+        let idx = start + offset;
+        let anchor = current.first().copied();
+        let new_shared = shared_times(membership, shared.as_ref(), anchor, candidate);
+        // Apriori pruning: the shared timestamp set only shrinks as objects
+        // are added.
+        if new_shared.len() < params.min_duration {
+            continue;
+        }
+        // Backward pruning: if an object with a smaller id (not in the set,
+        // not the candidate) could be added without shrinking the shared
+        // set, this branch is covered by the branch that includes it.
+        let new_anchor = anchor.unwrap_or(candidate);
+        let covered = objects[..idx].iter().any(|&earlier| {
+            !current.contains(&earlier)
+                && shared_times(membership, Some(&new_shared), Some(new_anchor), earlier).len()
+                    == new_shared.len()
+        });
+        if covered {
+            continue;
+        }
+        current.push(candidate);
+        grow(
+            objects,
+            membership,
+            params,
+            idx + 1,
+            current,
+            Some(new_shared),
+            results,
+        );
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_trajectory::Trajectory;
+
+    fn params(mino: usize, mint: usize) -> SwarmParams {
+        SwarmParams::new(mino, mint, ClusteringParams::new(50.0, 2))
+    }
+
+    /// Builds a database where the listed objects are co-located (cluster
+    /// together) exactly at the listed timestamps, and far apart otherwise.
+    fn scripted_db(groupings: &[(&[u32], &[u32])], ticks: u32) -> TrajectoryDatabase {
+        // Every object roams alone at a distinct far-away location except at
+        // the timestamps where a grouping places it at that grouping's spot.
+        let mut positions: HashMap<(u32, u32), (f64, f64)> = HashMap::new();
+        let mut all_objects: Vec<u32> = Vec::new();
+        for (gi, (objs, times)) in groupings.iter().enumerate() {
+            let spot = (1_000.0 * (gi + 1) as f64, 1_000.0 * (gi + 1) as f64);
+            for &o in *objs {
+                if !all_objects.contains(&o) {
+                    all_objects.push(o);
+                }
+                for &t in *times {
+                    positions.insert((o, t), spot);
+                }
+            }
+        }
+        let trajs: Vec<Trajectory> = all_objects
+            .iter()
+            .map(|&o| {
+                let samples: Vec<(u32, (f64, f64))> = (0..ticks)
+                    .map(|t| {
+                        let home = (100_000.0 + o as f64 * 10_000.0, 0.0);
+                        (t, *positions.get(&(o, t)).unwrap_or(&home))
+                    })
+                    .collect();
+                Trajectory::from_points(ObjectId::new(o), samples)
+            })
+            .collect();
+        TrajectoryDatabase::from_trajectories(trajs)
+    }
+
+    #[test]
+    fn persistent_group_is_one_closed_swarm() {
+        let db = scripted_db(&[(&[1, 2, 3], &[0, 2, 4, 6, 8])], 10);
+        let swarms = discover_closed_swarms(&db, &params(3, 4));
+        assert_eq!(swarms.len(), 1);
+        assert_eq!(swarms[0].object_count(), 3);
+        assert_eq!(swarms[0].times, vec![0, 2, 4, 6, 8]);
+        assert!(!swarms[0].is_consecutive());
+    }
+
+    #[test]
+    fn swarm_allows_non_consecutive_membership() {
+        // The paper's Figure 1b intuition: o1..o5 gather at t1 and t3 only.
+        let db = scripted_db(&[(&[1, 2, 3, 4, 5], &[1, 3])], 5);
+        let swarms = discover_closed_swarms(&db, &params(5, 2));
+        assert_eq!(swarms.len(), 1);
+        assert_eq!(swarms[0].object_count(), 5);
+        assert_eq!(swarms[0].times, vec![1, 3]);
+        // A convoy-style consecutive requirement would find nothing here.
+        assert!(discover_closed_swarms(&db, &params(5, 3)).is_empty());
+    }
+
+    #[test]
+    fn closedness_prefers_larger_object_set() {
+        // Objects 1-4 meet at {0,1,2,3}; objects 1-5 meet at {0,1}.  With
+        // mino=4, mint=2 the closed swarms are {1..4}×{0,1,2,3} and
+        // {1..5}×{0,1}; the subset {1..4}×{0,1} is not closed.
+        let db = scripted_db(
+            &[(&[1, 2, 3, 4], &[0, 1, 2, 3]), (&[1, 2, 3, 4, 5], &[0, 1])],
+            5,
+        );
+        let mut swarms = discover_closed_swarms(&db, &params(4, 2));
+        swarms.sort_by_key(|s| s.object_count());
+        assert_eq!(swarms.len(), 2);
+        assert_eq!(swarms[0].object_count(), 4);
+        assert_eq!(swarms[0].times.len(), 4);
+        assert_eq!(swarms[1].object_count(), 5);
+        assert_eq!(swarms[1].times, vec![0, 1]);
+    }
+
+    #[test]
+    fn too_few_objects_or_timestamps_yield_nothing() {
+        let db = scripted_db(&[(&[1, 2], &[0, 1, 2])], 4);
+        assert!(discover_closed_swarms(&db, &params(3, 2)).is_empty());
+        let db = scripted_db(&[(&[1, 2, 3], &[0])], 4);
+        assert!(discover_closed_swarms(&db, &params(3, 2)).is_empty());
+    }
+
+    #[test]
+    fn two_disjoint_groups_give_two_swarms() {
+        let db = scripted_db(
+            &[
+                (&[1, 2, 3], &[0, 1, 2, 3]),
+                (&[10, 11, 12], &[2, 3, 4, 5]),
+            ],
+            6,
+        );
+        let swarms = discover_closed_swarms(&db, &params(3, 3));
+        assert_eq!(swarms.len(), 2);
+    }
+
+    #[test]
+    fn empty_database_has_no_swarms() {
+        let db = TrajectoryDatabase::new();
+        assert!(discover_closed_swarms(&db, &params(2, 2)).is_empty());
+    }
+}

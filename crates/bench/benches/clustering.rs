@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the snapshot-clustering phase: grid-accelerated DBSCAN
+//! versus the brute-force oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpdt_clustering::dbscan::{dbscan, dbscan_bruteforce};
+use gpdt_clustering::ClusteringParams;
+use gpdt_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scene(n: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Half the points in ten dense blobs, half uniform background.
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 2 == 0 {
+            let blob = (i / 2) % 10;
+            let cx = (blob % 5) as f64 * 2_000.0;
+            let cy = (blob / 5) as f64 * 2_000.0;
+            points.push(Point::new(
+                cx + rng.gen_range(-120.0..120.0),
+                cy + rng.gen_range(-120.0..120.0),
+            ));
+        } else {
+            points.push(Point::new(
+                rng.gen_range(0.0..10_000.0),
+                rng.gen_range(0.0..10_000.0),
+            ));
+        }
+    }
+    points
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let params = ClusteringParams::new(200.0, 5);
+    let mut group = c.benchmark_group("dbscan");
+    for &n in &[200usize, 800, 2_000] {
+        let points = scene(n);
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            b.iter(|| dbscan(&points, &params))
+        });
+        if n <= 800 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", n), &n, |b, _| {
+                b.iter(|| dbscan_bruteforce(&points, &params))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmarks of closed-crowd discovery (Algorithm 1) under the four
+//! range-search strategies — the Criterion companion of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpdt_bench::scenarios::clustered_scenario;
+use gpdt_core::{CrowdDiscovery, CrowdParams, RangeSearchStrategy};
+
+fn bench_crowd_discovery(c: &mut Criterion) {
+    let cs = clustered_scenario(11, 400, 90);
+    let params = CrowdParams::new(15, 20, 300.0);
+    let mut group = c.benchmark_group("crowd_discovery");
+    group.sample_size(10);
+    for strategy in RangeSearchStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let discovery = CrowdDiscovery::new(params, strategy);
+                b.iter(|| discovery.run(&cs.clusters))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crowd_discovery);
+criterion_main!(benches);

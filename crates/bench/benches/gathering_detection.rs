@@ -1,0 +1,27 @@
+//! Benchmarks of closed-gathering detection (brute force vs TAD vs TAD*) —
+//! the Criterion companion of Figure 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpdt_bench::synth::{synthetic_crowd, SyntheticCrowdSpec};
+use gpdt_core::{detect_closed_gatherings, GatheringParams, TadVariant};
+
+fn bench_gathering_detection(c: &mut Criterion) {
+    let params = GatheringParams::new(10, 12);
+    let mut group = c.benchmark_group("gathering_detection");
+    for &length in &[25usize, 45] {
+        let (cdb, crowd) = synthetic_crowd(&SyntheticCrowdSpec::jam_like(3, length));
+        for variant in TadVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), length),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| detect_closed_gatherings(&crowd, &cdb, &params, 15, variant))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gathering_detection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the Hausdorff distance kernels and their rectangle
+//! lower bounds (the refinement/pruning primitives of the range search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpdt_geo::{hausdorff_distance, hausdorff_within, Mbr, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cluster(rng: &mut StdRng, cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                cx + rng.gen_range(-spread..spread),
+                cy + rng.gen_range(-spread..spread),
+            )
+        })
+        .collect()
+}
+
+fn bench_hausdorff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("hausdorff");
+    for &n in &[16usize, 64, 256] {
+        let a = cluster(&mut rng, 0.0, 0.0, n, 150.0);
+        let b = cluster(&mut rng, 120.0, 40.0, n, 150.0);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| hausdorff_distance(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("within_delta", n), &n, |bench, _| {
+            bench.iter(|| hausdorff_within(&a, &b, 300.0))
+        });
+        let ma = Mbr::from_points(&a).unwrap();
+        let mb = Mbr::from_points(&b).unwrap();
+        group.bench_with_input(BenchmarkId::new("dmin_bound", n), &n, |bench, _| {
+            bench.iter(|| ma.min_distance(&mb))
+        });
+        group.bench_with_input(BenchmarkId::new("dside_bound", n), &n, |bench, _| {
+            bench.iter(|| ma.side_distance(&mb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hausdorff);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the incremental algorithms: crowd extension vs full
+//! re-computation, and gathering update vs re-detection — the Criterion
+//! companion of Figure 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpdt_bench::scenarios::clustered_scenario;
+use gpdt_bench::synth::{synthetic_crowd, SyntheticCrowdSpec};
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::incremental::{update_gatherings, IncrementalDiscovery};
+use gpdt_core::{
+    detect_closed_gatherings, CrowdDiscovery, CrowdParams, GatheringParams, RangeSearchStrategy,
+    TadVariant,
+};
+use gpdt_trajectory::TimeInterval;
+
+fn bench_crowd_extension(c: &mut Criterion) {
+    let crowd_params = CrowdParams::new(15, 20, 300.0);
+    let gathering_params = GatheringParams::new(10, 15);
+    let total = clustered_scenario(3, 400, 120);
+    let first = ClusterDatabase::build_interval(
+        &total.scenario.database,
+        &total.clustering,
+        TimeInterval::new(0, 89),
+    );
+    let batch = ClusterDatabase::build_interval(
+        &total.scenario.database,
+        &total.clustering,
+        TimeInterval::new(90, 119),
+    );
+
+    let mut group = c.benchmark_group("incremental_crowds");
+    group.sample_size(10);
+    group.bench_function("recompute_all", |b| {
+        b.iter(|| {
+            let discovery = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid);
+            discovery.run(&total.clusters)
+        })
+    });
+    group.bench_function("extend_frontier", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalDiscovery::new(
+                crowd_params,
+                gathering_params,
+                RangeSearchStrategy::Grid,
+                TadVariant::TadStar,
+            );
+            inc.ingest(first.clone());
+            inc.ingest(batch.clone())
+        })
+    });
+    group.finish();
+}
+
+fn bench_gathering_update(c: &mut Criterion) {
+    let params = GatheringParams::new(10, 12);
+    let kc = 15;
+    let (cdb, crowd) = synthetic_crowd(&SyntheticCrowdSpec::jam_like(5, 60));
+    let old_len = 48; // r = 0.8
+    let old_crowd = crowd.sub_crowd(0, old_len);
+    let old_gatherings =
+        detect_closed_gatherings(&old_crowd, &cdb, &params, kc, TadVariant::TadStar);
+
+    let mut group = c.benchmark_group("incremental_gatherings");
+    group.bench_function("recompute", |b| {
+        b.iter(|| detect_closed_gatherings(&crowd, &cdb, &params, kc, TadVariant::TadStar))
+    });
+    group.bench_function("update", |b| {
+        b.iter(|| {
+            update_gatherings(
+                &crowd,
+                &cdb,
+                old_len,
+                &old_gatherings,
+                &params,
+                kc,
+                TadVariant::TadStar,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crowd_extension, bench_gathering_update);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Figure 8 — incremental maintenance vs re-computation.
+//!
+//! * Figure 8a: closed-crowd discovery cost as the database grows day by day
+//!   — re-computation from scratch vs the crowd-extension algorithm that
+//!   resumes from the saved frontier (Lemma 4).
+//! * Figure 8b: closed-gathering detection on an extended crowd — TAD\* from
+//!   scratch vs the gathering-update algorithm (Theorem 2) as a function of
+//!   the ratio `r` between the old and the extended crowd length.
+//!
+//! Run with `cargo run -p gpdt-bench --release --bin fig8`.  The "day" is
+//! scaled down (default 120 minutes per appended batch, `GPDT_SCALE` to
+//! adjust); the claim reproduced is the *shape*: re-computation grows with
+//! the time domain while the incremental algorithms stay flat / improve with
+//! larger reusable prefixes.
+
+use gpdt_bench::report::{measure, secs, Table};
+use gpdt_bench::scenarios::{clustered_scenario, scaled};
+use gpdt_bench::synth::{synthetic_crowd, SyntheticCrowdSpec};
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::incremental::{update_gatherings, IncrementalDiscovery};
+use gpdt_core::{
+    detect_closed_gatherings, CrowdDiscovery, CrowdParams, GatheringParams, RangeSearchStrategy,
+    TadVariant,
+};
+use gpdt_trajectory::TimeInterval;
+
+fn main() {
+    fig8a();
+    fig8b();
+    println!(
+        "Expected shape (paper): re-computation cost grows with the accumulated time domain while \
+         crowd extension stays roughly constant; the gathering-update algorithm gets faster as the \
+         old crowd occupies a larger fraction r of the extended crowd, while re-computation is flat."
+    );
+}
+
+/// Figure 8a: crowd discovery while appending batches ("days") one at a time.
+fn fig8a() {
+    let taxis = scaled(600);
+    let day_minutes = 120u32;
+    let days = 5u32;
+    let crowd_params = CrowdParams::new(15, 20, 300.0);
+    let gathering_params = GatheringParams::new(10, 15);
+
+    // One long scenario, split into per-day cluster batches.
+    let total = clustered_scenario(7, taxis, day_minutes * days);
+    let batches: Vec<ClusterDatabase> = (0..days)
+        .map(|d| {
+            let interval = TimeInterval::new(d * day_minutes, (d + 1) * day_minutes - 1);
+            ClusterDatabase::build_interval(
+                &total.scenario.database,
+                &total.clustering,
+                interval,
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Figure 8a — crowd discovery runtime (s) per update vs accumulated days",
+        &["|TDB| (days)", "re-computation", "crowd extension"],
+    );
+
+    let mut incremental = IncrementalDiscovery::new(
+        crowd_params,
+        gathering_params,
+        RangeSearchStrategy::Grid,
+        TadVariant::TadStar,
+    );
+    let mut accumulated = ClusterDatabase::new();
+    for (day, batch) in batches.into_iter().enumerate() {
+        // Re-computation: run Algorithm 1 over the whole accumulated domain.
+        if accumulated.is_empty() {
+            accumulated = batch.clone();
+        } else {
+            accumulated.append(batch.clone());
+        }
+        let discovery = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid);
+        let (recomputed, recompute_time) = measure(|| discovery.run(&accumulated));
+        // Crowd extension: resume from the saved frontier.
+        let (update, extension_time) = measure(|| incremental.ingest(batch));
+        let _ = (recomputed.closed_crowds.len(), update.new_closed_crowds);
+        table.add_row(vec![
+            (day + 1).to_string(),
+            secs(recompute_time),
+            secs(extension_time),
+        ]);
+    }
+    table.print();
+}
+
+/// Figure 8b: gathering update vs re-computation on extended crowds.
+fn fig8b() {
+    let kc = 8u32;
+    let params = GatheringParams::new(8, 10);
+    let new_length = 200usize;
+    let crowds_per_point = scaled(60);
+
+    let mut table = Table::new(
+        "Figure 8b — gathering detection runtime (s) on extended crowds vs ratio r",
+        &["r", "re-computation", "gathering update"],
+    );
+    for r in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+        let old_len = ((new_length as f64) * r).round().max(1.0) as usize;
+        let mut recompute_total = std::time::Duration::ZERO;
+        let mut update_total = std::time::Duration::ZERO;
+        for i in 0..crowds_per_point {
+            // Long crowds with frequent disruptions: Test-and-Divide has to
+            // recurse many times, which is exactly the work Theorem 2 lets
+            // the update skip for the reusable prefix.
+            let spec = SyntheticCrowdSpec {
+                seed: 1_000 + i as u64,
+                length: new_length,
+                dedicated: 30,
+                dedication: 0.8,
+                churn_per_cluster: 15,
+                disruption: 0.1,
+            };
+            let (cdb, crowd) = synthetic_crowd(&spec);
+            let old_crowd = crowd.sub_crowd(0, old_len);
+            let old_gatherings =
+                detect_closed_gatherings(&old_crowd, &cdb, &params, kc, TadVariant::TadStar);
+
+            let (_, recompute) = measure(|| {
+                detect_closed_gatherings(&crowd, &cdb, &params, kc, TadVariant::TadStar)
+            });
+            let (_, update) = measure(|| {
+                update_gatherings(
+                    &crowd,
+                    &cdb,
+                    old_len,
+                    &old_gatherings,
+                    &params,
+                    kc,
+                    TadVariant::TadStar,
+                )
+            });
+            recompute_total += recompute;
+            update_total += update;
+        }
+        table.add_row(vec![
+            format!("{r:.1}"),
+            secs(recompute_total),
+            secs(update_total),
+        ]);
+    }
+    table.print();
+}

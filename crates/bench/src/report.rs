@@ -1,0 +1,120 @@
+//! Measurement and plain-text table helpers for the figure binaries.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result together with the elapsed wall time.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// A small fixed-width text table, printed in the same row/series layout as
+/// the paper's figures so the output can be compared against them directly.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to standard output.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_value_and_positive_time() {
+        let (value, elapsed) = measure(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let mut t = Table::new("demo", &["x", "runtime (s)"]);
+        t.add_row(vec!["5".into(), "0.123".into()]);
+        t.add_row(vec!["100".into(), "1.5".into()]);
+        assert_eq!(t.row_count(), 2);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("runtime (s)"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn secs_formats_milliseconds() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

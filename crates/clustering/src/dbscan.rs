@@ -1,0 +1,414 @@
+//! DBSCAN density-based clustering with a grid-accelerated neighbour search.
+//!
+//! This is the clustering primitive behind Definition 1 (snapshot cluster) of
+//! the paper.  The implementation follows the classic DBSCAN formulation of
+//! Ester et al.: core points have at least `min_pts` points (themselves
+//! included) within radius `eps`; clusters are the maximal sets of
+//! density-connected points; border points are attached to the first cluster
+//! that reaches them; everything else is noise.
+//!
+//! The ε-neighbourhood query is served by a uniform hash grid with cell side
+//! `eps`, so a query only inspects the 3×3 block of cells around the query
+//! point instead of the whole snapshot.
+
+use std::collections::HashMap;
+
+use gpdt_geo::Point;
+
+use crate::params::ClusteringParams;
+
+/// Result of running DBSCAN on a set of points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbscanResult {
+    /// For each cluster, the indices (into the input slice) of its members,
+    /// sorted in increasing order.
+    pub clusters: Vec<Vec<usize>>,
+    /// Indices of points assigned to no cluster.
+    pub noise: Vec<usize>,
+}
+
+impl DbscanResult {
+    /// Cluster label of point `idx`: `Some(cluster_index)` or `None` for
+    /// noise.
+    pub fn label_of(&self, idx: usize) -> Option<usize> {
+        self.clusters
+            .iter()
+            .position(|members| members.binary_search(&idx).is_ok())
+    }
+}
+
+/// A hash-grid over points with cell side `eps`, answering ε-range queries.
+struct NeighborGrid<'a> {
+    points: &'a [Point],
+    eps: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl<'a> NeighborGrid<'a> {
+    fn build(points: &'a [Point], eps: f64) -> Self {
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (idx, p) in points.iter().enumerate() {
+            cells.entry(Self::key(p, eps)).or_default().push(idx);
+        }
+        NeighborGrid { points, eps, cells }
+    }
+
+    #[inline]
+    fn key(p: &Point, eps: f64) -> (i64, i64) {
+        ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+    }
+
+    /// Indices of all points within `eps` of `points[idx]`, including `idx`
+    /// itself.
+    fn neighbors_of(&self, idx: usize) -> Vec<usize> {
+        let p = &self.points[idx];
+        let (cx, cy) = Self::key(p, self.eps);
+        let eps_sq = self.eps * self.eps;
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &other in bucket {
+                        if self.points[other].distance_sq(p) <= eps_sq {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs DBSCAN over `points` with the given parameters.
+///
+/// The result's clusters are reported in order of discovery (by lowest seed
+/// index) with their member index lists sorted.
+pub fn dbscan(points: &[Point], params: &ClusteringParams) -> DbscanResult {
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+
+    if points.is_empty() {
+        return DbscanResult {
+            clusters: Vec::new(),
+            noise: Vec::new(),
+        };
+    }
+
+    let grid = NeighborGrid::build(points, params.eps);
+    let mut labels = vec![UNVISITED; points.len()];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..points.len() {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        let neighbors = grid.neighbors_of(start);
+        if neighbors.len() < params.min_pts {
+            labels[start] = NOISE;
+            continue;
+        }
+        // `start` is a core point: begin a new cluster and expand it.
+        let cluster_id = clusters.len() as u32;
+        clusters.push(Vec::new());
+        labels[start] = cluster_id;
+        clusters[cluster_id as usize].push(start);
+
+        let mut frontier: Vec<usize> = neighbors;
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let q = frontier[cursor];
+            cursor += 1;
+            if labels[q] == NOISE {
+                // Border point previously marked noise: claim it.
+                labels[q] = cluster_id;
+                clusters[cluster_id as usize].push(q);
+                continue;
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster_id;
+            clusters[cluster_id as usize].push(q);
+            let q_neighbors = grid.neighbors_of(q);
+            if q_neighbors.len() >= params.min_pts {
+                // `q` is itself a core point: its neighbourhood joins the
+                // expansion frontier.
+                frontier.extend(q_neighbors);
+            }
+        }
+    }
+
+    for members in &mut clusters {
+        members.sort_unstable();
+        members.dedup();
+    }
+    let noise = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, &l)| (l == NOISE).then_some(idx))
+        .collect();
+    DbscanResult { clusters, noise }
+}
+
+/// Brute-force DBSCAN used as a test oracle: identical semantics, O(n²)
+/// neighbour search.
+#[doc(hidden)]
+pub fn dbscan_bruteforce(points: &[Point], params: &ClusteringParams) -> DbscanResult {
+    // Same algorithm with a linear-scan neighbour query; kept separate so the
+    // grid-accelerated version can be validated against it.
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+
+    let neighbors_of = |idx: usize| -> Vec<usize> {
+        let eps_sq = params.eps * params.eps;
+        points
+            .iter()
+            .enumerate()
+            .filter_map(|(j, q)| (points[idx].distance_sq(q) <= eps_sq).then_some(j))
+            .collect()
+    };
+
+    let mut labels = vec![UNVISITED; points.len()];
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for start in 0..points.len() {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        let neighbors = neighbors_of(start);
+        if neighbors.len() < params.min_pts {
+            labels[start] = NOISE;
+            continue;
+        }
+        let cluster_id = clusters.len() as u32;
+        clusters.push(Vec::new());
+        labels[start] = cluster_id;
+        clusters[cluster_id as usize].push(start);
+        let mut frontier = neighbors;
+        let mut cursor = 0;
+        while cursor < frontier.len() {
+            let q = frontier[cursor];
+            cursor += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster_id;
+                clusters[cluster_id as usize].push(q);
+                continue;
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster_id;
+            clusters[cluster_id as usize].push(q);
+            let q_neighbors = neighbors_of(q);
+            if q_neighbors.len() >= params.min_pts {
+                frontier.extend(q_neighbors);
+            }
+        }
+    }
+    for members in &mut clusters {
+        members.sort_unstable();
+        members.dedup();
+    }
+    let noise = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, &l)| (l == NOISE).then_some(idx))
+        .collect();
+    DbscanResult { clusters, noise }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = dbscan(&[], &ClusteringParams::new(1.0, 2));
+        assert!(r.clusters.is_empty());
+        assert!(r.noise.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_min_pts_one() {
+        let p = pts(&[(0.0, 0.0)]);
+        let r = dbscan(&p, &ClusteringParams::new(1.0, 2));
+        assert!(r.clusters.is_empty());
+        assert_eq!(r.noise, vec![0]);
+
+        let r1 = dbscan(&p, &ClusteringParams::new(1.0, 1));
+        assert_eq!(r1.clusters, vec![vec![0]]);
+        assert!(r1.noise.is_empty());
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut coords = Vec::new();
+        for i in 0..5 {
+            coords.push((i as f64 * 0.5, 0.0));
+        }
+        for i in 0..4 {
+            coords.push((100.0 + i as f64 * 0.5, 0.0));
+        }
+        let p = pts(&coords);
+        let r = dbscan(&p, &ClusteringParams::new(1.0, 3));
+        assert_eq!(r.clusters.len(), 2);
+        assert_eq!(r.clusters[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.clusters[1], vec![5, 6, 7, 8]);
+        assert!(r.noise.is_empty());
+    }
+
+    #[test]
+    fn isolated_outlier_is_noise() {
+        let p = pts(&[
+            (0.0, 0.0),
+            (0.5, 0.0),
+            (1.0, 0.0),
+            (0.5, 0.5),
+            (500.0, 500.0),
+        ]);
+        let r = dbscan(&p, &ClusteringParams::new(1.0, 3));
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.noise, vec![4]);
+        assert_eq!(r.label_of(0), Some(0));
+        assert_eq!(r.label_of(4), None);
+    }
+
+    #[test]
+    fn chain_is_density_connected() {
+        // A chain of points each within eps of the next: all of them are
+        // density-reachable from the ends through core points.
+        let p: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 0.9, 0.0)).collect();
+        let r = dbscan(&p, &ClusteringParams::new(1.0, 2));
+        assert_eq!(r.clusters.len(), 1);
+        assert_eq!(r.clusters[0].len(), 10);
+    }
+
+    #[test]
+    fn border_point_between_two_clusters_assigned_once() {
+        // Two dense blobs share one border point in the middle; it must end
+        // up in exactly one cluster so that clusters never overlap.
+        let mut coords = vec![];
+        for i in 0..4 {
+            coords.push((i as f64 * 0.4, 0.0)); // left blob: 0..4
+        }
+        coords.push((2.0, 0.0)); // border point, index 4
+        for i in 0..4 {
+            coords.push((2.8 + i as f64 * 0.4, 0.0)); // right blob: 5..9
+        }
+        let p = pts(&coords);
+        let r = dbscan(&p, &ClusteringParams::new(0.9, 3));
+        let total: usize = r.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total + r.noise.len(), p.len());
+        let appearing: usize = r
+            .clusters
+            .iter()
+            .map(|c| c.iter().filter(|&&i| i == 4).count())
+            .sum();
+        assert_eq!(appearing, 1, "border point must belong to exactly one cluster");
+    }
+
+    #[test]
+    fn clusters_partition_points_with_noise() {
+        let p: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 7) as f64 * 3.0, (i / 7) as f64 * 3.0))
+            .collect();
+        let r = dbscan(&p, &ClusteringParams::new(3.5, 4));
+        let mut all: Vec<usize> = r.clusters.iter().flatten().copied().collect();
+        all.extend(&r.noise);
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid_matches_bruteforce_on_structured_scene() {
+        let mut coords = Vec::new();
+        for i in 0..20 {
+            coords.push((i as f64 * 7.0, (i % 3) as f64 * 5.0));
+        }
+        for i in 0..15 {
+            coords.push((200.0 + (i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0));
+        }
+        let p = pts(&coords);
+        for (eps, m) in [(3.0, 2), (6.0, 3), (10.0, 4), (25.0, 5)] {
+            let params = ClusteringParams::new(eps, m);
+            let fast = dbscan(&p, &params);
+            let slow = dbscan_bruteforce(&p, &params);
+            assert_eq!(fast.clusters, slow.clusters, "eps={eps} m={m}");
+            assert_eq!(fast.noise, slow.noise, "eps={eps} m={m}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 0..60)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        /// The grid-accelerated implementation agrees with the brute-force
+        /// oracle.
+        #[test]
+        fn grid_equals_bruteforce(points in arb_points(), eps in 0.5..40.0f64, min_pts in 1usize..6) {
+            let params = ClusteringParams::new(eps, min_pts);
+            let fast = dbscan(&points, &params);
+            let slow = dbscan_bruteforce(&points, &params);
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// Clusters and noise together partition the input exactly.
+        #[test]
+        fn output_is_partition(points in arb_points(), eps in 0.5..40.0f64, min_pts in 1usize..6) {
+            let params = ClusteringParams::new(eps, min_pts);
+            let r = dbscan(&points, &params);
+            let mut all: Vec<usize> = r.clusters.iter().flatten().copied().collect();
+            all.extend(&r.noise);
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..points.len()).collect::<Vec<_>>());
+        }
+
+        /// Every cluster is non-empty and contains at least one core point
+        /// (the seed it was grown from).
+        #[test]
+        fn clusters_contain_a_core_point(points in arb_points(), eps in 0.5..40.0f64, min_pts in 1usize..6) {
+            let params = ClusteringParams::new(eps, min_pts);
+            let r = dbscan(&points, &params);
+            let eps_sq = eps * eps;
+            for c in &r.clusters {
+                prop_assert!(!c.is_empty());
+                let has_core = c.iter().any(|&i| {
+                    points
+                        .iter()
+                        .filter(|q| points[i].distance_sq(q) <= eps_sq)
+                        .count()
+                        >= min_pts
+                });
+                prop_assert!(has_core);
+            }
+        }
+
+        /// No noise point is a core point: every core point ends up in some
+        /// cluster.
+        #[test]
+        fn noise_points_are_not_core(points in arb_points(), eps in 0.5..40.0f64, min_pts in 1usize..6) {
+            let params = ClusteringParams::new(eps, min_pts);
+            let r = dbscan(&points, &params);
+            let eps_sq = eps * eps;
+            for &i in &r.noise {
+                let degree = points
+                    .iter()
+                    .filter(|q| points[i].distance_sq(q) <= eps_sq)
+                    .count();
+                prop_assert!(degree < min_pts);
+            }
+        }
+    }
+}

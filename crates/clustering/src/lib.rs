@@ -1,0 +1,25 @@
+//! Density-based snapshot clustering.
+//!
+//! The first phase of the gathering-discovery pipeline (§III of the paper)
+//! runs density-based clustering on the positions of all objects at every
+//! time point of the database, producing the *snapshot cluster database*
+//! `CDB = {C_{t1}, ..., C_{tn}}`.
+//!
+//! * [`dbscan`] — a DBSCAN implementation with a grid-accelerated
+//!   ε-neighbourhood search (Ester et al., KDD 1996 — reference [14] of the
+//!   paper).
+//! * [`snapshot`] — [`SnapshotCluster`], the per-timestamp cluster sets and
+//!   the [`ClusterDatabase`] consumed by crowd discovery.
+//! * [`prefilter`] — an optional CuTS-style pre-partitioning step that uses
+//!   simplified trajectories to split the object population into independent
+//!   groups before clustering each time window.
+
+pub mod dbscan;
+pub mod params;
+pub mod prefilter;
+pub mod snapshot;
+
+pub use dbscan::{dbscan, DbscanResult};
+pub use params::ClusteringParams;
+pub use prefilter::segment_prefilter;
+pub use snapshot::{ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet};

@@ -1,0 +1,70 @@
+//! Clustering parameters.
+
+/// Parameters of the density-based snapshot clustering.
+///
+/// These are the `ε` (neighbourhood radius, metres) and `m` (minimum number
+/// of neighbours for a core point) parameters of DBSCAN from Definition 1 of
+/// the paper.  The paper's Beijing-taxi preprocessing uses `ε = 200 m` and
+/// `m = 5`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringParams {
+    /// Neighbourhood radius `ε` in metres.
+    pub eps: f64,
+    /// Minimum neighbourhood size `m` for a point to be a core point
+    /// (the point itself counts as its own neighbour).
+    pub min_pts: usize,
+}
+
+impl ClusteringParams {
+    /// Creates clustering parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not strictly positive and finite, or if `min_pts`
+    /// is zero.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive and finite, got {eps}"
+        );
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        ClusteringParams { eps, min_pts }
+    }
+
+    /// The setting used by the paper's preprocessing of the Beijing taxi
+    /// dataset: `ε = 200 m`, `m = 5`.
+    pub fn paper_default() -> Self {
+        ClusteringParams::new(200.0, 5)
+    }
+}
+
+impl Default for ClusteringParams {
+    fn default() -> Self {
+        ClusteringParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let p = ClusteringParams::paper_default();
+        assert_eq!(p.eps, 200.0);
+        assert_eq!(p.min_pts, 5);
+        assert_eq!(ClusteringParams::default(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_zero_eps() {
+        let _ = ClusteringParams::new(0.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn rejects_zero_min_pts() {
+        let _ = ClusteringParams::new(100.0, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! CuTS-style pre-partitioning of the object population.
+//!
+//! The paper notes (§III, phase 1) that snapshot clustering can be sped up by
+//! first simplifying the trajectories with Douglas–Peucker and clustering the
+//! resulting line segments, so that the per-timestamp DBSCAN only has to look
+//! at objects that could possibly be density-connected during a time window.
+//!
+//! [`segment_prefilter`] implements this idea as a *partitioning* step: for a
+//! given time window it groups objects into connected components such that
+//! two objects in different components are guaranteed to be farther apart
+//! than `eps` at every tick of the window.  Clustering each component
+//! independently therefore yields exactly the same snapshot clusters as
+//! clustering the whole population.
+//!
+//! The guarantee is obtained conservatively from the simplified
+//! trajectories: an object's position at any tick of the window deviates from
+//! its simplified polyline by at most the simplification tolerance, so two
+//! objects whose simplified sub-polylines stay farther apart than
+//! `eps + 2·tolerance` throughout the window can never be ε-neighbours.
+
+use std::collections::HashMap;
+
+use gpdt_geo::Point;
+use gpdt_trajectory::{simplify::simplify_trajectory, ObjectId, TimeInterval, TrajectoryDatabase};
+
+/// A partition of the object population for one time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Groups of objects; objects in different groups are never within `eps`
+    /// of each other during the window.
+    pub groups: Vec<Vec<ObjectId>>,
+}
+
+impl Partition {
+    /// Total number of objects covered by the partition.
+    pub fn total_objects(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+/// Groups the objects of `db` into independently clusterable components for
+/// the time window `window`.
+///
+/// `eps` is the DBSCAN radius that will later be used for snapshot
+/// clustering; `tolerance` is the Douglas–Peucker tolerance applied to each
+/// trajectory before measuring separations.
+pub fn segment_prefilter(
+    db: &TrajectoryDatabase,
+    window: TimeInterval,
+    eps: f64,
+    tolerance: f64,
+) -> Partition {
+    // Conservative separation threshold: simplified positions may be off by
+    // up to `tolerance` for each of the two objects.
+    let threshold = eps + 2.0 * tolerance;
+
+    // Sample each object's simplified position at the window boundaries and a
+    // midpoint, plus its bounding box over the window; two objects whose
+    // window bounding boxes (padded by the threshold) do not intersect can
+    // never interact.
+    struct Summary {
+        id: ObjectId,
+        min: Point,
+        max: Point,
+    }
+
+    let mut summaries: Vec<Summary> = Vec::new();
+    for traj in db.iter() {
+        let Some(lifespan) = window.intersect(&traj.lifespan()) else {
+            continue;
+        };
+        let simplified = simplify_trajectory(traj, tolerance);
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for t in lifespan.iter() {
+            if let Some(p) = simplified.position_at(t) {
+                min.x = min.x.min(p.x);
+                min.y = min.y.min(p.y);
+                max.x = max.x.max(p.x);
+                max.y = max.y.max(p.y);
+            }
+        }
+        if min.x.is_finite() {
+            summaries.push(Summary {
+                id: traj.id(),
+                min,
+                max,
+            });
+        }
+    }
+
+    // Union-find over objects whose padded window boxes intersect.
+    let n = summaries.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let boxes_interact = |a: &Summary, b: &Summary| -> bool {
+        a.min.x - threshold <= b.max.x
+            && b.min.x - threshold <= a.max.x
+            && a.min.y - threshold <= b.max.y
+            && b.min.y - threshold <= a.max.y
+    };
+    for (i, left) in summaries.iter().enumerate() {
+        for (j, right) in summaries.iter().enumerate().skip(i + 1) {
+            if boxes_interact(left, right) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    let mut groups: HashMap<usize, Vec<ObjectId>> = HashMap::new();
+    for (i, summary) in summaries.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(summary.id);
+    }
+    let mut groups: Vec<Vec<ObjectId>> = groups.into_values().collect();
+    for g in &mut groups {
+        g.sort();
+    }
+    groups.sort();
+    Partition { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_trajectory::Trajectory;
+
+    fn stationary(id: u32, x: f64, y: f64, start: u32, end: u32) -> Trajectory {
+        Trajectory::from_points(ObjectId::new(id), vec![(start, (x, y)), (end, (x, y))])
+    }
+
+    #[test]
+    fn far_apart_objects_are_separated() {
+        let db = TrajectoryDatabase::from_trajectories(vec![
+            stationary(1, 0.0, 0.0, 0, 10),
+            stationary(2, 5.0, 0.0, 0, 10),
+            stationary(3, 10_000.0, 0.0, 0, 10),
+        ]);
+        let p = segment_prefilter(&db, TimeInterval::new(0, 10), 50.0, 1.0);
+        assert_eq!(p.groups.len(), 2);
+        assert_eq!(p.total_objects(), 3);
+        assert_eq!(
+            p.groups[0],
+            vec![ObjectId::new(1), ObjectId::new(2)]
+        );
+        assert_eq!(p.groups[1], vec![ObjectId::new(3)]);
+    }
+
+    #[test]
+    fn objects_outside_window_are_excluded() {
+        let db = TrajectoryDatabase::from_trajectories(vec![
+            stationary(1, 0.0, 0.0, 0, 5),
+            stationary(2, 0.0, 0.0, 50, 60),
+        ]);
+        let p = segment_prefilter(&db, TimeInterval::new(0, 10), 50.0, 1.0);
+        assert_eq!(p.total_objects(), 1);
+        assert_eq!(p.groups[0], vec![ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn moving_objects_that_cross_are_grouped() {
+        // Two objects start far apart but cross paths inside the window.
+        let a = Trajectory::from_points(
+            ObjectId::new(1),
+            vec![(0, (0.0, 0.0)), (10, (1000.0, 0.0))],
+        );
+        let b = Trajectory::from_points(
+            ObjectId::new(2),
+            vec![(0, (1000.0, 10.0)), (10, (0.0, 10.0))],
+        );
+        let db = TrajectoryDatabase::from_trajectories(vec![a, b]);
+        let p = segment_prefilter(&db, TimeInterval::new(0, 10), 50.0, 1.0);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].len(), 2);
+    }
+
+    #[test]
+    fn partition_is_safe_for_dbscan() {
+        // Objects in different groups are farther apart than eps at every
+        // tick of the window, so clustering per group equals clustering the
+        // whole set.
+        let db = TrajectoryDatabase::from_trajectories(vec![
+            stationary(1, 0.0, 0.0, 0, 20),
+            stationary(2, 30.0, 0.0, 0, 20),
+            stationary(3, 2_000.0, 0.0, 0, 20),
+            stationary(4, 2_030.0, 0.0, 0, 20),
+        ]);
+        let eps = 100.0;
+        let window = TimeInterval::new(0, 20);
+        let p = segment_prefilter(&db, window, eps, 5.0);
+        assert_eq!(p.groups.len(), 2);
+        for t in window.iter() {
+            let snap = db.snapshot(t);
+            for g1 in &p.groups {
+                for g2 in &p.groups {
+                    if g1 == g2 {
+                        continue;
+                    }
+                    for &o1 in g1 {
+                        for &o2 in g2 {
+                            let p1 = snap.position_of(o1).unwrap();
+                            let p2 = snap.position_of(o2).unwrap();
+                            assert!(p1.distance(&p2) > eps);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_gives_empty_partition() {
+        let db = TrajectoryDatabase::new();
+        let p = segment_prefilter(&db, TimeInterval::new(0, 10), 50.0, 1.0);
+        assert!(p.groups.is_empty());
+        assert_eq!(p.total_objects(), 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! Snapshot clusters and the snapshot-cluster database `CDB`.
+
+use gpdt_geo::{hausdorff_distance, hausdorff_within, Mbr, Point};
+use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp, TrajectoryDatabase};
+
+use crate::dbscan::dbscan;
+use crate::params::ClusteringParams;
+
+/// A snapshot cluster (Definition 1): a maximal group of objects whose
+/// positions at one timestamp are density-connected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotCluster {
+    time: Timestamp,
+    members: Vec<ObjectId>,
+    points: Vec<Point>,
+    mbr: Mbr,
+}
+
+impl SnapshotCluster {
+    /// Creates a cluster from parallel member/point lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty or have different lengths.
+    pub fn new(time: Timestamp, members: Vec<ObjectId>, points: Vec<Point>) -> Self {
+        assert!(!members.is_empty(), "a snapshot cluster cannot be empty");
+        assert_eq!(
+            members.len(),
+            points.len(),
+            "members and points must be parallel"
+        );
+        let mut pairs: Vec<(ObjectId, Point)> =
+            members.into_iter().zip(points).collect();
+        pairs.sort_by_key(|(id, _)| *id);
+        let members: Vec<ObjectId> = pairs.iter().map(|(id, _)| *id).collect();
+        let points: Vec<Point> = pairs.iter().map(|(_, p)| *p).collect();
+        let mbr = Mbr::from_points(&points).expect("non-empty");
+        SnapshotCluster {
+            time,
+            members,
+            points,
+            mbr,
+        }
+    }
+
+    /// The timestamp of the cluster.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// Member object ids, sorted.
+    pub fn members(&self) -> &[ObjectId] {
+        &self.members
+    }
+
+    /// Member positions, parallel to [`Self::members`].
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of member objects (`|c_t|`, compared against the crowd support
+    /// threshold `mc`).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false`: clusters are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The minimum bounding rectangle of the member positions.
+    pub fn mbr(&self) -> &Mbr {
+        &self.mbr
+    }
+
+    /// Centroid of the member positions.
+    pub fn centroid(&self) -> Point {
+        Point::centroid(&self.points).expect("non-empty")
+    }
+
+    /// Returns `true` if the object is a member.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// Exact Hausdorff distance to another cluster.
+    pub fn hausdorff_to(&self, other: &SnapshotCluster) -> f64 {
+        hausdorff_distance(&self.points, &other.points)
+    }
+
+    /// Threshold test `dH(self, other) ≤ delta` with early exit.
+    pub fn within_hausdorff(&self, other: &SnapshotCluster, delta: f64) -> bool {
+        hausdorff_within(&self.points, &other.points, delta)
+    }
+}
+
+/// Identifier of a snapshot cluster inside a [`ClusterDatabase`]: the
+/// timestamp and the position within that timestamp's cluster set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClusterId {
+    /// The timestamp of the cluster.
+    pub time: Timestamp,
+    /// Index within the cluster set of that timestamp.
+    pub index: usize,
+}
+
+impl ClusterId {
+    /// Creates a cluster id.
+    pub const fn new(time: Timestamp, index: usize) -> Self {
+        ClusterId { time, index }
+    }
+}
+
+/// All snapshot clusters of one timestamp (`C_t` in the paper).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotClusterSet {
+    /// The timestamp shared by all clusters in the set.
+    pub time: Timestamp,
+    /// The clusters, in discovery order.
+    pub clusters: Vec<SnapshotCluster>,
+}
+
+impl SnapshotClusterSet {
+    /// Number of clusters at this timestamp.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` if no cluster exists at this timestamp.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Iterates over `(ClusterId, &SnapshotCluster)` pairs.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (ClusterId, &SnapshotCluster)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| (ClusterId::new(self.time, i), c))
+    }
+}
+
+/// The snapshot-cluster database `CDB`: one [`SnapshotClusterSet`] per
+/// timestamp over a contiguous time interval.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterDatabase {
+    sets: Vec<SnapshotClusterSet>,
+}
+
+impl ClusterDatabase {
+    /// Creates an empty cluster database.
+    pub fn new() -> Self {
+        ClusterDatabase::default()
+    }
+
+    /// Builds the cluster database by clustering every snapshot of the
+    /// trajectory database over its full time domain.
+    ///
+    /// Objects present at a timestamp (after linear interpolation) are
+    /// clustered with DBSCAN; noise objects simply do not appear in any
+    /// cluster for that timestamp.
+    pub fn build(db: &TrajectoryDatabase, params: &ClusteringParams) -> Self {
+        match db.time_domain() {
+            Some(domain) => Self::build_interval(db, params, domain),
+            None => ClusterDatabase::new(),
+        }
+    }
+
+    /// Builds the cluster database over an explicit time interval.
+    pub fn build_interval(
+        db: &TrajectoryDatabase,
+        params: &ClusteringParams,
+        interval: TimeInterval,
+    ) -> Self {
+        let sets = interval
+            .iter()
+            .map(|t| Self::cluster_snapshot(db, params, t))
+            .collect();
+        ClusterDatabase { sets }
+    }
+
+    /// Builds the cluster database in parallel across timestamps using
+    /// `threads` worker threads.
+    ///
+    /// Produces exactly the same result as [`ClusterDatabase::build_interval`];
+    /// per-timestamp clustering is embarrassingly parallel.
+    pub fn build_parallel(
+        db: &TrajectoryDatabase,
+        params: &ClusteringParams,
+        interval: TimeInterval,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let ticks: Vec<Timestamp> = interval.iter().collect();
+        let mut sets: Vec<Option<SnapshotClusterSet>> = vec![None; ticks.len()];
+        let chunk = ticks.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (tick_chunk, out_chunk) in ticks.chunks(chunk).zip(sets.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (t, slot) in tick_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(Self::cluster_snapshot(db, params, *t));
+                    }
+                });
+            }
+        })
+        .expect("clustering worker panicked");
+        ClusterDatabase {
+            sets: sets.into_iter().map(|s| s.expect("filled")).collect(),
+        }
+    }
+
+    fn cluster_snapshot(
+        db: &TrajectoryDatabase,
+        params: &ClusteringParams,
+        t: Timestamp,
+    ) -> SnapshotClusterSet {
+        let snapshot = db.snapshot(t);
+        let points: Vec<Point> = snapshot.positions.iter().map(|(_, p)| *p).collect();
+        let result = dbscan(&points, params);
+        let clusters = result
+            .clusters
+            .into_iter()
+            .map(|member_indices| {
+                let members: Vec<ObjectId> = member_indices
+                    .iter()
+                    .map(|&i| snapshot.positions[i].0)
+                    .collect();
+                let pts: Vec<Point> = member_indices.iter().map(|&i| points[i]).collect();
+                SnapshotCluster::new(t, members, pts)
+            })
+            .collect();
+        SnapshotClusterSet { time: t, clusters }
+    }
+
+    /// Creates a database directly from per-timestamp cluster sets.
+    ///
+    /// The sets must be ordered by timestamp and contiguous (each timestamp
+    /// exactly one larger than the previous).  Used by tests and by the
+    /// synthetic crowd generators in the benchmark harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets are not contiguous in time.
+    pub fn from_sets(sets: Vec<SnapshotClusterSet>) -> Self {
+        for w in sets.windows(2) {
+            assert_eq!(
+                w[1].time,
+                w[0].time + 1,
+                "cluster sets must cover contiguous timestamps"
+            );
+        }
+        ClusterDatabase { sets }
+    }
+
+    /// Number of timestamps covered.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if the database covers no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The covered time interval, or `None` if empty.
+    pub fn time_domain(&self) -> Option<TimeInterval> {
+        match (self.sets.first(), self.sets.last()) {
+            (Some(first), Some(last)) => Some(TimeInterval::new(first.time, last.time)),
+            _ => None,
+        }
+    }
+
+    /// The cluster set at timestamp `t`, if covered.
+    pub fn set_at(&self, t: Timestamp) -> Option<&SnapshotClusterSet> {
+        let first = self.sets.first()?.time;
+        if t < first {
+            return None;
+        }
+        self.sets.get((t - first) as usize)
+    }
+
+    /// The cluster referenced by `id`, if it exists.
+    pub fn cluster(&self, id: ClusterId) -> Option<&SnapshotCluster> {
+        self.set_at(id.time)?.clusters.get(id.index)
+    }
+
+    /// Iterates over the cluster sets in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &SnapshotClusterSet> {
+        self.sets.iter()
+    }
+
+    /// Total number of snapshot clusters across all timestamps.
+    pub fn total_clusters(&self) -> usize {
+        self.sets.iter().map(|s| s.clusters.len()).sum()
+    }
+
+    /// Appends the cluster sets of a newer batch (incremental update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `newer` does not start exactly one tick after the current
+    /// last timestamp (or if either database is empty, in which case there is
+    /// nothing meaningful to append to/from).
+    pub fn append(&mut self, newer: ClusterDatabase) {
+        let last = self
+            .time_domain()
+            .expect("cannot append to an empty cluster database")
+            .end;
+        let newer_start = newer
+            .time_domain()
+            .expect("cannot append an empty cluster database")
+            .start;
+        assert_eq!(
+            newer_start,
+            last + 1,
+            "appended batch must start right after the existing time domain"
+        );
+        self.sets.extend(newer.sets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_trajectory::Trajectory;
+
+    fn cluster(time: Timestamp, ids: &[u32], pts: &[(f64, f64)]) -> SnapshotCluster {
+        SnapshotCluster::new(
+            time,
+            ids.iter().map(|&i| ObjectId::new(i)).collect(),
+            pts.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        )
+    }
+
+    #[test]
+    fn cluster_members_sorted_and_queried() {
+        let c = cluster(3, &[5, 1, 9], &[(5.0, 0.0), (1.0, 0.0), (9.0, 0.0)]);
+        assert_eq!(
+            c.members(),
+            &[ObjectId::new(1), ObjectId::new(5), ObjectId::new(9)]
+        );
+        // Points stay parallel to their member after sorting.
+        assert_eq!(c.points()[0], Point::new(1.0, 0.0));
+        assert_eq!(c.points()[2], Point::new(9.0, 0.0));
+        assert!(c.contains(ObjectId::new(5)));
+        assert!(!c.contains(ObjectId::new(2)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.time(), 3);
+        assert_eq!(c.mbr(), &Mbr::new(1.0, 0.0, 9.0, 0.0));
+        assert_eq!(c.centroid(), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_cluster_rejected() {
+        let _ = SnapshotCluster::new(0, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_rejected() {
+        let _ = SnapshotCluster::new(0, vec![ObjectId::new(1)], vec![]);
+    }
+
+    #[test]
+    fn hausdorff_between_clusters() {
+        let a = cluster(0, &[1, 2], &[(0.0, 0.0), (1.0, 0.0)]);
+        let b = cluster(1, &[1, 2], &[(0.0, 3.0), (1.0, 3.0)]);
+        assert_eq!(a.hausdorff_to(&b), 3.0);
+        assert!(a.within_hausdorff(&b, 3.0));
+        assert!(!a.within_hausdorff(&b, 2.9));
+    }
+
+    fn dense_blob_db() -> TrajectoryDatabase {
+        // Five objects stay clustered near the origin for ticks 0..=2, one
+        // object wanders far away.
+        let mut trajs = Vec::new();
+        for i in 0..5u32 {
+            let x = i as f64 * 10.0;
+            trajs.push(Trajectory::from_points(
+                ObjectId::new(i),
+                vec![(0, (x, 0.0)), (1, (x, 5.0)), (2, (x, 10.0))],
+            ));
+        }
+        trajs.push(Trajectory::from_points(
+            ObjectId::new(99),
+            vec![(0, (5000.0, 5000.0)), (2, (6000.0, 6000.0))],
+        ));
+        TrajectoryDatabase::from_trajectories(trajs)
+    }
+
+    #[test]
+    fn build_produces_one_cluster_per_tick() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let cdb = ClusterDatabase::build(&db, &params);
+        assert_eq!(cdb.len(), 3);
+        assert_eq!(cdb.time_domain(), Some(TimeInterval::new(0, 2)));
+        for set in cdb.iter() {
+            assert_eq!(set.len(), 1, "tick {}", set.time);
+            assert_eq!(set.clusters[0].len(), 5);
+            assert!(!set.clusters[0].contains(ObjectId::new(99)));
+        }
+        assert_eq!(cdb.total_clusters(), 3);
+    }
+
+    #[test]
+    fn build_parallel_matches_sequential() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let interval = db.time_domain().unwrap();
+        let seq = ClusterDatabase::build_interval(&db, &params, interval);
+        for threads in [1, 2, 4] {
+            let par = ClusterDatabase::build_parallel(&db, &params, interval, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(seq.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn set_at_and_cluster_lookup() {
+        let db = dense_blob_db();
+        let cdb = ClusterDatabase::build(&db, &ClusteringParams::new(15.0, 3));
+        assert!(cdb.set_at(1).is_some());
+        assert!(cdb.set_at(3).is_none());
+        assert!(cdb.cluster(ClusterId::new(1, 0)).is_some());
+        assert!(cdb.cluster(ClusterId::new(1, 5)).is_none());
+        assert!(cdb.cluster(ClusterId::new(9, 0)).is_none());
+    }
+
+    #[test]
+    fn from_sets_requires_contiguous_time() {
+        let sets = vec![
+            SnapshotClusterSet {
+                time: 4,
+                clusters: vec![cluster(4, &[1], &[(0.0, 0.0)])],
+            },
+            SnapshotClusterSet {
+                time: 5,
+                clusters: vec![],
+            },
+        ];
+        let cdb = ClusterDatabase::from_sets(sets);
+        assert_eq!(cdb.time_domain(), Some(TimeInterval::new(4, 5)));
+        assert!(cdb.set_at(3).is_none());
+        assert_eq!(cdb.set_at(4).unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_sets_rejects_gaps() {
+        let sets = vec![
+            SnapshotClusterSet {
+                time: 0,
+                clusters: vec![],
+            },
+            SnapshotClusterSet {
+                time: 2,
+                clusters: vec![],
+            },
+        ];
+        let _ = ClusterDatabase::from_sets(sets);
+    }
+
+    #[test]
+    fn append_extends_time_domain() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let mut first = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(0, 1));
+        let second = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(2, 2));
+        first.append(second);
+        assert_eq!(first.time_domain(), Some(TimeInterval::new(0, 2)));
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "right after")]
+    fn append_rejects_non_adjacent_batch() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let mut first = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(0, 0));
+        let second = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(2, 2));
+        first.append(second);
+    }
+
+    #[test]
+    fn iter_ids_enumerates_clusters() {
+        let set = SnapshotClusterSet {
+            time: 7,
+            clusters: vec![
+                cluster(7, &[1], &[(0.0, 0.0)]),
+                cluster(7, &[2], &[(100.0, 0.0)]),
+            ],
+        };
+        let ids: Vec<ClusterId> = set.iter_ids().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ClusterId::new(7, 0), ClusterId::new(7, 1)]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Bit-vector signatures (BVS) for the TAD\* algorithm.
+//!
+//! §III-B.2 of the paper represents the occurrence of each object in a crowd
+//! as an `n`-bit vector (one bit per snapshot cluster).  Counting an object's
+//! occurrences then becomes a population count, and dividing a crowd into
+//! sub-crowds becomes a bitwise AND with a mask — the signatures themselves
+//! are built once and reused across all recursion levels of TAD\*.
+//!
+//! [`BitVector`] is a little word-parallel bit vector.  Its population count
+//! is implemented with the paper's binary-tree-of-masks technique
+//! ([`popcount_tree`]); a naive bit-loop ([`BitVector::count_ones_naive`]) is
+//! kept for the TAD-vs-TAD\* ablation benchmarks.
+
+/// Population count of one 64-bit word using the binary-tree-of-masks
+/// technique described in the paper (Knuth's "bitwise tricks"):
+/// counts are first accumulated in every 2-bit field, then 4-bit, 8-bit, ...
+/// fields, taking `log2(64) = 6` steps regardless of the word's value.
+#[inline]
+pub fn popcount_tree(mut x: u64) -> u32 {
+    const M1: u64 = 0x5555_5555_5555_5555; // 01 repeated
+    const M2: u64 = 0x3333_3333_3333_3333; // 0011 repeated
+    const M4: u64 = 0x0f0f_0f0f_0f0f_0f0f; // 00001111 repeated
+    const M8: u64 = 0x00ff_00ff_00ff_00ff;
+    const M16: u64 = 0x0000_ffff_0000_ffff;
+    const M32: u64 = 0x0000_0000_ffff_ffff;
+    x = (x & M1) + ((x >> 1) & M1);
+    x = (x & M2) + ((x >> 2) & M2);
+    x = (x & M4) + ((x >> 4) & M4);
+    x = (x & M8) + ((x >> 8) & M8);
+    x = (x & M16) + ((x >> 16) & M16);
+    x = (x & M32) + ((x >> 32) & M32);
+    x as u32
+}
+
+/// A fixed-length bit vector packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// Creates a vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVector {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVector {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Creates a vector with ones exactly in `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn range_mask(len: usize, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= len, "invalid mask range {start}..{end} for length {len}");
+        let mut v = BitVector::zeros(len);
+        for i in start..end {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero bits of storage.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range for length {}", self.len);
+        let (word, bit) = (idx / 64, idx % 64);
+        if value {
+            self.words[word] |= 1 << bit;
+        } else {
+            self.words[word] &= !(1 << bit);
+        }
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range for length {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Number of set bits, using the word-parallel tree popcount.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|&w| popcount_tree(w)).sum()
+    }
+
+    /// Number of set bits, counted one bit at a time.
+    ///
+    /// Kept as the reference implementation and as the "slow path" of the
+    /// TAD-vs-TAD\* ablation.
+    pub fn count_ones_naive(&self) -> u32 {
+        (0..self.len).filter(|&i| self.get(i)).count() as u32
+    }
+
+    /// Number of set bits within the positions selected by `mask`
+    /// (`popcount(self & mask)`), without materialising the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_ones_masked(&self, mask: &BitVector) -> u32 {
+        assert_eq!(self.len, mask.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .map(|(&a, &b)| popcount_tree(a & b))
+            .sum()
+    }
+
+    /// The bitwise AND of `self` and `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and(&self, mask: &BitVector) -> BitVector {
+        assert_eq!(self.len, mask.len, "mask length mismatch");
+        BitVector {
+            words: self
+                .words
+                .iter()
+                .zip(&mask.words)
+                .map(|(&a, &b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Indices of the set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let len = self.len;
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+            .take_while(move |&idx| idx < len)
+        })
+    }
+
+    fn clear_tail(&mut self) {
+        let used = self.len % 64;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcount_tree_matches_builtin() {
+        for x in [
+            0u64,
+            1,
+            u64::MAX,
+            0x5555_5555_5555_5555,
+            0xdead_beef_cafe_babe,
+            1 << 63,
+        ] {
+            assert_eq!(popcount_tree(x), x.count_ones(), "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn paper_example_popcount() {
+        // B(o1) = 0 1 1 0 1 1 0 0 (paper's Figure 3 table) has four 1s.
+        let bits = [0u8, 1, 1, 0, 1, 1, 0, 0];
+        let mut v = BitVector::zeros(8);
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b == 1);
+        }
+        assert_eq!(v.count_ones(), 4);
+        assert_eq!(v.count_ones_naive(), 4);
+    }
+
+    #[test]
+    fn zeros_ones_and_len() {
+        let z = BitVector::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVector::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(!o.is_empty());
+        assert!(BitVector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut v = BitVector::zeros(200);
+        for idx in [0, 63, 64, 65, 127, 128, 199] {
+            assert!(!v.get(idx));
+            v.set(idx, true);
+            assert!(v.get(idx));
+        }
+        assert_eq!(v.count_ones(), 7);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVector::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn range_mask_selects_exactly_the_interval() {
+        let m = BitVector::range_mask(10, 3, 7);
+        let expected: Vec<usize> = (3..7).collect();
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), expected);
+        assert_eq!(m.count_ones(), 4);
+        let empty = BitVector::range_mask(10, 4, 4);
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mask range")]
+    fn range_mask_rejects_reversed_range() {
+        let _ = BitVector::range_mask(10, 7, 3);
+    }
+
+    #[test]
+    fn masked_count_equals_count_of_and() {
+        let mut a = BitVector::zeros(100);
+        for i in (0..100).step_by(3) {
+            a.set(i, true);
+        }
+        let mask = BitVector::range_mask(100, 30, 80);
+        assert_eq!(a.count_ones_masked(&mask), a.and(&mask).count_ones());
+        // The AND keeps only positions in [30, 80) that are multiples of 3.
+        let expected = (30..80).filter(|i| i % 3 == 0).count() as u32;
+        assert_eq!(a.count_ones_masked(&mask), expected);
+    }
+
+    #[test]
+    fn paper_divide_example_masks() {
+        // Figure 3: the crowd has 8 clusters; removing c5 (index 4) yields
+        // masks 11110000 and 00000111 in the paper's left-to-right notation,
+        // i.e. positions 0..4 and 5..8.
+        let crowd_len = 8;
+        let mask_a = BitVector::range_mask(crowd_len, 0, 4);
+        let mask_b = BitVector::range_mask(crowd_len, 5, 8);
+
+        // B(o2) = 1 1 1 1 0 0 1 1
+        let mut o2 = BitVector::zeros(crowd_len);
+        for i in [0, 1, 2, 3, 6, 7] {
+            o2.set(i, true);
+        }
+        assert_eq!(o2.count_ones_masked(&mask_a), 4);
+        assert_eq!(o2.count_ones_masked(&mask_b), 2);
+
+        // B(o1) = 0 1 1 0 1 1 0 0
+        let mut o1 = BitVector::zeros(crowd_len);
+        for i in [1, 2, 4, 5] {
+            o1.set(i, true);
+        }
+        assert_eq!(o1.count_ones_masked(&mask_a), 2);
+        assert_eq!(o1.count_ones_masked(&mask_b), 1);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut v = BitVector::zeros(150);
+        let positions = [0usize, 5, 63, 64, 100, 149];
+        for &p in &positions {
+            v.set(p, true);
+        }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), positions.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn and_rejects_length_mismatch() {
+        let a = BitVector::zeros(10);
+        let b = BitVector::zeros(11);
+        let _ = a.and(&b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Tree popcount equals the hardware popcount for arbitrary words.
+        #[test]
+        fn popcount_tree_equals_builtin(x in any::<u64>()) {
+            prop_assert_eq!(popcount_tree(x), x.count_ones());
+        }
+
+        /// Word-parallel count equals the naive per-bit count.
+        #[test]
+        fn fast_count_equals_naive(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let mut v = BitVector::zeros(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                v.set(i, b);
+            }
+            prop_assert_eq!(v.count_ones(), v.count_ones_naive());
+            prop_assert_eq!(v.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+        }
+
+        /// Masked counting is the popcount of the AND.
+        #[test]
+        fn masked_count_is_popcount_of_and(
+            bits in proptest::collection::vec(any::<bool>(), 1..200),
+            start_frac in 0.0..1.0f64,
+            end_frac in 0.0..1.0f64,
+        ) {
+            let len = bits.len();
+            let mut v = BitVector::zeros(len);
+            for (i, &b) in bits.iter().enumerate() {
+                v.set(i, b);
+            }
+            let a = (start_frac * len as f64) as usize;
+            let b = (end_frac * len as f64) as usize;
+            let (start, end) = if a <= b { (a, b) } else { (b, a) };
+            let mask = BitVector::range_mask(len, start, end);
+            prop_assert_eq!(v.count_ones_masked(&mask), v.and(&mask).count_ones());
+        }
+
+        /// `iter_ones` agrees with `get`.
+        #[test]
+        fn iter_ones_matches_get(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut v = BitVector::zeros(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                v.set(i, b);
+            }
+            let from_iter: Vec<usize> = v.iter_ones().collect();
+            let from_get: Vec<usize> = (0..bits.len()).filter(|&i| v.get(i)).collect();
+            prop_assert_eq!(from_iter, from_get);
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Crowds and closed-crowd discovery (Algorithm 1 of the paper).
+
+use gpdt_clustering::{ClusterDatabase, ClusterId};
+use gpdt_trajectory::{TimeInterval, Timestamp};
+
+use crate::params::CrowdParams;
+use crate::range_search::{RangeSearchStrategy, TickSearcher};
+
+/// A crowd (Definition 2): a sequence of snapshot clusters at consecutive
+/// timestamps whose consecutive Hausdorff distances stay below `δ`, each with
+/// at least `mc` members, lasting at least `kc` ticks.
+///
+/// A `Crowd` value references its clusters by [`ClusterId`]; the cluster
+/// contents live in the [`ClusterDatabase`].  The same type is also used for
+/// *crowd candidates* (sequences that satisfy the distance and support
+/// constraints but are still shorter than `kc`) inside the discovery sweep
+/// and the incremental frontier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Crowd {
+    clusters: Vec<ClusterId>,
+}
+
+impl Crowd {
+    /// Creates a crowd from cluster references at consecutive timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or the timestamps are not consecutive.
+    pub fn new(clusters: Vec<ClusterId>) -> Self {
+        assert!(!clusters.is_empty(), "a crowd needs at least one cluster");
+        for w in clusters.windows(2) {
+            assert_eq!(
+                w[1].time,
+                w[0].time + 1,
+                "crowd clusters must be at consecutive timestamps"
+            );
+        }
+        Crowd { clusters }
+    }
+
+    /// A single-cluster sequence (the seed of a crowd candidate).
+    pub fn single(id: ClusterId) -> Self {
+        Crowd {
+            clusters: vec![id],
+        }
+    }
+
+    /// The referenced clusters, in time order.
+    pub fn cluster_ids(&self) -> &[ClusterId] {
+        &self.clusters
+    }
+
+    /// The number of clusters, i.e. the lifetime `Cr.τ`.
+    pub fn lifetime(&self) -> u32 {
+        self.clusters.len() as u32
+    }
+
+    /// Number of clusters (same as [`Self::lifetime`], usize-typed).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Always `false`: crowds are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First timestamp.
+    pub fn start_time(&self) -> Timestamp {
+        self.clusters[0].time
+    }
+
+    /// Last timestamp.
+    pub fn end_time(&self) -> Timestamp {
+        self.clusters[self.clusters.len() - 1].time
+    }
+
+    /// The covered time interval.
+    pub fn interval(&self) -> TimeInterval {
+        TimeInterval::new(self.start_time(), self.end_time())
+    }
+
+    /// The last cluster reference.
+    pub fn last(&self) -> ClusterId {
+        self.clusters[self.clusters.len() - 1]
+    }
+
+    /// The crowd extended by one more cluster at the next timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next.time` is not exactly one tick after the current end.
+    pub fn extended(&self, next: ClusterId) -> Crowd {
+        assert_eq!(
+            next.time,
+            self.end_time() + 1,
+            "extension cluster must be at the next timestamp"
+        );
+        let mut clusters = self.clusters.clone();
+        clusters.push(next);
+        Crowd { clusters }
+    }
+
+    /// The contiguous sub-crowd covering positions `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn sub_crowd(&self, start: usize, end: usize) -> Crowd {
+        assert!(start < end && end <= self.clusters.len(), "invalid sub-crowd range");
+        Crowd {
+            clusters: self.clusters[start..end].to_vec(),
+        }
+    }
+
+    /// Returns `true` if `self` appears in `other` as a contiguous window.
+    pub fn is_window_of(&self, other: &Crowd) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        other
+            .clusters
+            .windows(self.len())
+            .any(|w| w == self.clusters.as_slice())
+    }
+
+    /// Returns `true` if the sequence satisfies all crowd requirements of
+    /// Definition 2 against the given cluster database.
+    ///
+    /// Used by tests and by property checks; the discovery sweep maintains
+    /// the invariants incrementally and does not need to call this.
+    pub fn is_valid_crowd(&self, cdb: &ClusterDatabase, params: &CrowdParams) -> bool {
+        if self.lifetime() < params.kc {
+            return false;
+        }
+        for id in &self.clusters {
+            match cdb.cluster(*id) {
+                Some(c) if c.len() >= params.mc => {}
+                _ => return false,
+            }
+        }
+        for w in self.clusters.windows(2) {
+            let (Some(a), Some(b)) = (cdb.cluster(w[0]), cdb.cluster(w[1])) else {
+                return false;
+            };
+            if !a.within_hausdorff(b, params.delta) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Result of a closed-crowd discovery sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CrowdDiscoveryResult {
+    /// All closed crowds found (lifetime ≥ `kc`, not extensible).
+    pub closed_crowds: Vec<Crowd>,
+    /// All cluster sequences that end at the final timestamp of the swept
+    /// interval — closed crowds and still-too-short candidates alike.  This
+    /// is the set `CS` the incremental algorithm (§III-C.1) resumes from.
+    pub frontier: Vec<Crowd>,
+}
+
+impl CrowdDiscoveryResult {
+    /// Closed crowds whose last cluster is at `t` (used by tests).
+    pub fn closed_ending_at(&self, t: Timestamp) -> Vec<&Crowd> {
+        self.closed_crowds
+            .iter()
+            .filter(|c| c.end_time() == t)
+            .collect()
+    }
+}
+
+/// Closed-crowd discovery (Algorithm 1), parameterised by the range-search
+/// strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct CrowdDiscovery {
+    params: CrowdParams,
+    strategy: RangeSearchStrategy,
+}
+
+impl CrowdDiscovery {
+    /// Creates a discovery sweep with the given parameters and range-search
+    /// strategy.
+    pub fn new(params: CrowdParams, strategy: RangeSearchStrategy) -> Self {
+        CrowdDiscovery { params, strategy }
+    }
+
+    /// The crowd parameters.
+    pub fn params(&self) -> &CrowdParams {
+        &self.params
+    }
+
+    /// Runs the sweep over the whole cluster database.
+    pub fn run(&self, cdb: &ClusterDatabase) -> CrowdDiscoveryResult {
+        let Some(domain) = cdb.time_domain() else {
+            return CrowdDiscoveryResult::default();
+        };
+        self.run_resumed(cdb, domain.start, Vec::new())
+    }
+
+    /// Resumes the sweep at `start_time` with an initial candidate set
+    /// (the incremental crowd-extension entry point, §III-C.1).
+    ///
+    /// `seed` must contain only sequences ending at `start_time - 1`; the
+    /// sweep processes timestamps `start_time ..= cdb.end` and reports closed
+    /// crowds discovered from the seed onwards (seeds that cannot be extended
+    /// are emitted as closed if they are long enough).
+    pub fn run_resumed(
+        &self,
+        cdb: &ClusterDatabase,
+        start_time: Timestamp,
+        seed: Vec<Crowd>,
+    ) -> CrowdDiscoveryResult {
+        let Some(domain) = cdb.time_domain() else {
+            return CrowdDiscoveryResult {
+                closed_crowds: Vec::new(),
+                frontier: seed,
+            };
+        };
+        debug_assert!(
+            seed.iter().all(|c| c.end_time() + 1 == start_time),
+            "seed sequences must end right before the resume point"
+        );
+
+        let mut closed: Vec<Crowd> = Vec::new();
+        // V: the current crowd candidates, all ending at the previously
+        // processed timestamp.
+        let mut candidates: Vec<Crowd> = seed;
+
+        for t in start_time.max(domain.start)..=domain.end {
+            let set = cdb
+                .set_at(t)
+                .expect("contiguous cluster database covers every tick of its domain");
+            let searcher = TickSearcher::build(self.strategy, set, self.params.delta);
+
+            // Indices of clusters at `t` that extended at least one candidate;
+            // they must not seed new candidates (they are already covered by a
+            // longer sequence).
+            let mut absorbed = vec![false; set.clusters.len()];
+            let mut next_candidates: Vec<Crowd> = Vec::new();
+
+            for candidate in candidates.drain(..) {
+                let last = cdb
+                    .cluster(candidate.last())
+                    .expect("candidate clusters exist in the database");
+                let near = searcher.search(last);
+                let mut extended = false;
+                for idx in near {
+                    if set.clusters[idx].len() < self.params.mc {
+                        continue;
+                    }
+                    absorbed[idx] = true;
+                    extended = true;
+                    next_candidates.push(candidate.extended(ClusterId::new(t, idx)));
+                }
+                if !extended && candidate.lifetime() >= self.params.kc {
+                    // Lemma 1: a crowd that cannot be extended by any
+                    // qualifying cluster at the next timestamp is closed.
+                    closed.push(candidate);
+                }
+            }
+
+            // Clusters that extended nothing become fresh single-cluster
+            // candidates (provided they meet the support threshold).
+            for (idx, cluster) in set.clusters.iter().enumerate() {
+                if !absorbed[idx] && cluster.len() >= self.params.mc {
+                    next_candidates.push(Crowd::single(ClusterId::new(t, idx)));
+                }
+            }
+            candidates = next_candidates;
+        }
+
+        // End of the time domain: candidates long enough are closed crowds
+        // (they cannot be extended within this database).  All remaining
+        // candidates form the frontier for a future incremental extension.
+        for candidate in &candidates {
+            if candidate.lifetime() >= self.params.kc {
+                closed.push(candidate.clone());
+            }
+        }
+        CrowdDiscoveryResult {
+            closed_crowds: closed,
+            frontier: candidates,
+        }
+    }
+}
+
+/// Convenience wrapper: discovers all closed crowds of a cluster database.
+pub fn discover_closed_crowds(
+    cdb: &ClusterDatabase,
+    params: &CrowdParams,
+    strategy: RangeSearchStrategy,
+) -> Vec<Crowd> {
+    CrowdDiscovery::new(*params, strategy).run(cdb).closed_crowds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_clustering::{SnapshotCluster, SnapshotClusterSet};
+    use gpdt_geo::Point;
+    use gpdt_trajectory::ObjectId;
+
+    /// Builds a cluster whose points are a tight blob at (cx, cy).
+    fn blob(time: u32, ids: &[u32], cx: f64, cy: f64) -> SnapshotCluster {
+        let members: Vec<ObjectId> = ids.iter().map(|&i| ObjectId::new(i)).collect();
+        let points: Vec<Point> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, _)| Point::new(cx + k as f64, cy))
+            .collect();
+        SnapshotCluster::new(time, members, points)
+    }
+
+    fn params(mc: usize, kc: u32, delta: f64) -> CrowdParams {
+        CrowdParams::new(mc, kc, delta)
+    }
+
+    #[test]
+    fn crowd_accessors() {
+        let crowd = Crowd::new(vec![
+            ClusterId::new(3, 0),
+            ClusterId::new(4, 1),
+            ClusterId::new(5, 0),
+        ]);
+        assert_eq!(crowd.lifetime(), 3);
+        assert_eq!(crowd.len(), 3);
+        assert!(!crowd.is_empty());
+        assert_eq!(crowd.start_time(), 3);
+        assert_eq!(crowd.end_time(), 5);
+        assert_eq!(crowd.interval(), TimeInterval::new(3, 5));
+        assert_eq!(crowd.last(), ClusterId::new(5, 0));
+        let extended = crowd.extended(ClusterId::new(6, 2));
+        assert_eq!(extended.lifetime(), 4);
+        let sub = extended.sub_crowd(1, 3);
+        assert_eq!(sub.start_time(), 4);
+        assert_eq!(sub.end_time(), 5);
+        assert!(sub.is_window_of(&extended));
+        assert!(!extended.is_window_of(&sub));
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn crowd_rejects_time_gaps() {
+        let _ = Crowd::new(vec![ClusterId::new(0, 0), ClusterId::new(2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "next timestamp")]
+    fn extension_must_advance_time_by_one() {
+        let crowd = Crowd::single(ClusterId::new(5, 0));
+        let _ = crowd.extended(ClusterId::new(7, 0));
+    }
+
+    /// The running example of the paper's Figure 2: eight timestamps, cluster
+    /// rows laid out so that clusters in the same or adjacent "rows" are
+    /// within δ of each other.  With `kc = 4` the discovery must find exactly
+    /// the three closed crowds listed in Figure 2b (at t9 in the paper; here
+    /// the archive simply ends at t8).
+    fn figure2_database() -> (ClusterDatabase, Vec<Vec<u32>>) {
+        // Rows are y-positions separated by 100; δ = 150 makes same-row and
+        // adjacent-row clusters "close" while skipping a row is too far.
+        // Each cluster holds 3 objects so mc = 3 keeps every cluster eligible.
+        //
+        // Layout (timestamps 1..=8), matching the paper's Figure 2a:
+        //   row 0: c1_1 c1_2 c1_3 c1_4 c1_5 c1_6          (t1..t6)
+        //   row 1:                c2_5                      (t5)  [adjacent to row 0]
+        //   row 2:           c2_2 c2_3                      (t2..t3)  -- adjacent to row 1? no: rows 1 and 2 adjacent
+        //   row 3:                c3_5 c3_6? ...
+        // To keep the example faithful we place clusters on rows such that the
+        // paper's adjacency table holds; see the assertions below.
+        let mut sets = Vec::new();
+        let ids = |base: u32| -> Vec<u32> { vec![base, base + 1, base + 2] };
+        let row_y = |row: u32| row as f64 * 100.0;
+
+        // Per timestamp: list of (row, unique id base), where |row difference|
+        // <= 1 <=> the clusters are within δ.  The rows reproduce the paper's
+        // Figure 2a:
+        //   row 1:                     c1^6
+        //   row 2:           c1^3 c1^4 c1^5
+        //   row 3: c1^1 c1^2           c2^5
+        //   row 4:      c2^2 c2^3      c3^5
+        //   row 5:                     c2^6 c1^7 c1^8
+        //   row 6:                     c3^6
+        let layout: Vec<Vec<(u32, u32)>> = vec![
+            vec![(3, 10)],                        // t1: c1^1
+            vec![(3, 20), (4, 23)],               // t2: c1^2, c2^2
+            vec![(2, 30), (4, 33)],               // t3: c1^3, c2^3
+            vec![(2, 40)],                        // t4: c1^4
+            vec![(2, 50), (3, 53), (4, 56)],      // t5: c1^5, c2^5, c3^5
+            vec![(1, 60), (5, 63), (6, 66)],      // t6: c1^6, c2^6, c3^6
+            vec![(5, 70)],                        // t7: c1^7
+            vec![(5, 80)],                        // t8: c1^8
+        ];
+        for (i, clusters) in layout.iter().enumerate() {
+            let t = (i + 1) as u32;
+            let set = SnapshotClusterSet {
+                time: t,
+                clusters: clusters
+                    .iter()
+                    .map(|&(row, base)| blob(t, &ids(base), 0.0, row_y(row)))
+                    .collect(),
+            };
+            sets.push(set);
+        }
+        let member_bases: Vec<Vec<u32>> = layout
+            .iter()
+            .map(|cs| cs.iter().map(|&(_, b)| b).collect())
+            .collect();
+        (ClusterDatabase::from_sets(sets), member_bases)
+    }
+
+    #[test]
+    fn figure2_example_finds_expected_closed_crowds() {
+        let (cdb, _) = figure2_database();
+        let p = params(3, 4, 150.0);
+        for strategy in RangeSearchStrategy::ALL {
+            let result = CrowdDiscovery::new(p, strategy).run(&cdb);
+            let mut found: Vec<Vec<(u32, usize)>> = result
+                .closed_crowds
+                .iter()
+                .map(|c| c.cluster_ids().iter().map(|id| (id.time, id.index)).collect())
+                .collect();
+            found.sort();
+            // Expected (in (time, index-within-tick) notation):
+            //  - <c1^1..c1^4, c2^5>           = (1,0)(2,0)(3,0)(4,0)(5,1)
+            //  - <c1^1..c1^6> through row 2/1 = (1,0)(2,0)(3,0)(4,0)(5,0)(6,0)
+            //  - <c3^5, c2^6, c1^7, c1^8>     = (5,2)(6,1)(7,0)(8,0)
+            let mut expected = vec![
+                vec![(1, 0), (2, 0), (3, 0), (4, 0), (5, 1)],
+                vec![(1, 0), (2, 0), (3, 0), (4, 0), (5, 0), (6, 0)],
+                vec![(5, 2), (6, 1), (7, 0), (8, 0)],
+            ];
+            expected.sort();
+            assert_eq!(found, expected, "strategy {strategy}");
+
+            // Frontier (Figure 4's CS): the sequences ending at t8.
+            let mut frontier: Vec<Vec<(u32, usize)>> = result
+                .frontier
+                .iter()
+                .map(|c| c.cluster_ids().iter().map(|id| (id.time, id.index)).collect())
+                .collect();
+            frontier.sort();
+            let mut expected_frontier = vec![
+                vec![(5, 2), (6, 1), (7, 0), (8, 0)],
+                vec![(6, 2), (7, 0), (8, 0)],
+            ];
+            expected_frontier.sort();
+            assert_eq!(frontier, expected_frontier, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn all_closed_crowds_are_valid_and_closed() {
+        let (cdb, _) = figure2_database();
+        let p = params(3, 4, 150.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert!(!result.closed_crowds.is_empty());
+        for crowd in &result.closed_crowds {
+            assert!(crowd.is_valid_crowd(&cdb, &p));
+            // No other closed crowd strictly contains this one as a window.
+            for other in &result.closed_crowds {
+                if other == crowd {
+                    continue;
+                }
+                assert!(
+                    !(crowd.is_window_of(other) && other.len() > crowd.len()),
+                    "crowd is contained in a longer closed crowd"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_threshold_filters_small_clusters() {
+        // Three objects per cluster; mc = 4 means no crowd at all.
+        let (cdb, _) = figure2_database();
+        let p = params(4, 4, 150.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert!(result.closed_crowds.is_empty());
+        assert!(result.frontier.is_empty());
+    }
+
+    #[test]
+    fn lifetime_threshold_filters_short_sequences() {
+        let (cdb, _) = figure2_database();
+        // kc = 7: the longest chain has 6 clusters, so nothing qualifies.
+        let p = params(3, 7, 150.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert!(result.closed_crowds.is_empty());
+        // The frontier still tracks the sequences ending at t8.
+        assert_eq!(result.frontier.len(), 2);
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let cdb = ClusterDatabase::new();
+        let p = params(3, 3, 100.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert!(result.closed_crowds.is_empty());
+        assert!(result.frontier.is_empty());
+    }
+
+    #[test]
+    fn stationary_blob_yields_single_closed_crowd() {
+        // One stable blob over 10 ticks: exactly one closed crowd covering
+        // the whole interval, which is also the only frontier entry.
+        let sets: Vec<SnapshotClusterSet> = (0..10u32)
+            .map(|t| SnapshotClusterSet {
+                time: t,
+                clusters: vec![blob(t, &[1, 2, 3, 4], 50.0, 50.0)],
+            })
+            .collect();
+        let cdb = ClusterDatabase::from_sets(sets);
+        let p = params(3, 5, 100.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert_eq!(result.closed_crowds.len(), 1);
+        assert_eq!(result.closed_crowds[0].lifetime(), 10);
+        assert_eq!(result.frontier.len(), 1);
+        assert_eq!(result.frontier[0], result.closed_crowds[0]);
+    }
+
+    #[test]
+    fn moving_blob_breaks_when_jump_exceeds_delta() {
+        // The blob teleports at t=5 by more than δ: two separate closed
+        // crowds.
+        let sets: Vec<SnapshotClusterSet> = (0..10u32)
+            .map(|t| {
+                let cx = if t < 5 { 0.0 } else { 10_000.0 };
+                SnapshotClusterSet {
+                    time: t,
+                    clusters: vec![blob(t, &[1, 2, 3], cx, 0.0)],
+                }
+            })
+            .collect();
+        let cdb = ClusterDatabase::from_sets(sets);
+        let p = params(3, 4, 200.0);
+        let result = CrowdDiscovery::new(p, RangeSearchStrategy::Grid).run(&cdb);
+        assert_eq!(result.closed_crowds.len(), 2);
+        let mut lifetimes: Vec<u32> = result.closed_crowds.iter().map(Crowd::lifetime).collect();
+        lifetimes.sort_unstable();
+        assert_eq!(lifetimes, vec![5, 5]);
+    }
+
+    #[test]
+    fn discover_helper_returns_closed_crowds_only() {
+        let (cdb, _) = figure2_database();
+        let p = params(3, 4, 150.0);
+        let crowds = discover_closed_crowds(&cdb, &p, RangeSearchStrategy::BruteForce);
+        assert_eq!(crowds.len(), 3);
+    }
+}

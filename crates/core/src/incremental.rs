@@ -1,0 +1,553 @@
+//! Incremental discovery for growing trajectory databases (§III-C).
+//!
+//! When a new batch of trajectory data is appended to the database, a full
+//! re-computation becomes increasingly expensive.  The paper exploits two
+//! facts:
+//!
+//! * **Crowd extension (Lemma 4)** — only cluster sequences that end at the
+//!   last timestamp of the old database can possibly be extended; everything
+//!   else is already final.  [`CrowdDiscovery::run_resumed`] restarts
+//!   Algorithm 1 at the first new timestamp with the saved frontier as the
+//!   candidate set.
+//! * **Gathering update (Theorem 2)** — when an old crowd is extended into a
+//!   longer one, the closed gatherings to the left of the right-most invalid
+//!   cluster that lies within the old part (or at the first new cluster) are
+//!   unchanged; only the region to its right needs a fresh Test-and-Divide.
+//!
+//! [`IncrementalDiscovery`] packages both into a stateful pipeline that
+//! ingests cluster batches and maintains the set of closed crowds and closed
+//! gatherings; [`update_gatherings`] exposes the Theorem 2 optimisation on a
+//! single extended crowd for direct use and benchmarking.
+
+use gpdt_clustering::ClusterDatabase;
+use gpdt_trajectory::Timestamp;
+
+use crate::crowd::{Crowd, CrowdDiscovery};
+use crate::gathering::{
+    detect_with_occurrence, CrowdOccurrence, Gathering, TadVariant,
+};
+use crate::params::{CrowdParams, GatheringParams};
+use crate::range_search::RangeSearchStrategy;
+
+/// Re-detects the closed gatherings of an *extended* crowd, reusing the
+/// gatherings already known for its old prefix (Theorem 2).
+///
+/// * `new_crowd` — the extended crowd `⟨c_i, ..., c_n, c_{n+1}, ..., c_m⟩`;
+/// * `old_len` — the length of the old prefix (`n - i + 1`);
+/// * `old_gatherings` — the closed gatherings previously found in the prefix.
+///
+/// The occurrence table is built for the whole extended crowd (signatures are
+/// built once, as in TAD\*); the old gatherings that Theorem 2 proves stable
+/// are copied over and Test-and-Divide only runs on the part to the right of
+/// the pivot invalid cluster.
+pub fn update_gatherings(
+    new_crowd: &Crowd,
+    cdb: &ClusterDatabase,
+    old_len: usize,
+    old_gatherings: &[Gathering],
+    params: &GatheringParams,
+    kc: u32,
+    variant: TadVariant,
+) -> Vec<Gathering> {
+    assert!(
+        old_len <= new_crowd.len(),
+        "old prefix cannot be longer than the extended crowd"
+    );
+    let occ = CrowdOccurrence::build(new_crowd, cdb);
+
+    if variant == TadVariant::BruteForce {
+        // The brute-force enumerator has no divide step to restrict, so the
+        // Theorem 2 shortcut does not apply; detect over the whole crowd.
+        return detect_with_occurrence(new_crowd, &occ, params, kc, variant);
+    }
+
+    // Find the invalid clusters of the extended crowd (positions with fewer
+    // than mp participators w.r.t. the whole extended crowd).
+    let invalid = crate::gathering::find_invalid_positions(&occ, params, 0, new_crowd.len());
+
+    // The pivot: the right-most invalid cluster at a position ≤ old_len
+    // (i.e. inside the old crowd or at the first new cluster, 0-based index
+    // old_len is the first new cluster).
+    let pivot = invalid.iter().copied().filter(|&j| j <= old_len).max();
+
+    let Some(pivot) = pivot else {
+        // No invalid cluster in the reusable region: Theorem 2 gives no
+        // shortcut, fall back to a full detection on the extended crowd.
+        return detect_with_occurrence(new_crowd, &occ, params, kc, variant);
+    };
+
+    // Left of the pivot: the old closed gatherings there are still closed and
+    // unchanged.
+    let pivot_time = new_crowd.cluster_ids()[pivot].time;
+    let mut result: Vec<Gathering> = old_gatherings
+        .iter()
+        .filter(|g| g.crowd().end_time() < pivot_time)
+        .cloned()
+        .collect();
+
+    // Right of the pivot: run Test-and-Divide on that region only, reusing
+    // the signatures already built for the whole extended crowd.
+    if pivot + 1 < new_crowd.len() {
+        result.extend(crate::gathering::detect_in_range(
+            new_crowd,
+            &occ,
+            params,
+            kc,
+            variant,
+            pivot + 1,
+            new_crowd.len(),
+        ));
+    }
+    result.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
+    result
+}
+
+/// One closed crowd together with its closed gatherings.
+#[derive(Debug, Clone)]
+pub struct CrowdRecord {
+    /// The closed crowd.
+    pub crowd: Crowd,
+    /// The closed gatherings detected within it.
+    pub gatherings: Vec<Gathering>,
+}
+
+/// Summary of one incremental batch ingestion.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalUpdate {
+    /// Closed crowds that became final during this update (including old
+    /// frontier sequences that could not be extended).
+    pub new_closed_crowds: usize,
+    /// How many of those were extensions of sequences saved in the frontier
+    /// of the previous database state.
+    pub extended_from_frontier: usize,
+    /// Gatherings detected in the newly closed crowds.
+    pub new_gatherings: usize,
+}
+
+/// Stateful incremental discovery over an ever-growing cluster database.
+#[derive(Debug)]
+pub struct IncrementalDiscovery {
+    crowd_params: CrowdParams,
+    gathering_params: GatheringParams,
+    strategy: RangeSearchStrategy,
+    variant: TadVariant,
+    cdb: ClusterDatabase,
+    /// Closed crowds (with their gatherings) whose last cluster is strictly
+    /// before the current frontier time — they can never change again.
+    finalized: Vec<CrowdRecord>,
+    /// Cluster sequences ending at the last ingested timestamp (the paper's
+    /// `CS`), kept for extension; for those that are already closed crowds we
+    /// cache their gatherings so the Theorem 2 update can reuse them.
+    frontier: Vec<(Crowd, Vec<Gathering>)>,
+}
+
+impl IncrementalDiscovery {
+    /// Creates an empty incremental pipeline.
+    pub fn new(
+        crowd_params: CrowdParams,
+        gathering_params: GatheringParams,
+        strategy: RangeSearchStrategy,
+        variant: TadVariant,
+    ) -> Self {
+        IncrementalDiscovery {
+            crowd_params,
+            gathering_params,
+            strategy,
+            variant,
+            cdb: ClusterDatabase::new(),
+            finalized: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The accumulated cluster database.
+    pub fn cluster_database(&self) -> &ClusterDatabase {
+        &self.cdb
+    }
+
+    /// All currently known closed crowds (finalized ones plus frontier
+    /// sequences that are long enough and cannot yet be ruled closed or
+    /// extended — they are closed *with respect to the data seen so far*).
+    pub fn closed_crowds(&self) -> Vec<Crowd> {
+        let mut crowds: Vec<Crowd> = self.finalized.iter().map(|r| r.crowd.clone()).collect();
+        crowds.extend(
+            self.frontier
+                .iter()
+                .filter(|(c, _)| c.lifetime() >= self.crowd_params.kc)
+                .map(|(c, _)| c.clone()),
+        );
+        crowds
+    }
+
+    /// All currently known closed gatherings.
+    pub fn gatherings(&self) -> Vec<Gathering> {
+        let mut out: Vec<Gathering> = self
+            .finalized
+            .iter()
+            .flat_map(|r| r.gatherings.iter().cloned())
+            .collect();
+        out.extend(
+            self.frontier
+                .iter()
+                .filter(|(c, _)| c.lifetime() >= self.crowd_params.kc)
+                .flat_map(|(_, gs)| gs.iter().cloned()),
+        );
+        out.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
+        out
+    }
+
+    /// Ingests the next batch of snapshot clusters.
+    ///
+    /// The batch must start exactly one tick after the data ingested so far
+    /// (or may be the first batch).  Returns a summary of what changed.
+    pub fn ingest(&mut self, batch: ClusterDatabase) -> IncrementalUpdate {
+        if batch.is_empty() {
+            return IncrementalUpdate::default();
+        }
+        let resume_at: Timestamp = match self.cdb.time_domain() {
+            None => {
+                let start = batch.time_domain().expect("non-empty batch").start;
+                self.cdb = batch;
+                start
+            }
+            Some(_) => {
+                let start = batch.time_domain().expect("non-empty batch").start;
+                self.cdb.append(batch);
+                start
+            }
+        };
+
+        // Resume Algorithm 1 from the saved frontier (Lemma 4: nothing else
+        // can be extended).
+        let seeds: Vec<Crowd> = self.frontier.iter().map(|(c, _)| c.clone()).collect();
+        let old_frontier = std::mem::take(&mut self.frontier);
+        let discovery = CrowdDiscovery::new(self.crowd_params, self.strategy);
+        let result = discovery.run_resumed(&self.cdb, resume_at, seeds);
+
+        let mut update = IncrementalUpdate::default();
+
+        // Closed crowds reported by the resumed run end strictly before the
+        // new frontier; they are final.  Gatherings are detected with the
+        // Theorem 2 shortcut whenever the crowd extends an old frontier
+        // crowd that already had known gatherings.
+        for crowd in result.closed_crowds {
+            let gatherings = self.detect_for(&crowd, &old_frontier);
+            update.new_closed_crowds += 1;
+            update.new_gatherings += gatherings.len();
+            if old_frontier
+                .iter()
+                .any(|(old, _)| old.len() < crowd.len() && old.is_window_of(&crowd))
+            {
+                update.extended_from_frontier += 1;
+            }
+            if crowd.end_time() < self.cdb.time_domain().expect("non-empty").end {
+                self.finalized.push(CrowdRecord { crowd, gatherings });
+            } else {
+                // Ends at the new frontier: keep it extendable.
+                self.frontier.push((crowd, gatherings));
+            }
+        }
+        // The remaining frontier sequences (still too short to be crowds, or
+        // crowds that end at the last tick) are kept for the next batch.
+        for crowd in result.frontier {
+            if self.frontier.iter().any(|(c, _)| *c == crowd) {
+                continue;
+            }
+            let gatherings = if crowd.lifetime() >= self.crowd_params.kc {
+                self.detect_for(&crowd, &old_frontier)
+            } else {
+                Vec::new()
+            };
+            self.frontier.push((crowd, gatherings));
+        }
+        update
+    }
+
+    fn detect_for(
+        &self,
+        crowd: &Crowd,
+        old_frontier: &[(Crowd, Vec<Gathering>)],
+    ) -> Vec<Gathering> {
+        // If this crowd extends an old frontier crowd with known gatherings,
+        // use the Theorem 2 update; otherwise run TAD from scratch.
+        let best_prefix = old_frontier
+            .iter()
+            .filter(|(old, _)| {
+                old.len() <= crowd.len() && old.cluster_ids() == &crowd.cluster_ids()[..old.len()]
+            })
+            .max_by_key(|(old, _)| old.len());
+        match best_prefix {
+            Some((old, old_gatherings)) if old.lifetime() >= self.crowd_params.kc => {
+                update_gatherings(
+                    crowd,
+                    &self.cdb,
+                    old.len(),
+                    old_gatherings,
+                    &self.gathering_params,
+                    self.crowd_params.kc,
+                    self.variant,
+                )
+            }
+            _ => crate::gathering::detect_closed_gatherings(
+                crowd,
+                &self.cdb,
+                &self.gathering_params,
+                self.crowd_params.kc,
+                self.variant,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_clustering::{ClusterId, SnapshotCluster, SnapshotClusterSet};
+    use gpdt_geo::Point;
+    use gpdt_trajectory::ObjectId;
+
+    /// Builds a cluster database with a single cluster per tick whose
+    /// membership is given explicitly; all clusters sit at the same location
+    /// so every consecutive pair is within any reasonable δ.
+    fn membership_cdb(start: Timestamp, memberships: &[&[u32]]) -> ClusterDatabase {
+        let sets: Vec<SnapshotClusterSet> = memberships
+            .iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                let t = start + i as u32;
+                SnapshotClusterSet {
+                    time: t,
+                    clusters: vec![SnapshotCluster::new(
+                        t,
+                        ids.iter().map(|&i| ObjectId::new(i)).collect(),
+                        ids.iter()
+                            .enumerate()
+                            .map(|(k, _)| Point::new(k as f64, 0.0))
+                            .collect(),
+                    )],
+                }
+            })
+            .collect();
+        ClusterDatabase::from_sets(sets)
+    }
+
+    fn single_cluster_crowd(start: Timestamp, len: usize) -> Crowd {
+        Crowd::new((0..len).map(|i| ClusterId::new(start + i as u32, 0)).collect())
+    }
+
+    #[test]
+    fn update_gatherings_matches_full_recomputation() {
+        // Old crowd: positions 0..5 (objects 1-3 stable, position 3 invalid).
+        // Extension: positions 6..9 where objects 1-3 return.
+        let memberships: Vec<&[u32]> = vec![
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[7, 8, 9],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+        ];
+        let cdb = membership_cdb(0, &memberships);
+        let params = GatheringParams::new(3, 3);
+        let kc = 3;
+        let old_len = 6;
+        let old_crowd = single_cluster_crowd(0, old_len);
+        let new_crowd = single_cluster_crowd(0, memberships.len());
+
+        let old_gatherings = crate::gathering::detect_closed_gatherings(
+            &old_crowd,
+            &cdb,
+            &params,
+            kc,
+            TadVariant::TadStar,
+        );
+        // Only the prefix before the invalid cluster qualifies in the old
+        // crowd; the two positions after it are too short to host a crowd.
+        assert_eq!(old_gatherings.len(), 1);
+        assert_eq!(old_gatherings[0].lifetime(), 3);
+
+        let updated = update_gatherings(
+            &new_crowd,
+            &cdb,
+            old_len,
+            &old_gatherings,
+            &params,
+            kc,
+            TadVariant::TadStar,
+        );
+        let recomputed = crate::gathering::detect_closed_gatherings(
+            &new_crowd,
+            &cdb,
+            &params,
+            kc,
+            TadVariant::TadStar,
+        );
+        assert_eq!(updated, recomputed);
+        assert_eq!(updated.len(), 2);
+        // The stable gathering before the pivot is exactly the old one.
+        assert_eq!(updated[0], old_gatherings[0]);
+        // Right of the pivot a new, longer gathering emerged from the
+        // extension (positions 4..8).
+        assert_eq!(updated[1].lifetime(), 5);
+    }
+
+    #[test]
+    fn update_gatherings_without_reusable_pivot_falls_back() {
+        // Every cluster valid: no invalid pivot in the old region, so the
+        // update must simply recompute (and agree with recomputation).
+        let memberships: Vec<&[u32]> = vec![&[1, 2, 3]; 8];
+        let cdb = membership_cdb(0, &memberships);
+        let params = GatheringParams::new(3, 3);
+        let new_crowd = single_cluster_crowd(0, 8);
+        let old_crowd = single_cluster_crowd(0, 5);
+        let old = crate::gathering::detect_closed_gatherings(
+            &old_crowd,
+            &cdb,
+            &params,
+            3,
+            TadVariant::TadStar,
+        );
+        let updated =
+            update_gatherings(&new_crowd, &cdb, 5, &old, &params, 3, TadVariant::TadStar);
+        let recomputed = crate::gathering::detect_closed_gatherings(
+            &new_crowd,
+            &cdb,
+            &params,
+            3,
+            TadVariant::TadStar,
+        );
+        assert_eq!(updated, recomputed);
+        assert_eq!(updated.len(), 1);
+        assert_eq!(updated[0].lifetime(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "old prefix cannot be longer")]
+    fn update_gatherings_rejects_bad_prefix_length() {
+        let memberships: Vec<&[u32]> = vec![&[1, 2, 3]; 4];
+        let cdb = membership_cdb(0, &memberships);
+        let crowd = single_cluster_crowd(0, 4);
+        let _ = update_gatherings(
+            &crowd,
+            &cdb,
+            10,
+            &[],
+            &GatheringParams::new(2, 2),
+            2,
+            TadVariant::TadStar,
+        );
+    }
+
+    fn incremental_equals_batch(memberships: &[&[u32]], split: usize) {
+        let crowd_params = CrowdParams::new(3, 3, 100.0);
+        let gathering_params = GatheringParams::new(3, 3);
+
+        // Batch run over everything at once.
+        let full_cdb = membership_cdb(0, memberships);
+        let discovery = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid);
+        let batch_crowds = discovery.run(&full_cdb).closed_crowds;
+        let mut batch_gatherings: Vec<Gathering> = batch_crowds
+            .iter()
+            .flat_map(|c| {
+                crate::gathering::detect_closed_gatherings(
+                    c,
+                    &full_cdb,
+                    &gathering_params,
+                    crowd_params.kc,
+                    TadVariant::TadStar,
+                )
+            })
+            .collect();
+        batch_gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
+
+        // Incremental run: first `split` ticks, then the rest.
+        let mut inc = IncrementalDiscovery::new(
+            crowd_params,
+            gathering_params,
+            RangeSearchStrategy::Grid,
+            TadVariant::TadStar,
+        );
+        inc.ingest(membership_cdb(0, &memberships[..split]));
+        inc.ingest(membership_cdb(split as u32, &memberships[split..]));
+
+        let mut inc_crowds = inc.closed_crowds();
+        let mut expected_crowds = batch_crowds;
+        inc_crowds.sort_by_key(|c| (c.start_time(), c.end_time()));
+        expected_crowds.sort_by_key(|c| (c.start_time(), c.end_time()));
+        assert_eq!(inc_crowds, expected_crowds);
+
+        let inc_gatherings = inc.gatherings();
+        assert_eq!(inc_gatherings, batch_gatherings);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_stable_group() {
+        let memberships: Vec<&[u32]> = vec![&[1, 2, 3]; 10];
+        incremental_equals_batch(&memberships, 6);
+    }
+
+    #[test]
+    fn incremental_matches_batch_with_membership_churn() {
+        let memberships: Vec<&[u32]> = vec![
+            &[1, 2, 3],
+            &[1, 2, 3, 4],
+            &[2, 3, 4],
+            &[9, 8, 7],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[4, 5, 6],
+            &[4, 5, 6],
+            &[4, 5, 6],
+        ];
+        for split in [3, 5, 7] {
+            incremental_equals_batch(&memberships, split);
+        }
+    }
+
+    #[test]
+    fn ingest_summary_counts_extensions() {
+        let crowd_params = CrowdParams::new(3, 3, 100.0);
+        let gathering_params = GatheringParams::new(3, 3);
+        let mut inc = IncrementalDiscovery::new(
+            crowd_params,
+            gathering_params,
+            RangeSearchStrategy::Grid,
+            TadVariant::TadStar,
+        );
+        let first: Vec<&[u32]> = vec![&[1, 2, 3]; 4];
+        let update1 = inc.ingest(membership_cdb(0, &first));
+        // The single stable crowd ends at the frontier, so it is reported as
+        // closed-so-far but stays extendable.
+        assert_eq!(update1.new_closed_crowds, 1);
+        assert_eq!(inc.closed_crowds().len(), 1);
+        assert_eq!(inc.gatherings().len(), 1);
+
+        let second: Vec<&[u32]> = vec![&[1, 2, 3]; 3];
+        let update2 = inc.ingest(membership_cdb(4, &second));
+        assert_eq!(update2.new_closed_crowds, 1);
+        assert_eq!(update2.extended_from_frontier, 1);
+        let crowds = inc.closed_crowds();
+        assert_eq!(crowds.len(), 1);
+        assert_eq!(crowds[0].lifetime(), 7);
+        let gatherings = inc.gatherings();
+        assert_eq!(gatherings.len(), 1);
+        assert_eq!(gatherings[0].lifetime(), 7);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut inc = IncrementalDiscovery::new(
+            CrowdParams::new(3, 3, 100.0),
+            GatheringParams::new(3, 3),
+            RangeSearchStrategy::Grid,
+            TadVariant::TadStar,
+        );
+        let update = inc.ingest(ClusterDatabase::new());
+        assert_eq!(update.new_closed_crowds, 0);
+        assert!(inc.closed_crowds().is_empty());
+    }
+}

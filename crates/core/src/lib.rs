@@ -1,0 +1,70 @@
+//! Discovery of gathering patterns from trajectories.
+//!
+//! This crate implements the primary contribution of *"On Discovery of
+//! Gathering Patterns from Trajectories"* (Zheng et al., ICDE 2013):
+//!
+//! * [`params`] — the parameter sets of the problem statement
+//!   (`mc`, `kc`, `δ` for crowds; `mp`, `kp` for gatherings) with validation.
+//! * [`crowd`] — the [`Crowd`] pattern and **Algorithm 1**, the closed-crowd
+//!   discovery sweep over the snapshot-cluster database.
+//! * [`range_search`] — the pluggable range-search strategies used by
+//!   Algorithm 1: brute force, R-tree with `dmin` (SR), R-tree with `dside`
+//!   (IR) and the grid index (GRID).
+//! * [`bvs`] — bit-vector signatures and the word-parallel population-count
+//!   kernel used by TAD\*.
+//! * [`gathering`] — the [`Gathering`] pattern, participator computation and
+//!   the three detection algorithms (brute force, TAD, TAD\*).
+//! * [`incremental`] — crowd extension (Lemma 4) and gathering update
+//!   (Theorem 2) for handling new trajectory batches without recomputation.
+//! * [`pipeline`] — a high-level façade chaining snapshot clustering, crowd
+//!   discovery and gathering detection.
+//!
+//! The typical entry point is [`GatheringPipeline`]:
+//!
+//! ```
+//! use gpdt_core::{ClusteringParams, CrowdParams, GatheringConfig, GatheringParams,
+//!                 GatheringPipeline};
+//! use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+//!
+//! // Five objects stay together for six ticks: one crowd, one gathering.
+//! let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+//!     Trajectory::from_points(
+//!         ObjectId::new(i),
+//!         (0..6u32).map(|t| (t, (i as f64 * 10.0, t as f64))).collect::<Vec<_>>(),
+//!     )
+//! }));
+//!
+//! let config = GatheringConfig::builder()
+//!     .clustering(ClusteringParams::new(60.0, 3))
+//!     .crowd(CrowdParams::new(4, 4, 100.0))
+//!     .gathering(GatheringParams::new(3, 3))
+//!     .build()
+//!     .unwrap();
+//!
+//! let result = GatheringPipeline::new(config).discover(&db);
+//! assert_eq!(result.gatherings.len(), 1);
+//! ```
+
+pub mod bvs;
+pub mod crowd;
+pub mod gathering;
+pub mod incremental;
+pub mod params;
+pub mod pipeline;
+pub mod range_search;
+
+pub use bvs::BitVector;
+pub use crowd::{discover_closed_crowds, Crowd, CrowdDiscovery, CrowdDiscoveryResult};
+pub use gathering::{
+    detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant,
+};
+pub use incremental::{IncrementalDiscovery, IncrementalUpdate};
+pub use params::{
+    ConfigError, CrowdParams, GatheringConfig, GatheringConfigBuilder, GatheringParams,
+};
+pub use pipeline::{DiscoveryResult, GatheringPipeline};
+pub use range_search::RangeSearchStrategy;
+
+// Re-export the parameter type of the clustering phase so downstream users
+// only need this crate for configuration.
+pub use gpdt_clustering::ClusteringParams;

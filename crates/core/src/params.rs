@@ -1,0 +1,277 @@
+//! Parameters of the gathering-discovery problem and their validation.
+
+use gpdt_clustering::ClusteringParams;
+
+/// Parameters of the crowd pattern (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdParams {
+    /// Support threshold `mc`: minimum number of objects in every snapshot
+    /// cluster of the crowd.
+    pub mc: usize,
+    /// Lifetime threshold `kc`: minimum number of consecutive timestamps.
+    pub kc: u32,
+    /// Variation threshold `δ` (metres): maximum Hausdorff distance between
+    /// consecutive snapshot clusters.
+    pub delta: f64,
+}
+
+impl CrowdParams {
+    /// Creates crowd parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc` or `kc` is zero, or `delta` is not positive and finite.
+    pub fn new(mc: usize, kc: u32, delta: f64) -> Self {
+        assert!(mc >= 1, "mc must be at least 1");
+        assert!(kc >= 1, "kc must be at least 1");
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be positive and finite, got {delta}"
+        );
+        CrowdParams { mc, kc, delta }
+    }
+
+    /// The default setting of the paper's effectiveness study
+    /// (`mc = 15`, `kc = 20`, `δ = 300 m`).
+    pub fn paper_default() -> Self {
+        CrowdParams::new(15, 20, 300.0)
+    }
+}
+
+/// Parameters of the gathering pattern (Definitions 3 and 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatheringParams {
+    /// Support threshold `mp`: minimum number of participators in every
+    /// snapshot cluster of the gathering.
+    pub mp: usize,
+    /// Lifetime threshold `kp`: minimum number of (possibly non-consecutive)
+    /// clusters an object must appear in to be a participator.
+    pub kp: u32,
+}
+
+impl GatheringParams {
+    /// Creates gathering parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mp` or `kp` is zero.
+    pub fn new(mp: usize, kp: u32) -> Self {
+        assert!(mp >= 1, "mp must be at least 1");
+        assert!(kp >= 1, "kp must be at least 1");
+        GatheringParams { mp, kp }
+    }
+
+    /// The default setting of the paper's effectiveness study
+    /// (`mp = 10`, `kp = 15`).
+    pub fn paper_default() -> Self {
+        GatheringParams::new(10, 15)
+    }
+}
+
+/// Error returned when a [`GatheringConfig`] is internally inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `kp` exceeds `kc`: a participator would need to appear in more
+    /// clusters than the shortest admissible crowd has, so no gathering could
+    /// ever exist.
+    ParticipatorLifetimeExceedsCrowd {
+        /// The configured participator lifetime threshold.
+        kp: u32,
+        /// The configured crowd lifetime threshold.
+        kc: u32,
+    },
+    /// `mp` exceeds `mc`: a cluster would need more participators than its
+    /// guaranteed membership, which is possible but almost always a mistake
+    /// when `mp > mc` because clusters with exactly `mc` members could never
+    /// be valid.  We reject only the degenerate case `mp > mc`.
+    SupportThresholdsInconsistent {
+        /// The configured gathering support threshold.
+        mp: usize,
+        /// The configured crowd support threshold.
+        mc: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ParticipatorLifetimeExceedsCrowd { kp, kc } => write!(
+                f,
+                "participator lifetime threshold kp={kp} exceeds crowd lifetime threshold kc={kc}; \
+                 no gathering can satisfy this configuration"
+            ),
+            ConfigError::SupportThresholdsInconsistent { mp, mc } => write!(
+                f,
+                "gathering support threshold mp={mp} exceeds crowd support threshold mc={mc}; \
+                 clusters at the crowd support floor could never be valid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full configuration of the discovery pipeline: snapshot clustering, crowd
+/// discovery and gathering detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatheringConfig {
+    /// DBSCAN parameters for the snapshot-clustering phase.
+    pub clustering: ClusteringParams,
+    /// Crowd parameters (`mc`, `kc`, `δ`).
+    pub crowd: CrowdParams,
+    /// Gathering parameters (`mp`, `kp`).
+    pub gathering: GatheringParams,
+}
+
+impl GatheringConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> GatheringConfigBuilder {
+        GatheringConfigBuilder::default()
+    }
+
+    /// The paper's default evaluation setting.
+    pub fn paper_default() -> Self {
+        GatheringConfig {
+            clustering: ClusteringParams::paper_default(),
+            crowd: CrowdParams::paper_default(),
+            gathering: GatheringParams::paper_default(),
+        }
+    }
+
+    /// Validates cross-parameter consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gathering.kp > self.crowd.kc {
+            return Err(ConfigError::ParticipatorLifetimeExceedsCrowd {
+                kp: self.gathering.kp,
+                kc: self.crowd.kc,
+            });
+        }
+        if self.gathering.mp > self.crowd.mc {
+            return Err(ConfigError::SupportThresholdsInconsistent {
+                mp: self.gathering.mp,
+                mc: self.crowd.mc,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`GatheringConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct GatheringConfigBuilder {
+    clustering: Option<ClusteringParams>,
+    crowd: Option<CrowdParams>,
+    gathering: Option<GatheringParams>,
+}
+
+impl GatheringConfigBuilder {
+    /// Sets the clustering parameters (default: the paper's `ε=200 m, m=5`).
+    pub fn clustering(mut self, params: ClusteringParams) -> Self {
+        self.clustering = Some(params);
+        self
+    }
+
+    /// Sets the crowd parameters (default: the paper's `mc=15, kc=20, δ=300`).
+    pub fn crowd(mut self, params: CrowdParams) -> Self {
+        self.crowd = Some(params);
+        self
+    }
+
+    /// Sets the gathering parameters (default: the paper's `mp=10, kp=15`).
+    pub fn gathering(mut self, params: GatheringParams) -> Self {
+        self.gathering = Some(params);
+        self
+    }
+
+    /// Builds and validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the combined parameters are inconsistent.
+    pub fn build(self) -> Result<GatheringConfig, ConfigError> {
+        let config = GatheringConfig {
+            clustering: self.clustering.unwrap_or_else(ClusteringParams::paper_default),
+            crowd: self.crowd.unwrap_or_else(CrowdParams::paper_default),
+            gathering: self.gathering.unwrap_or_else(GatheringParams::paper_default),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_consistent() {
+        let config = GatheringConfig::paper_default();
+        assert!(config.validate().is_ok());
+        assert_eq!(config.crowd.mc, 15);
+        assert_eq!(config.crowd.kc, 20);
+        assert_eq!(config.crowd.delta, 300.0);
+        assert_eq!(config.gathering.mp, 10);
+        assert_eq!(config.gathering.kp, 15);
+    }
+
+    #[test]
+    fn builder_uses_defaults_for_missing_sections() {
+        let config = GatheringConfig::builder().build().unwrap();
+        assert_eq!(config, GatheringConfig::paper_default());
+    }
+
+    #[test]
+    fn builder_rejects_kp_exceeding_kc() {
+        let err = GatheringConfig::builder()
+            .crowd(CrowdParams::new(10, 5, 100.0))
+            .gathering(GatheringParams::new(3, 6))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ParticipatorLifetimeExceedsCrowd { kp: 6, kc: 5 }
+        );
+        assert!(err.to_string().contains("kp=6"));
+    }
+
+    #[test]
+    fn builder_rejects_mp_exceeding_mc() {
+        let err = GatheringConfig::builder()
+            .crowd(CrowdParams::new(5, 10, 100.0))
+            .gathering(GatheringParams::new(6, 3))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::SupportThresholdsInconsistent { mp: 6, mc: 5 }
+        );
+        assert!(err.to_string().contains("mp=6"));
+    }
+
+    #[test]
+    fn boundary_equal_thresholds_are_accepted() {
+        let config = GatheringConfig::builder()
+            .crowd(CrowdParams::new(5, 10, 100.0))
+            .gathering(GatheringParams::new(5, 10))
+            .build();
+        assert!(config.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "mc must be at least 1")]
+    fn crowd_params_reject_zero_mc() {
+        let _ = CrowdParams::new(0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn crowd_params_reject_negative_delta() {
+        let _ = CrowdParams::new(1, 1, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kp must be at least 1")]
+    fn gathering_params_reject_zero_kp() {
+        let _ = GatheringParams::new(1, 0);
+    }
+}

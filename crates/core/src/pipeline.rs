@@ -1,0 +1,190 @@
+//! High-level discovery pipeline: trajectories → snapshot clusters → closed
+//! crowds → closed gatherings.
+
+use gpdt_clustering::ClusterDatabase;
+use gpdt_trajectory::TrajectoryDatabase;
+
+use crate::crowd::{Crowd, CrowdDiscovery};
+use crate::gathering::{detect_closed_gatherings, Gathering, TadVariant};
+use crate::params::GatheringConfig;
+use crate::range_search::RangeSearchStrategy;
+
+/// The full output of one discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// The snapshot-cluster database produced by the clustering phase.
+    pub clusters: ClusterDatabase,
+    /// All closed crowds.
+    pub crowds: Vec<Crowd>,
+    /// All closed gatherings, across all crowds, ordered by start time.
+    pub gatherings: Vec<Gathering>,
+}
+
+impl DiscoveryResult {
+    /// Number of closed crowds.
+    pub fn crowd_count(&self) -> usize {
+        self.crowds.len()
+    }
+
+    /// Number of closed gatherings.
+    pub fn gathering_count(&self) -> usize {
+        self.gatherings.len()
+    }
+}
+
+/// The end-to-end gathering-discovery pipeline.
+///
+/// Wraps the three phases of §III with a single configuration object.  The
+/// range-search strategy defaults to the grid index and the detection
+/// algorithm to TAD\* (the paper's fastest combination); both can be
+/// overridden for experimentation.
+#[derive(Debug, Clone, Copy)]
+pub struct GatheringPipeline {
+    config: GatheringConfig,
+    strategy: RangeSearchStrategy,
+    variant: TadVariant,
+}
+
+impl GatheringPipeline {
+    /// Creates a pipeline with the default (fastest) algorithm choices.
+    pub fn new(config: GatheringConfig) -> Self {
+        GatheringPipeline {
+            config,
+            strategy: RangeSearchStrategy::Grid,
+            variant: TadVariant::TadStar,
+        }
+    }
+
+    /// Overrides the crowd-discovery range-search strategy.
+    pub fn with_strategy(mut self, strategy: RangeSearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the gathering-detection algorithm.
+    pub fn with_variant(mut self, variant: TadVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &GatheringConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a trajectory database.
+    pub fn discover(&self, db: &TrajectoryDatabase) -> DiscoveryResult {
+        let clusters = ClusterDatabase::build(db, &self.config.clustering);
+        self.discover_from_clusters(clusters)
+    }
+
+    /// Runs crowd discovery and gathering detection on a pre-built snapshot
+    /// cluster database (skipping the clustering phase).
+    pub fn discover_from_clusters(&self, clusters: ClusterDatabase) -> DiscoveryResult {
+        let discovery = CrowdDiscovery::new(self.config.crowd, self.strategy);
+        let crowds = discovery.run(&clusters).closed_crowds;
+        let mut gatherings: Vec<Gathering> = crowds
+            .iter()
+            .flat_map(|crowd| {
+                detect_closed_gatherings(
+                    crowd,
+                    &clusters,
+                    &self.config.gathering,
+                    self.config.crowd.kc,
+                    self.variant,
+                )
+            })
+            .collect();
+        gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
+        DiscoveryResult {
+            clusters,
+            crowds,
+            gatherings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CrowdParams, GatheringParams};
+    use gpdt_clustering::ClusteringParams;
+    use gpdt_trajectory::{ObjectId, Trajectory};
+
+    /// Ten objects linger around a venue for 12 ticks while five other
+    /// objects drive through without stopping.
+    fn venue_scene() -> TrajectoryDatabase {
+        let mut trajectories = Vec::new();
+        for i in 0..10u32 {
+            let x = 100.0 + (i % 5) as f64 * 8.0;
+            let y = 200.0 + (i / 5) as f64 * 8.0;
+            let samples: Vec<(u32, (f64, f64))> = (0..12u32)
+                .map(|t| (t, (x + (t as f64 * 0.5), y)))
+                .collect();
+            trajectories.push(Trajectory::from_points(ObjectId::new(i), samples));
+        }
+        // Pass-through traffic: fast movers that never linger.
+        for i in 10..15u32 {
+            let samples: Vec<(u32, (f64, f64))> = (0..12u32)
+                .map(|t| (t, (t as f64 * 400.0, 3_000.0 + i as f64 * 500.0)))
+                .collect();
+            trajectories.push(Trajectory::from_points(ObjectId::new(i), samples));
+        }
+        TrajectoryDatabase::from_trajectories(trajectories)
+    }
+
+    fn config() -> GatheringConfig {
+        GatheringConfig::builder()
+            .clustering(ClusteringParams::new(30.0, 4))
+            .crowd(CrowdParams::new(5, 6, 60.0))
+            .gathering(GatheringParams::new(5, 6))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_finds_the_planted_gathering() {
+        let db = venue_scene();
+        let result = GatheringPipeline::new(config()).discover(&db);
+        assert_eq!(result.crowd_count(), 1);
+        assert_eq!(result.gathering_count(), 1);
+        let g = &result.gatherings[0];
+        assert_eq!(g.lifetime(), 12);
+        assert_eq!(g.participators().len(), 10);
+        // Pass-through objects never participate.
+        for i in 10..15u32 {
+            assert!(!g.participators().contains(&ObjectId::new(i)));
+        }
+    }
+
+    #[test]
+    fn strategy_and_variant_choices_do_not_change_results() {
+        let db = venue_scene();
+        let reference = GatheringPipeline::new(config()).discover(&db);
+        for strategy in RangeSearchStrategy::ALL {
+            for variant in TadVariant::ALL {
+                let result = GatheringPipeline::new(config())
+                    .with_strategy(strategy)
+                    .with_variant(variant)
+                    .discover(&db);
+                assert_eq!(result.crowds, reference.crowds, "{strategy}/{variant}");
+                assert_eq!(result.gatherings, reference.gatherings, "{strategy}/{variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let result = GatheringPipeline::new(config()).discover(&TrajectoryDatabase::new());
+        assert_eq!(result.crowd_count(), 0);
+        assert_eq!(result.gathering_count(), 0);
+        assert!(result.clusters.is_empty());
+    }
+
+    #[test]
+    fn config_accessor_round_trips() {
+        let c = config();
+        let pipeline = GatheringPipeline::new(c);
+        assert_eq!(pipeline.config(), &c);
+    }
+}

@@ -1,0 +1,326 @@
+//! Uniform grid geometry and affect regions.
+//!
+//! The grid-based range search (§III-A.2 of the paper) partitions space into
+//! square cells whose side length is `√2/2·δ`.  Two facts drive the pruning
+//! and refinement logic:
+//!
+//! * any two points inside the *same* cell are at distance at most `δ`
+//!   (the cell diagonal is exactly `δ`), and
+//! * a point in cell `g` can only be within `δ` of points that lie in the
+//!   *affect region* `AR(g)` of `g` (Definition 5): the cells `g'` with
+//!   `|Δrow| ≤ 2`, `|Δcol| ≤ 2` and `|Δrow| + |Δcol| < 4`.
+//!
+//! [`GridGeometry`] owns only the geometry (origin and cell size); the actual
+//! per-timestamp cell lists and inverted lists live in `gpdt-index`.
+
+use crate::point::Point;
+
+/// Integer coordinates of a grid cell (column, row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellCoord {
+    /// Column index (x direction).
+    pub col: i64,
+    /// Row index (y direction).
+    pub row: i64,
+}
+
+impl CellCoord {
+    /// Creates a cell coordinate.
+    pub const fn new(col: i64, row: i64) -> Self {
+        CellCoord { col, row }
+    }
+
+    /// Chebyshev-style membership test for the affect region of `self`
+    /// relative to `other` (Definition 5 of the paper).
+    pub fn in_affect_region_of(&self, other: &CellCoord) -> bool {
+        let dc = (self.col - other.col).abs();
+        let dr = (self.row - other.row).abs();
+        dc <= 2 && dr <= 2 && dc + dr < 4
+    }
+}
+
+/// The geometry of a uniform grid: an origin and a square cell size.
+///
+/// The same `GridGeometry` is shared by the cluster indexes of *all*
+/// timestamps, which is one of the advantages the paper claims for the grid
+/// index over per-timestamp R-trees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridGeometry {
+    origin: Point,
+    cell_size: f64,
+}
+
+impl GridGeometry {
+    /// Creates a grid with an explicit origin and cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(origin: Point, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        GridGeometry { origin, cell_size }
+    }
+
+    /// Creates the grid prescribed by the paper for a variation threshold
+    /// `delta`: square cells with side `√2/2·δ` anchored at the origin.
+    ///
+    /// With this side length the cell diagonal equals `δ`, so two points in
+    /// the same cell are never more than `δ` apart.
+    pub fn for_delta(delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be positive and finite, got {delta}"
+        );
+        GridGeometry::new(Point::ORIGIN, delta * std::f64::consts::FRAC_1_SQRT_2)
+    }
+
+    /// The side length of a cell.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// The grid origin.
+    #[inline]
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The cell containing point `p`.
+    #[inline]
+    pub fn cell_of(&self, p: &Point) -> CellCoord {
+        CellCoord {
+            col: ((p.x - self.origin.x) / self.cell_size).floor() as i64,
+            row: ((p.y - self.origin.y) / self.cell_size).floor() as i64,
+        }
+    }
+
+    /// The lower-left corner of a cell.
+    pub fn cell_min_corner(&self, cell: &CellCoord) -> Point {
+        Point::new(
+            self.origin.x + cell.col as f64 * self.cell_size,
+            self.origin.y + cell.row as f64 * self.cell_size,
+        )
+    }
+
+    /// The centre point of a cell.
+    pub fn cell_center(&self, cell: &CellCoord) -> Point {
+        let min = self.cell_min_corner(cell);
+        Point::new(min.x + self.cell_size / 2.0, min.y + self.cell_size / 2.0)
+    }
+
+    /// The affect region of `cell` (Definition 5): all cells that may contain
+    /// a point within `δ` of some point in `cell`.
+    ///
+    /// The region is the 5×5 block centred on `cell` minus its four corners —
+    /// 21 cells in total.
+    pub fn affect_region(&self, cell: &CellCoord) -> Vec<CellCoord> {
+        let mut cells = Vec::with_capacity(21);
+        for dc in -2i64..=2 {
+            for dr in -2i64..=2 {
+                if dc.abs() + dr.abs() < 4 {
+                    cells.push(CellCoord::new(cell.col + dc, cell.row + dr));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Minimum distance between two cells (between their closed extents).
+    pub fn cell_min_distance(&self, a: &CellCoord, b: &CellCoord) -> f64 {
+        let gap = |d: i64| -> f64 {
+            if d.abs() <= 1 {
+                0.0
+            } else {
+                (d.abs() - 1) as f64 * self.cell_size
+            }
+        };
+        let dx = gap(a.col - b.col);
+        let dy = gap(a.row - b.row);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_delta_cell_diagonal_equals_delta() {
+        let delta = 300.0;
+        let g = GridGeometry::for_delta(delta);
+        let diag = g.cell_size() * std::f64::consts::SQRT_2;
+        assert!((diag - delta).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_delta() {
+        let _ = GridGeometry::for_delta(0.0);
+    }
+
+    #[test]
+    fn cell_of_maps_points_to_expected_cells() {
+        let g = GridGeometry::new(Point::ORIGIN, 10.0);
+        assert_eq!(g.cell_of(&Point::new(0.0, 0.0)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(&Point::new(9.999, 9.999)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(&Point::new(10.0, 0.0)), CellCoord::new(1, 0));
+        assert_eq!(g.cell_of(&Point::new(-0.001, 5.0)), CellCoord::new(-1, 0));
+        assert_eq!(g.cell_of(&Point::new(25.0, -13.0)), CellCoord::new(2, -2));
+    }
+
+    #[test]
+    fn cell_of_respects_origin() {
+        let g = GridGeometry::new(Point::new(100.0, 200.0), 10.0);
+        assert_eq!(g.cell_of(&Point::new(100.0, 200.0)), CellCoord::new(0, 0));
+        assert_eq!(g.cell_of(&Point::new(95.0, 195.0)), CellCoord::new(-1, -1));
+    }
+
+    #[test]
+    fn points_in_same_cell_are_within_delta() {
+        let delta = 120.0;
+        let g = GridGeometry::for_delta(delta);
+        let cell = CellCoord::new(3, -2);
+        let min = g.cell_min_corner(&cell);
+        let eps = 1e-9;
+        let a = Point::new(min.x + eps, min.y + eps);
+        let b = Point::new(
+            min.x + g.cell_size() - eps,
+            min.y + g.cell_size() - eps,
+        );
+        assert_eq!(g.cell_of(&a), cell);
+        assert_eq!(g.cell_of(&b), cell);
+        assert!(a.distance(&b) <= delta);
+    }
+
+    #[test]
+    fn affect_region_has_21_cells_and_matches_definition() {
+        let g = GridGeometry::for_delta(100.0);
+        let c = CellCoord::new(5, 5);
+        let ar = g.affect_region(&c);
+        assert_eq!(ar.len(), 21);
+        assert!(ar.contains(&c));
+        // Corners of the 5x5 block are excluded.
+        assert!(!ar.contains(&CellCoord::new(3, 3)));
+        assert!(!ar.contains(&CellCoord::new(7, 7)));
+        assert!(!ar.contains(&CellCoord::new(3, 7)));
+        assert!(!ar.contains(&CellCoord::new(7, 3)));
+        // Straight-line extremes are included.
+        assert!(ar.contains(&CellCoord::new(3, 5)));
+        assert!(ar.contains(&CellCoord::new(5, 7)));
+        for cell in &ar {
+            assert!(cell.in_affect_region_of(&c));
+        }
+    }
+
+    #[test]
+    fn cells_outside_affect_region_are_farther_than_delta() {
+        // The definition's purpose: a point in a cell outside AR(g) is always
+        // farther than delta from any point in g.
+        let delta = 100.0;
+        let g = GridGeometry::for_delta(delta);
+        let c = CellCoord::new(0, 0);
+        for dc in -4i64..=4 {
+            for dr in -4i64..=4 {
+                let other = CellCoord::new(dc, dr);
+                if !other.in_affect_region_of(&c) {
+                    assert!(
+                        g.cell_min_distance(&c, &other) > delta - 1e-9,
+                        "cell {other:?} outside AR but min distance {} <= delta",
+                        g.cell_min_distance(&c, &other)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_min_distance_adjacent_is_zero() {
+        let g = GridGeometry::new(Point::ORIGIN, 10.0);
+        assert_eq!(
+            g.cell_min_distance(&CellCoord::new(0, 0), &CellCoord::new(1, 1)),
+            0.0
+        );
+        assert_eq!(
+            g.cell_min_distance(&CellCoord::new(0, 0), &CellCoord::new(3, 0)),
+            20.0
+        );
+        let d = g.cell_min_distance(&CellCoord::new(0, 0), &CellCoord::new(3, 3));
+        assert!((d - (800.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_center_is_inside_cell() {
+        let g = GridGeometry::new(Point::new(-50.0, 20.0), 7.5);
+        let cell = CellCoord::new(4, -3);
+        let center = g.cell_center(&cell);
+        assert_eq!(g.cell_of(&center), cell);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every point maps to a cell whose extent contains it.
+        #[test]
+        fn cell_of_roundtrip(x in -1e6..1e6f64, y in -1e6..1e6f64, size in 1.0..1000.0f64) {
+            let g = GridGeometry::new(Point::ORIGIN, size);
+            let p = Point::new(x, y);
+            let cell = g.cell_of(&p);
+            let min = g.cell_min_corner(&cell);
+            prop_assert!(p.x >= min.x - 1e-6 && p.x <= min.x + size + 1e-6);
+            prop_assert!(p.y >= min.y - 1e-6 && p.y <= min.y + size + 1e-6);
+        }
+
+        /// Two points in the same cell of a `for_delta` grid are within delta.
+        #[test]
+        fn same_cell_implies_within_delta(
+            delta in 10.0..1000.0f64,
+            x in -1e5..1e5f64,
+            y in -1e5..1e5f64,
+            dx in 0.0..1.0f64,
+            dy in 0.0..1.0f64,
+        ) {
+            let g = GridGeometry::for_delta(delta);
+            let a = Point::new(x, y);
+            let cell = g.cell_of(&a);
+            let min = g.cell_min_corner(&cell);
+            let b = Point::new(min.x + dx * g.cell_size() * 0.999, min.y + dy * g.cell_size() * 0.999);
+            if g.cell_of(&b) == cell {
+                prop_assert!(a.distance(&b) <= delta + 1e-6);
+            }
+        }
+
+        /// Points in cells outside each other's affect region are farther
+        /// apart than delta.
+        #[test]
+        fn outside_affect_region_implies_far(
+            delta in 10.0..500.0f64,
+            ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+            bx in -1e4..1e4f64, by in -1e4..1e4f64,
+        ) {
+            let g = GridGeometry::for_delta(delta);
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let ca = g.cell_of(&a);
+            let cb = g.cell_of(&b);
+            if !cb.in_affect_region_of(&ca) {
+                prop_assert!(a.distance(&b) > delta - 1e-6);
+            }
+        }
+
+        /// Affect-region membership is symmetric.
+        #[test]
+        fn affect_region_symmetric(c1 in -100i64..100, r1 in -100i64..100, c2 in -100i64..100, r2 in -100i64..100) {
+            let a = CellCoord::new(c1, r1);
+            let b = CellCoord::new(c2, r2);
+            prop_assert_eq!(a.in_affect_region_of(&b), b.in_affect_region_of(&a));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Hausdorff distance between point sets.
+//!
+//! The paper measures the geometric variation between two consecutive
+//! snapshot clusters with the (symmetric) Hausdorff distance
+//!
+//! ```text
+//! dH(P, Q) = max{ max_{p∈P} min_{q∈Q} d(p, q),  max_{q∈Q} min_{p∈P} d(p, q) }
+//! ```
+//!
+//! The crowd-discovery range search never needs the exact value — it only
+//! needs to know whether `dH ≤ δ` — so this module also provides
+//! [`hausdorff_within`], an early-exit threshold test that is the workhorse
+//! of the refinement step.
+
+use crate::point::Point;
+
+/// Directed Hausdorff distance `h(P → Q) = max_{p∈P} min_{q∈Q} d(p, q)`.
+///
+/// Returns `0.0` when `from` is empty (there is nothing to be far away) and
+/// `f64::INFINITY` when `from` is non-empty but `to` is empty.
+pub fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
+    if from.is_empty() {
+        return 0.0;
+    }
+    if to.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut worst_sq: f64 = 0.0;
+    for p in from {
+        let mut best_sq = f64::INFINITY;
+        for q in to {
+            let d = p.distance_sq(q);
+            if d < best_sq {
+                best_sq = d;
+                // The minimum for this `p` can only shrink further; if it is
+                // already below the current worst it cannot raise the
+                // directed distance, so stop scanning `to`.
+                if best_sq <= worst_sq {
+                    break;
+                }
+            }
+        }
+        if best_sq > worst_sq {
+            worst_sq = best_sq;
+        }
+    }
+    worst_sq.sqrt()
+}
+
+/// Symmetric Hausdorff distance between two point sets.
+///
+/// If both sets are empty the distance is `0.0`; if exactly one is empty it
+/// is `f64::INFINITY`.
+pub fn hausdorff_distance(p: &[Point], q: &[Point]) -> f64 {
+    directed_hausdorff(p, q).max(directed_hausdorff(q, p))
+}
+
+/// Threshold test: is `dH(P, Q) ≤ threshold`?
+///
+/// Exits as soon as some point is found whose nearest neighbour in the other
+/// set is farther than `threshold`, which makes the common "clusters are far
+/// apart" case cheap.
+pub fn hausdorff_within(p: &[Point], q: &[Point], threshold: f64) -> bool {
+    directed_within(p, q, threshold) && directed_within(q, p, threshold)
+}
+
+/// Directed threshold test: is `h(from → to) ≤ threshold`?
+pub fn directed_within(from: &[Point], to: &[Point], threshold: f64) -> bool {
+    if from.is_empty() {
+        return true;
+    }
+    if to.is_empty() {
+        return false;
+    }
+    let thr_sq = threshold * threshold;
+    'outer: for p in from {
+        for q in to {
+            if p.distance_sq(q) <= thr_sq {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let p = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]);
+        assert_eq!(hausdorff_distance(&p, &p), 0.0);
+        assert!(hausdorff_within(&p, &p, 0.0));
+    }
+
+    #[test]
+    fn singleton_sets() {
+        let p = pts(&[(0.0, 0.0)]);
+        let q = pts(&[(3.0, 4.0)]);
+        assert_eq!(hausdorff_distance(&p, &q), 5.0);
+        assert!(hausdorff_within(&p, &q, 5.0));
+        assert!(!hausdorff_within(&p, &q, 4.999));
+    }
+
+    #[test]
+    fn asymmetric_directed_distances() {
+        // Q is a superset-ish spread: every point of P is near Q, but Q has a
+        // far outlier, so the directed distances differ.
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let q = pts(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(directed_hausdorff(&p, &q), 0.0);
+        assert_eq!(directed_hausdorff(&q, &p), 9.0);
+        assert_eq!(hausdorff_distance(&p, &q), 9.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let p = pts(&[(0.0, 0.0), (5.0, 5.0), (2.0, 8.0)]);
+        let q = pts(&[(1.0, 1.0), (6.0, 4.0)]);
+        assert_eq!(hausdorff_distance(&p, &q), hausdorff_distance(&q, &p));
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let p = pts(&[(0.0, 0.0)]);
+        let empty: Vec<Point> = vec![];
+        assert_eq!(directed_hausdorff(&empty, &p), 0.0);
+        assert_eq!(directed_hausdorff(&p, &empty), f64::INFINITY);
+        assert_eq!(hausdorff_distance(&empty, &empty), 0.0);
+        assert_eq!(hausdorff_distance(&p, &empty), f64::INFINITY);
+        assert!(hausdorff_within(&empty, &empty, 0.0));
+        assert!(!hausdorff_within(&p, &empty, 1e12));
+    }
+
+    #[test]
+    fn within_agrees_with_exact_distance() {
+        let p = pts(&[(0.0, 0.0), (2.0, 1.0), (4.0, 0.0)]);
+        let q = pts(&[(0.5, 0.5), (3.5, 0.5), (4.0, 3.0)]);
+        let d = hausdorff_distance(&p, &q);
+        assert!(hausdorff_within(&p, &q, d));
+        assert!(hausdorff_within(&p, &q, d + 1e-9));
+        assert!(!hausdorff_within(&p, &q, d - 1e-9));
+    }
+
+    #[test]
+    fn translation_shifts_distance_for_singletons() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let q: Vec<Point> = p.iter().map(|pt| Point::new(pt.x + 7.0, pt.y)).collect();
+        // A pure translation of a set by (7, 0): each point's nearest
+        // neighbour is at most 7 away and the extremes are exactly 7.
+        assert_eq!(hausdorff_distance(&p, &q), 7.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::mbr::Mbr;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec(arb_point(), 1..max)
+    }
+
+    proptest! {
+        /// dH is symmetric.
+        #[test]
+        fn hausdorff_symmetry(p in arb_points(12), q in arb_points(12)) {
+            let d1 = hausdorff_distance(&p, &q);
+            let d2 = hausdorff_distance(&q, &p);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        /// dH(P, P) = 0 (identity of indiscernibles, one direction).
+        #[test]
+        fn hausdorff_self_zero(p in arb_points(12)) {
+            prop_assert_eq!(hausdorff_distance(&p, &p), 0.0);
+        }
+
+        /// Triangle inequality over point sets.
+        #[test]
+        fn hausdorff_triangle_inequality(
+            p in arb_points(8),
+            q in arb_points(8),
+            r in arb_points(8),
+        ) {
+            let pq = hausdorff_distance(&p, &q);
+            let qr = hausdorff_distance(&q, &r);
+            let pr = hausdorff_distance(&p, &r);
+            prop_assert!(pr <= pq + qr + 1e-9);
+        }
+
+        /// The threshold test agrees with the exact computation.
+        #[test]
+        fn within_matches_exact(p in arb_points(10), q in arb_points(10), thr in 0.0..2000.0f64) {
+            let d = hausdorff_distance(&p, &q);
+            prop_assert_eq!(hausdorff_within(&p, &q, thr), d <= thr);
+        }
+
+        /// Lemma 2 and Lemma 3: dmin ≤ dside ≤ dH for the sets' MBRs.
+        #[test]
+        fn mbr_bounds_lower_bound_hausdorff(p in arb_points(12), q in arb_points(12)) {
+            let mp = Mbr::from_points(&p).unwrap();
+            let mq = Mbr::from_points(&q).unwrap();
+            let dh = hausdorff_distance(&p, &q);
+            let dmin = mp.min_distance(&mq);
+            let dside = mp.side_distance(&mq).max(mq.side_distance(&mp));
+            prop_assert!(dmin <= dside + 1e-9);
+            prop_assert!(dmin <= dh + 1e-9);
+            prop_assert!(mp.side_distance(&mq) <= dh + 1e-9);
+            prop_assert!(mq.side_distance(&mp) <= dh + 1e-9);
+            prop_assert!(dside <= dh + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Geometric primitives for gathering-pattern discovery.
+//!
+//! This crate provides the spatial substrate used by the rest of the
+//! workspace:
+//!
+//! * [`Point`] — a 2-D point with Euclidean distance operations,
+//! * [`Mbr`] — axis-aligned minimum bounding rectangles with the
+//!   rectangle/rectangle and side/rectangle minimum-distance functions that
+//!   back the `dmin` (Lemma 2) and `dside` (Lemma 3) lower bounds of the
+//!   paper,
+//! * [`hausdorff`] — exact and threshold-aware Hausdorff distance between
+//!   point sets (Definition in §II of the paper),
+//! * [`grid`] — the uniform grid geometry (cell side = √2/2·δ) and the
+//!   *affect region* of a cell (Definition 5).
+//!
+//! All distances are plain Euclidean distances in metres; the workspace
+//! treats trajectory coordinates as already projected onto a local planar
+//! coordinate system.
+
+pub mod grid;
+pub mod hausdorff;
+pub mod mbr;
+pub mod point;
+
+pub use grid::{CellCoord, GridGeometry};
+pub use hausdorff::{directed_hausdorff, hausdorff_distance, hausdorff_within};
+pub use mbr::Mbr;
+pub use point::Point;

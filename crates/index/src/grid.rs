@@ -1,0 +1,410 @@
+//! The grid index over snapshot clusters (§III-A.2 of the paper).
+//!
+//! All timestamps share a single [`GridGeometry`] whose cell side is
+//! `√2/2·δ`.  For one timestamp's cluster set the index stores
+//!
+//! * a **cell list** per cluster (`c.cl`) — the cells occupied by the
+//!   cluster's points,
+//! * an **inverted list** per cell (`g.inv`) — the clusters occupying the
+//!   cell, and
+//! * the points of each cluster bucketed by cell, which the refinement step
+//!   uses to answer nearest-neighbour-within-affect-region probes.
+//!
+//! The range search works in a pruning/refinement style:
+//!
+//! 1. *Pruning* ([`GridClusterIndex::candidates`]): a cluster `cj` survives
+//!    only if its cell list intersects the affect region of **every** cell of
+//!    the query cluster `ci` — otherwise some point of `ci` is farther than
+//!    `δ` from all of `cj`.
+//! 2. *Refinement* ([`GridClusterIndex::within_delta`]): points of either
+//!    cluster lying in cells shared by both are within `δ` of the other
+//!    cluster for free (the cell diagonal is `δ`); only points in the
+//!    symmetric difference of the cell lists are probed, and each probe only
+//!    inspects the other cluster's points inside the probe cell's affect
+//!    region.  This decides `dH ≤ δ` exactly, without ever computing the full
+//!    Hausdorff distance.
+
+use std::collections::{HashMap, HashSet};
+
+use gpdt_geo::{CellCoord, GridGeometry, Point};
+
+/// Grid index over the clusters of one timestamp.
+#[derive(Debug, Clone)]
+pub struct GridClusterIndex {
+    geometry: GridGeometry,
+    /// Per cluster: sorted list of occupied cells (`c.cl`).
+    cell_lists: Vec<Vec<CellCoord>>,
+    /// Per cluster: the cluster's points bucketed by cell.
+    points_by_cell: Vec<HashMap<CellCoord, Vec<Point>>>,
+    /// Per cell: clusters occupying the cell (`g.inv`).
+    inverted: HashMap<CellCoord, Vec<usize>>,
+}
+
+impl GridClusterIndex {
+    /// Builds the index for a set of clusters, given as point sets.
+    ///
+    /// Cluster `i` in the input is referred to as id `i` in all query
+    /// results.
+    pub fn build<S: AsRef<[Point]>>(geometry: GridGeometry, clusters: &[S]) -> Self {
+        let mut cell_lists = Vec::with_capacity(clusters.len());
+        let mut points_by_cell = Vec::with_capacity(clusters.len());
+        let mut inverted: HashMap<CellCoord, Vec<usize>> = HashMap::new();
+        for (idx, cluster) in clusters.iter().enumerate() {
+            let mut by_cell: HashMap<CellCoord, Vec<Point>> = HashMap::new();
+            for p in cluster.as_ref() {
+                by_cell.entry(geometry.cell_of(p)).or_default().push(*p);
+            }
+            let mut cells: Vec<CellCoord> = by_cell.keys().copied().collect();
+            cells.sort();
+            for &cell in &cells {
+                inverted.entry(cell).or_default().push(idx);
+            }
+            cell_lists.push(cells);
+            points_by_cell.push(by_cell);
+        }
+        GridClusterIndex {
+            geometry,
+            cell_lists,
+            points_by_cell,
+            inverted,
+        }
+    }
+
+    /// The shared grid geometry.
+    pub fn geometry(&self) -> &GridGeometry {
+        &self.geometry
+    }
+
+    /// Number of indexed clusters.
+    pub fn len(&self) -> usize {
+        self.cell_lists.len()
+    }
+
+    /// Returns `true` if no cluster is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.cell_lists.is_empty()
+    }
+
+    /// The cell list of indexed cluster `idx`.
+    pub fn cell_list(&self, idx: usize) -> &[CellCoord] {
+        &self.cell_lists[idx]
+    }
+
+    /// Computes the cell list of an external (query) cluster under this
+    /// index's geometry.
+    pub fn cell_list_of(&self, points: &[Point]) -> Vec<CellCoord> {
+        let mut cells: Vec<CellCoord> = points.iter().map(|p| self.geometry.cell_of(p)).collect();
+        cells.sort();
+        cells.dedup();
+        cells
+    }
+
+    /// **Pruning phase**: ids of indexed clusters whose cell list intersects
+    /// the affect region of every cell in `query_cells`.
+    ///
+    /// The result is a superset of the clusters within Hausdorff distance `δ`
+    /// of the query cluster (the grid geometry must have been built with
+    /// [`GridGeometry::for_delta`] for that `δ`).
+    pub fn candidates(&self, query_cells: &[CellCoord]) -> Vec<usize> {
+        if query_cells.is_empty() {
+            return Vec::new();
+        }
+        let mut survivors: Option<HashSet<usize>> = None;
+        for cell in query_cells {
+            let mut reachable: HashSet<usize> = HashSet::new();
+            for ar_cell in self.geometry.affect_region(cell) {
+                if let Some(list) = self.inverted.get(&ar_cell) {
+                    reachable.extend(list.iter().copied());
+                }
+            }
+            survivors = Some(match survivors {
+                None => reachable,
+                Some(prev) => prev.intersection(&reachable).copied().collect(),
+            });
+            if survivors.as_ref().is_some_and(HashSet::is_empty) {
+                return Vec::new();
+            }
+        }
+        let mut out: Vec<usize> = survivors.unwrap_or_default().into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// **Refinement phase**: decides whether the Hausdorff distance between
+    /// the query cluster and indexed cluster `candidate` is at most `delta`.
+    ///
+    /// `query_points` are the query cluster's points and `query_cells` its
+    /// cell list (as returned by [`Self::cell_list_of`]).
+    pub fn within_delta(
+        &self,
+        query_points: &[Point],
+        query_cells: &[CellCoord],
+        candidate: usize,
+        delta: f64,
+    ) -> bool {
+        let candidate_cells = &self.cell_lists[candidate];
+        let query_cell_set: HashSet<CellCoord> = query_cells.iter().copied().collect();
+        let candidate_cell_set: HashSet<CellCoord> = candidate_cells.iter().copied().collect();
+        let delta_sq = delta * delta;
+
+        // Direction 1: every query point in a cell NOT shared with the
+        // candidate must have a neighbour of the candidate within delta.
+        // (Query points in shared cells are within delta of the candidate
+        // point(s) in the same cell.)
+        for p in query_points {
+            let cell = self.geometry.cell_of(p);
+            if candidate_cell_set.contains(&cell) {
+                continue;
+            }
+            if !self.candidate_has_point_near(candidate, p, &cell, delta_sq) {
+                return false;
+            }
+        }
+
+        // Direction 2: every candidate point in a cell NOT shared with the
+        // query must have a query point within delta.
+        let query_by_cell = Self::bucket_by_cell(&self.geometry, query_points);
+        for (cell, points) in &self.points_by_cell[candidate] {
+            if query_cell_set.contains(cell) {
+                continue;
+            }
+            for p in points {
+                if !Self::point_near_in_affect_region(&self.geometry, &query_by_cell, p, cell, delta_sq)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Full range search: candidate generation followed by refinement.
+    ///
+    /// Returns the ids of all indexed clusters within Hausdorff distance
+    /// `delta` of the query cluster.
+    pub fn range_search(&self, query_points: &[Point], delta: f64) -> Vec<usize> {
+        let query_cells = self.cell_list_of(query_points);
+        self.candidates(&query_cells)
+            .into_iter()
+            .filter(|&c| self.within_delta(query_points, &query_cells, c, delta))
+            .collect()
+    }
+
+    fn candidate_has_point_near(
+        &self,
+        candidate: usize,
+        p: &Point,
+        cell: &CellCoord,
+        delta_sq: f64,
+    ) -> bool {
+        let by_cell = &self.points_by_cell[candidate];
+        for ar_cell in self.geometry.affect_region(cell) {
+            if let Some(points) = by_cell.get(&ar_cell) {
+                if points.iter().any(|q| p.distance_sq(q) <= delta_sq) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn bucket_by_cell(
+        geometry: &GridGeometry,
+        points: &[Point],
+    ) -> HashMap<CellCoord, Vec<Point>> {
+        let mut map: HashMap<CellCoord, Vec<Point>> = HashMap::new();
+        for p in points {
+            map.entry(geometry.cell_of(p)).or_default().push(*p);
+        }
+        map
+    }
+
+    fn point_near_in_affect_region(
+        geometry: &GridGeometry,
+        buckets: &HashMap<CellCoord, Vec<Point>>,
+        p: &Point,
+        cell: &CellCoord,
+        delta_sq: f64,
+    ) -> bool {
+        for ar_cell in geometry.affect_region(cell) {
+            if let Some(points) = buckets.get(&ar_cell) {
+                if points.iter().any(|q| p.distance_sq(q) <= delta_sq) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_geo::hausdorff_within;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 * 2.39996; // golden-angle spiral
+                let r = spread * (i as f64 / n as f64).sqrt();
+                Point::new(cx + r * angle.cos(), cy + r * angle.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_populates_cell_and_inverted_lists() {
+        let delta = 100.0;
+        let geometry = GridGeometry::for_delta(delta);
+        let clusters = vec![blob(0.0, 0.0, 10, 30.0), blob(1000.0, 0.0, 8, 20.0)];
+        let index = GridClusterIndex::build(geometry, &clusters);
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        assert!(!index.cell_list(0).is_empty());
+        assert!(!index.cell_list(1).is_empty());
+        // Cell lists are sorted and deduplicated.
+        for idx in 0..2 {
+            let cl = index.cell_list(idx);
+            for w in cl.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn far_clusters_are_pruned() {
+        let delta = 100.0;
+        let geometry = GridGeometry::for_delta(delta);
+        let clusters = vec![blob(0.0, 0.0, 10, 30.0), blob(5000.0, 5000.0, 10, 30.0)];
+        let index = GridClusterIndex::build(geometry, &clusters);
+        let query = blob(10.0, 10.0, 12, 25.0);
+        let cells = index.cell_list_of(&query);
+        let candidates = index.candidates(&cells);
+        assert!(candidates.contains(&0));
+        assert!(!candidates.contains(&1));
+    }
+
+    #[test]
+    fn identical_cluster_is_always_within_delta() {
+        let delta = 50.0;
+        let geometry = GridGeometry::for_delta(delta);
+        let cluster = blob(500.0, 300.0, 20, 40.0);
+        let index = GridClusterIndex::build(geometry, std::slice::from_ref(&cluster));
+        assert_eq!(index.range_search(&cluster, delta), vec![0]);
+    }
+
+    #[test]
+    fn range_search_matches_exact_hausdorff_test() {
+        let delta = 120.0;
+        let geometry = GridGeometry::for_delta(delta);
+        let clusters = vec![
+            blob(0.0, 0.0, 15, 50.0),
+            blob(80.0, 40.0, 12, 60.0),
+            blob(400.0, 0.0, 10, 30.0),
+            blob(90.0, -60.0, 18, 45.0),
+            blob(-200.0, 150.0, 9, 25.0),
+        ];
+        let index = GridClusterIndex::build(geometry, &clusters);
+        let query = blob(30.0, 10.0, 14, 55.0);
+        let got = index.range_search(&query, delta);
+        let expected: Vec<usize> = clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| hausdorff_within(&query, c, delta))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_query_yields_no_candidates() {
+        let geometry = GridGeometry::for_delta(100.0);
+        let index = GridClusterIndex::build(geometry, &[blob(0.0, 0.0, 5, 10.0)]);
+        assert!(index.candidates(&[]).is_empty());
+        assert!(index.range_search(&[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn empty_index_yields_no_results() {
+        let geometry = GridGeometry::for_delta(100.0);
+        let index = GridClusterIndex::build::<Vec<Point>>(geometry, &[]);
+        assert!(index.is_empty());
+        let query = blob(0.0, 0.0, 5, 10.0);
+        assert!(index.range_search(&query, 100.0).is_empty());
+    }
+
+    #[test]
+    fn elongated_cluster_pruned_by_every_cell_requirement() {
+        // A candidate overlapping only one end of a long query cluster is
+        // pruned because it misses the affect region of the far end's cells.
+        let delta = 50.0;
+        let geometry = GridGeometry::for_delta(delta);
+        let long_query: Vec<Point> = (0..40).map(|i| Point::new(i as f64 * 25.0, 0.0)).collect();
+        let near_one_end = blob(0.0, 10.0, 10, 20.0);
+        let index = GridClusterIndex::build(geometry, &[near_one_end]);
+        let cells = index.cell_list_of(&long_query);
+        assert!(index.candidates(&cells).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gpdt_geo::hausdorff_within;
+    use proptest::prelude::*;
+
+    fn arb_cluster() -> impl Strategy<Value = Vec<Point>> {
+        (
+            -500.0..500.0f64,
+            -500.0..500.0f64,
+            proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64), 1..20),
+        )
+            .prop_map(|(cx, cy, offsets)| {
+                offsets
+                    .into_iter()
+                    .map(|(dx, dy)| Point::new(cx + dx, cy + dy))
+                    .collect()
+            })
+    }
+
+    proptest! {
+        /// The grid range search returns exactly the clusters within
+        /// Hausdorff distance delta (agrees with the exact predicate).
+        #[test]
+        fn grid_range_search_is_exact(
+            clusters in proptest::collection::vec(arb_cluster(), 0..8),
+            query in arb_cluster(),
+            delta in 20.0..400.0f64,
+        ) {
+            let geometry = GridGeometry::for_delta(delta);
+            let index = GridClusterIndex::build(geometry, &clusters);
+            let got = index.range_search(&query, delta);
+            let expected: Vec<usize> = clusters
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| hausdorff_within(&query, c, delta))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Candidate generation never prunes a true result (it is a superset
+        /// of the exact answer).
+        #[test]
+        fn candidates_are_superset_of_exact(
+            clusters in proptest::collection::vec(arb_cluster(), 0..8),
+            query in arb_cluster(),
+            delta in 20.0..400.0f64,
+        ) {
+            let geometry = GridGeometry::for_delta(delta);
+            let index = GridClusterIndex::build(geometry, &clusters);
+            let cells = index.cell_list_of(&query);
+            let candidates = index.candidates(&cells);
+            for (i, c) in clusters.iter().enumerate() {
+                if hausdorff_within(&query, c, delta) {
+                    prop_assert!(candidates.contains(&i), "true result {i} was pruned");
+                }
+            }
+        }
+    }
+}

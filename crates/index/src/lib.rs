@@ -1,0 +1,25 @@
+//! Spatial indexes over snapshot clusters.
+//!
+//! The crowd-discovery range search must repeatedly answer the question
+//! *"which clusters at the next timestamp are within Hausdorff distance δ of
+//! this cluster?"*.  This crate provides the two index families the paper
+//! evaluates (§III-A):
+//!
+//! * [`rtree`] — an R-tree over cluster MBRs supporting
+//!   * the **SR** query (prune with `dmin`, Lemma 2) and
+//!   * the **IR** query (prune with the tighter `dside` bound, Lemma 3);
+//! * [`grid`] — a grid index sharing one [`gpdt_geo::GridGeometry`] across
+//!   all timestamps, with per-cluster cell lists, per-cell inverted lists and
+//!   the affect-region pruning + refinement of §III-A.2 (the **GRID**
+//!   strategy), which decides `dH ≤ δ` without ever computing an exact
+//!   Hausdorff distance.
+//!
+//! Both indexes are generic over "a set of point sets": they know nothing
+//! about object ids or timestamps, which keeps them reusable and keeps this
+//! crate's dependencies to `gpdt-geo` only.
+
+pub mod grid;
+pub mod rtree;
+
+pub use grid::GridClusterIndex;
+pub use rtree::RTree;

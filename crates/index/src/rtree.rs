@@ -1,0 +1,613 @@
+//! An R-tree over cluster minimum bounding rectangles.
+//!
+//! The tree is bulk-loaded with the Sort-Tile-Recursive (STR) algorithm —
+//! crowd discovery rebuilds the index for each timestamp from that
+//! timestamp's cluster set, so bulk loading is the natural construction — and
+//! additionally supports incremental insertion for callers that maintain a
+//! long-lived index.
+//!
+//! Two range queries are provided, matching the paper's two R-tree pruning
+//! schemes:
+//!
+//! * [`RTree::range_by_min_distance`] — the **SR** scheme: report entries
+//!   whose MBR is within minimum distance `δ` of the query MBR (`dmin`,
+//!   Lemma 2).
+//! * [`RTree::range_by_side_distance`] — the **IR** scheme: report entries
+//!   within the tighter `dside` bound (Lemma 3).  During traversal a node is
+//!   only descended if it intersects *all four* side rectangles of the query
+//!   MBR enlarged by `δ`, exactly as described in §III-A.1.
+
+use gpdt_geo::Mbr;
+
+/// Maximum number of entries/children per node.
+const MAX_FILL: usize = 16;
+/// Minimum number of children for a split node (not used by STR loading but
+/// kept for incremental insertion splits).
+const MIN_FILL: usize = MAX_FILL / 4;
+
+/// An entry stored in the tree: a rectangle and the caller's identifier for
+/// it (typically the index of a snapshot cluster within its timestamp's
+/// cluster set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Bounding rectangle of the indexed item.
+    pub mbr: Mbr,
+    /// Caller-supplied identifier.
+    pub id: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { mbr: Mbr, entries: Vec<Entry> },
+    Inner { mbr: Mbr, children: Vec<Node> },
+}
+
+impl Node {
+    fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } => mbr,
+            Node::Inner { mbr, .. } => mbr,
+        }
+    }
+
+    fn recompute_mbr(&mut self) {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                let mut m = entries[0].mbr;
+                for e in &entries[1..] {
+                    m.expand_to_mbr(&e.mbr);
+                }
+                *mbr = m;
+            }
+            Node::Inner { mbr, children } => {
+                let mut m = *children[0].mbr();
+                for c in &children[1..] {
+                    m.expand_to_mbr(c.mbr());
+                }
+                *mbr = m;
+            }
+        }
+    }
+}
+
+/// An R-tree over [`Entry`] rectangles.
+#[derive(Debug, Clone, Default)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk-loads the tree with Sort-Tile-Recursive packing.
+    pub fn bulk_load(mut entries: Vec<Entry>) -> Self {
+        let len = entries.len();
+        if entries.is_empty() {
+            return RTree::new();
+        }
+        // STR: sort by centre x, slice into vertical strips, sort each strip
+        // by centre y and pack runs of MAX_FILL entries into leaves.
+        entries.sort_by(|a, b| {
+            a.mbr
+                .center()
+                .x
+                .partial_cmp(&b.mbr.center().x)
+                .expect("finite MBR centres")
+        });
+        let leaf_count = len.div_ceil(MAX_FILL);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let strip_size = len.div_ceil(strip_count);
+
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for strip in entries.chunks(strip_size.max(1)) {
+            let mut strip: Vec<Entry> = strip.to_vec();
+            strip.sort_by(|a, b| {
+                a.mbr
+                    .center()
+                    .y
+                    .partial_cmp(&b.mbr.center().y)
+                    .expect("finite MBR centres")
+            });
+            for run in strip.chunks(MAX_FILL) {
+                let mut node = Node::Leaf {
+                    mbr: run[0].mbr,
+                    entries: run.to_vec(),
+                };
+                node.recompute_mbr();
+                leaves.push(node);
+            }
+        }
+        let root = Self::pack_upwards(leaves);
+        RTree {
+            root: Some(root),
+            len,
+        }
+    }
+
+    fn pack_upwards(mut nodes: Vec<Node>) -> Node {
+        while nodes.len() > 1 {
+            // Re-sort by centre x then tile, mirroring the leaf-level STR
+            // pass one level up.
+            nodes.sort_by(|a, b| {
+                a.mbr()
+                    .center()
+                    .x
+                    .partial_cmp(&b.mbr().center().x)
+                    .expect("finite MBR centres")
+            });
+            let mut next: Vec<Node> = Vec::with_capacity(nodes.len().div_ceil(MAX_FILL));
+            let parent_count = nodes.len().div_ceil(MAX_FILL);
+            let strip_count = (parent_count as f64).sqrt().ceil() as usize;
+            let strip_size = nodes.len().div_ceil(strip_count.max(1));
+            let mut strips: Vec<Vec<Node>> = Vec::new();
+            let mut current = nodes;
+            while !current.is_empty() {
+                let rest = current.split_off(current.len().min(strip_size));
+                strips.push(current);
+                current = rest;
+            }
+            for mut strip in strips {
+                strip.sort_by(|a, b| {
+                    a.mbr()
+                        .center()
+                        .y
+                        .partial_cmp(&b.mbr().center().y)
+                        .expect("finite MBR centres")
+                });
+                while !strip.is_empty() {
+                    let rest = strip.split_off(strip.len().min(MAX_FILL));
+                    let mut node = Node::Inner {
+                        mbr: *strip[0].mbr(),
+                        children: strip,
+                    };
+                    node.recompute_mbr();
+                    next.push(node);
+                    strip = rest;
+                }
+            }
+            nodes = next;
+        }
+        nodes.pop().expect("non-empty input")
+    }
+
+    /// Inserts a single entry (quadratic-split R-tree insertion).
+    pub fn insert(&mut self, entry: Entry) {
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf {
+                    mbr: entry.mbr,
+                    entries: vec![entry],
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = Self::insert_into(&mut root, entry) {
+                    // Root split: grow the tree by one level.
+                    let mut new_root = Node::Inner {
+                        mbr: *root.mbr(),
+                        children: vec![root, sibling],
+                    };
+                    new_root.recompute_mbr();
+                    self.root = Some(new_root);
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    fn insert_into(node: &mut Node, entry: Entry) -> Option<Node> {
+        match node {
+            Node::Leaf { entries, .. } => {
+                entries.push(entry);
+                let split = if entries.len() > MAX_FILL {
+                    Some(Self::split_leaf(entries))
+                } else {
+                    None
+                };
+                node.recompute_mbr();
+                split
+            }
+            Node::Inner { children, .. } => {
+                // Choose the child needing the least enlargement (ties: least
+                // area).
+                let best = children
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let ea = a.mbr().enlargement(&entry.mbr);
+                        let eb = b.mbr().enlargement(&entry.mbr);
+                        ea.partial_cmp(&eb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(
+                                a.mbr()
+                                    .area()
+                                    .partial_cmp(&b.mbr().area())
+                                    .unwrap_or(std::cmp::Ordering::Equal),
+                            )
+                    })
+                    .map(|(i, _)| i)
+                    .expect("inner nodes have children");
+                let maybe_split = Self::insert_into(&mut children[best], entry);
+                if let Some(sibling) = maybe_split {
+                    children.push(sibling);
+                }
+                let split = if children.len() > MAX_FILL {
+                    Some(Self::split_inner(children))
+                } else {
+                    None
+                };
+                node.recompute_mbr();
+                split
+            }
+        }
+    }
+
+    fn split_leaf(entries: &mut Vec<Entry>) -> Node {
+        // Simple linear split: separate along the axis with the widest spread
+        // of centres.
+        entries.sort_by(|a, b| {
+            a.mbr
+                .center()
+                .x
+                .partial_cmp(&b.mbr.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let spread_x = entries.last().unwrap().mbr.center().x - entries[0].mbr.center().x;
+        let mut by_y = entries.clone();
+        by_y.sort_by(|a, b| {
+            a.mbr
+                .center()
+                .y
+                .partial_cmp(&b.mbr.center().y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let spread_y = by_y.last().unwrap().mbr.center().y - by_y[0].mbr.center().y;
+        if spread_y > spread_x {
+            *entries = by_y;
+        }
+        let keep = entries.len() - MIN_FILL.max(entries.len() / 2);
+        let moved = entries.split_off(keep);
+        let mut sibling = Node::Leaf {
+            mbr: moved[0].mbr,
+            entries: moved,
+        };
+        sibling.recompute_mbr();
+        sibling
+    }
+
+    fn split_inner(children: &mut Vec<Node>) -> Node {
+        children.sort_by(|a, b| {
+            a.mbr()
+                .center()
+                .x
+                .partial_cmp(&b.mbr().center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let keep = children.len() - MIN_FILL.max(children.len() / 2);
+        let moved = children.split_off(keep);
+        let mut sibling = Node::Inner {
+            mbr: *moved[0].mbr(),
+            children: moved,
+        };
+        sibling.recompute_mbr();
+        sibling
+    }
+
+    /// **SR query**: ids of all entries whose MBR is within minimum distance
+    /// `delta` of `query` (`dmin(query, entry) ≤ delta`).
+    ///
+    /// By Lemma 2 this is a superset of the clusters within Hausdorff
+    /// distance `delta`; callers refine the survivors.
+    pub fn range_by_min_distance(&self, query: &Mbr, delta: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                if node.mbr().min_distance(query) > delta {
+                    continue;
+                }
+                match node {
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            if query.min_distance(&e.mbr) <= delta {
+                                out.push(e.id);
+                            }
+                        }
+                    }
+                    Node::Inner { children, .. } => stack.extend(children.iter()),
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// **IR query**: ids of all entries within the `dside` bound of `query`
+    /// (`dside(query, entry) ≤ delta`, Lemma 3).
+    ///
+    /// Traversal enlarges each of the four sides of `query` by `delta`; a
+    /// node is descended only if its MBR intersects all four enlarged side
+    /// rectangles (a node that misses one cannot contain any entry with
+    /// `dside ≤ delta`).
+    pub fn range_by_side_distance(&self, query: &Mbr, delta: f64) -> Vec<usize> {
+        let side_windows: Vec<Mbr> = query.sides().iter().map(|s| s.enlarged(delta)).collect();
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                if !side_windows.iter().all(|w| w.intersects(node.mbr())) {
+                    continue;
+                }
+                match node {
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            if query.side_distance(&e.mbr) <= delta {
+                                out.push(e.id);
+                            }
+                        }
+                    }
+                    Node::Inner { children, .. } => stack.extend(children.iter()),
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of all entries whose MBR intersects `window` (plain window query).
+    pub fn window_query(&self, window: &Mbr) -> Vec<usize> {
+        self.range_by_min_distance(window, 0.0)
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Inner { children, .. } => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        self.root.as_ref().map(depth).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_geo::Point;
+
+    fn entry(id: usize, x: f64, y: f64, w: f64, h: f64) -> Entry {
+        Entry {
+            id,
+            mbr: Mbr::new(x, y, x + w, y + h),
+        }
+    }
+
+    fn grid_entries(n: usize, spacing: f64) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                let col = (i % 10) as f64;
+                let row = (i / 10) as f64;
+                entry(i, col * spacing, row * spacing, 1.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Brute-force oracles for the two range predicates.
+    fn brute_dmin(entries: &[Entry], q: &Mbr, delta: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = entries
+            .iter()
+            .filter(|e| q.min_distance(&e.mbr) <= delta)
+            .map(|e| e.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn brute_dside(entries: &[Entry], q: &Mbr, delta: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = entries
+            .iter()
+            .filter(|e| q.side_distance(&e.mbr) <= delta)
+            .map(|e| e.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 0);
+        let q = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        assert!(t.range_by_min_distance(&q, 10.0).is_empty());
+        assert!(t.range_by_side_distance(&q, 10.0).is_empty());
+    }
+
+    #[test]
+    fn bulk_load_stores_all_entries() {
+        let entries = grid_entries(57, 10.0);
+        let t = RTree::bulk_load(entries.clone());
+        assert_eq!(t.len(), 57);
+        assert!(t.height() >= 2);
+        // A window covering everything returns every id.
+        let all = t.window_query(&Mbr::new(-1.0, -1.0, 1000.0, 1000.0));
+        assert_eq!(all, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dmin_query_matches_bruteforce() {
+        let entries = grid_entries(100, 7.0);
+        let t = RTree::bulk_load(entries.clone());
+        for (qx, qy, delta) in [(0.0, 0.0, 5.0), (35.0, 35.0, 10.0), (70.0, 0.0, 0.5)] {
+            let q = Mbr::new(qx, qy, qx + 3.0, qy + 3.0);
+            assert_eq!(
+                t.range_by_min_distance(&q, delta),
+                brute_dmin(&entries, &q, delta),
+                "query at ({qx},{qy}) delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn dside_query_matches_bruteforce() {
+        let entries = grid_entries(100, 7.0);
+        let t = RTree::bulk_load(entries.clone());
+        for (qx, qy, delta) in [(0.0, 0.0, 5.0), (35.0, 35.0, 12.0), (70.0, 0.0, 3.0)] {
+            let q = Mbr::new(qx, qy, qx + 6.0, qy + 6.0);
+            assert_eq!(
+                t.range_by_side_distance(&q, delta),
+                brute_dside(&entries, &q, delta),
+                "query at ({qx},{qy}) delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn dside_results_are_subset_of_dmin_results() {
+        let entries = grid_entries(80, 9.0);
+        let t = RTree::bulk_load(entries);
+        let q = Mbr::new(20.0, 20.0, 30.0, 30.0);
+        let delta = 15.0;
+        let dmin_ids = t.range_by_min_distance(&q, delta);
+        let dside_ids = t.range_by_side_distance(&q, delta);
+        for id in &dside_ids {
+            assert!(dmin_ids.contains(id));
+        }
+        assert!(dside_ids.len() <= dmin_ids.len());
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_load_results() {
+        let entries = grid_entries(64, 5.0);
+        let bulk = RTree::bulk_load(entries.clone());
+        let mut incremental = RTree::new();
+        for e in &entries {
+            incremental.insert(*e);
+        }
+        assert_eq!(incremental.len(), bulk.len());
+        let q = Mbr::new(11.0, 11.0, 13.0, 13.0);
+        for delta in [0.0, 2.0, 8.0, 30.0] {
+            assert_eq!(
+                incremental.range_by_min_distance(&q, delta),
+                bulk.range_by_min_distance(&q, delta)
+            );
+            assert_eq!(
+                incremental.range_by_side_distance(&q, delta),
+                bulk.range_by_side_distance(&q, delta)
+            );
+        }
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let t = RTree::bulk_load(vec![entry(7, 10.0, 10.0, 2.0, 2.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let q = Mbr::from_point(Point::new(0.0, 10.0));
+        assert_eq!(t.range_by_min_distance(&q, 10.0), vec![7]);
+        assert!(t.range_by_min_distance(&q, 9.9).is_empty());
+    }
+
+    #[test]
+    fn window_query_returns_intersecting_only() {
+        let entries = vec![
+            entry(0, 0.0, 0.0, 1.0, 1.0),
+            entry(1, 5.0, 5.0, 1.0, 1.0),
+            entry(2, 0.5, 0.5, 1.0, 1.0),
+        ];
+        let t = RTree::bulk_load(entries);
+        assert_eq!(t.window_query(&Mbr::new(0.0, 0.0, 2.0, 2.0)), vec![0, 2]);
+        assert_eq!(t.window_query(&Mbr::new(5.5, 5.5, 6.0, 6.0)), vec![1]);
+        assert!(t.window_query(&Mbr::new(100.0, 100.0, 101.0, 101.0)).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_mbr() -> impl Strategy<Value = Mbr> {
+        (
+            -500.0..500.0f64,
+            -500.0..500.0f64,
+            0.0..50.0f64,
+            0.0..50.0f64,
+        )
+            .prop_map(|(x, y, w, h)| Mbr::new(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        /// The R-tree dmin query equals a linear scan for random data.
+        #[test]
+        fn dmin_query_equals_linear_scan(
+            mbrs in proptest::collection::vec(arb_mbr(), 0..80),
+            query in arb_mbr(),
+            delta in 0.0..200.0f64,
+        ) {
+            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+            let tree = RTree::bulk_load(entries.clone());
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|e| query.min_distance(&e.mbr) <= delta)
+                .map(|e| e.id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(tree.range_by_min_distance(&query, delta), expected);
+        }
+
+        /// The R-tree dside query equals a linear scan for random data.
+        #[test]
+        fn dside_query_equals_linear_scan(
+            mbrs in proptest::collection::vec(arb_mbr(), 0..80),
+            query in arb_mbr(),
+            delta in 0.0..200.0f64,
+        ) {
+            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+            let tree = RTree::bulk_load(entries.clone());
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|e| query.side_distance(&e.mbr) <= delta)
+                .map(|e| e.id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(tree.range_by_side_distance(&query, delta), expected);
+        }
+
+        /// Insertion-built trees answer queries identically to bulk-loaded ones.
+        #[test]
+        fn insert_equals_bulk_load(
+            mbrs in proptest::collection::vec(arb_mbr(), 1..60),
+            query in arb_mbr(),
+            delta in 0.0..100.0f64,
+        ) {
+            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+            let bulk = RTree::bulk_load(entries.clone());
+            let mut incr = RTree::new();
+            for e in &entries {
+                incr.insert(*e);
+            }
+            prop_assert_eq!(
+                bulk.range_by_min_distance(&query, delta),
+                incr.range_by_min_distance(&query, delta)
+            );
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The moving-object (trajectory) database `ODB`.
+
+use std::collections::BTreeMap;
+
+use gpdt_geo::Point;
+
+use crate::trajectory::{Sample, Trajectory};
+use crate::types::{ObjectId, TimeInterval, Timestamp};
+
+/// The positions of all tracked objects at one time point.
+///
+/// This is the input of the snapshot-clustering phase: for every object whose
+/// lifespan covers the tick, its (possibly interpolated) location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The tick this snapshot describes.
+    pub time: Timestamp,
+    /// `(object, location)` pairs, sorted by object id.
+    pub positions: Vec<(ObjectId, Point)>,
+}
+
+impl Snapshot {
+    /// Number of objects present at this tick.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if no object is present at this tick.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Location of `id` at this tick, if the object is present.
+    pub fn position_of(&self, id: ObjectId) -> Option<Point> {
+        self.positions
+            .binary_search_by_key(&id, |(oid, _)| *oid)
+            .ok()
+            .map(|idx| self.positions[idx].1)
+    }
+}
+
+/// A database of moving-object trajectories over a discretised time domain.
+///
+/// This corresponds to `ODB` with time domain `TDB` in the paper.  The time
+/// domain is the union of all trajectory lifespans, `[min_time, max_time]`.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryDatabase {
+    trajectories: BTreeMap<ObjectId, Trajectory>,
+}
+
+impl TrajectoryDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TrajectoryDatabase::default()
+    }
+
+    /// Creates a database from a collection of trajectories.
+    ///
+    /// If several trajectories share an object id their samples are merged.
+    pub fn from_trajectories(trajectories: impl IntoIterator<Item = Trajectory>) -> Self {
+        let mut db = TrajectoryDatabase::new();
+        for t in trajectories {
+            db.insert(t);
+        }
+        db
+    }
+
+    /// Inserts (or merges) a trajectory.
+    pub fn insert(&mut self, trajectory: Trajectory) {
+        match self.trajectories.get_mut(&trajectory.id()) {
+            Some(existing) => {
+                let mut samples: Vec<Sample> = existing.samples().to_vec();
+                samples.extend_from_slice(trajectory.samples());
+                *existing = Trajectory::new(existing.id(), samples);
+            }
+            None => {
+                self.trajectories.insert(trajectory.id(), trajectory);
+            }
+        }
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Returns `true` if the database holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// The trajectory of `id`, if tracked.
+    pub fn get(&self, id: ObjectId) -> Option<&Trajectory> {
+        self.trajectories.get(&id)
+    }
+
+    /// Iterator over all trajectories, ordered by object id.
+    pub fn iter(&self) -> impl Iterator<Item = &Trajectory> {
+        self.trajectories.values()
+    }
+
+    /// All object ids, ordered.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.trajectories.keys().copied().collect()
+    }
+
+    /// The time domain `TDB`: the interval spanned by all lifespans, or
+    /// `None` for an empty database.
+    pub fn time_domain(&self) -> Option<TimeInterval> {
+        let mut min = Timestamp::MAX;
+        let mut max = Timestamp::MIN;
+        for t in self.trajectories.values() {
+            let l = t.lifespan();
+            min = min.min(l.start);
+            max = max.max(l.end);
+        }
+        if self.trajectories.is_empty() {
+            None
+        } else {
+            Some(TimeInterval::new(min, max))
+        }
+    }
+
+    /// The snapshot of all object locations at tick `t`.
+    ///
+    /// Objects whose lifespan does not cover `t` are absent; objects without
+    /// an exact sample at `t` contribute a linearly interpolated virtual
+    /// point, exactly as prescribed in §II of the paper.
+    pub fn snapshot(&self, t: Timestamp) -> Snapshot {
+        let positions = self
+            .trajectories
+            .values()
+            .filter_map(|traj| traj.position_at(t).map(|p| (traj.id(), p)))
+            .collect();
+        Snapshot { time: t, positions }
+    }
+
+    /// Restricts the database to trajectories of the given objects.
+    ///
+    /// Used by the `|ODB|` scalability sweeps, which sample random subsets of
+    /// the object population.
+    pub fn filter_objects(&self, ids: &[ObjectId]) -> TrajectoryDatabase {
+        let wanted: std::collections::BTreeSet<ObjectId> = ids.iter().copied().collect();
+        TrajectoryDatabase {
+            trajectories: self
+                .trajectories
+                .iter()
+                .filter(|(id, _)| wanted.contains(id))
+                .map(|(id, t)| (*id, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Appends a batch of new trajectory data (the incremental-update
+    /// scenario of §III-C).
+    ///
+    /// Samples of existing objects are merged into their trajectories; new
+    /// objects are added.
+    pub fn append_batch(&mut self, batch: impl IntoIterator<Item = Trajectory>) {
+        for t in batch {
+            self.insert(t);
+        }
+    }
+
+    /// Restricts the database to the given time interval, dropping objects
+    /// with no samples inside it.
+    pub fn slice_time(&self, interval: TimeInterval) -> TrajectoryDatabase {
+        TrajectoryDatabase {
+            trajectories: self
+                .trajectories
+                .iter()
+                .filter_map(|(id, t)| t.slice(interval).map(|s| (*id, s)))
+                .collect(),
+        }
+    }
+
+    /// Total number of stored samples across all trajectories.
+    pub fn total_samples(&self) -> usize {
+        self.trajectories.values().map(|t| t.len()).sum()
+    }
+}
+
+/// Incremental builder for a [`TrajectoryDatabase`].
+///
+/// Collects raw `(object, tick, position)` observations in any order and
+/// assembles them into trajectories.
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    samples: BTreeMap<ObjectId, Vec<Sample>>,
+}
+
+impl DatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DatabaseBuilder::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, id: ObjectId, time: Timestamp, position: Point) -> &mut Self {
+        self.samples.entry(id).or_default().push(Sample::new(time, position));
+        self
+    }
+
+    /// Number of observations recorded so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples.values().map(Vec::len).sum()
+    }
+
+    /// Builds the database; objects with no observations are absent.
+    pub fn build(self) -> TrajectoryDatabase {
+        TrajectoryDatabase::from_trajectories(
+            self.samples
+                .into_iter()
+                .map(|(id, samples)| Trajectory::new(id, samples)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TrajectoryDatabase {
+        TrajectoryDatabase::from_trajectories(vec![
+            Trajectory::from_points(ObjectId::new(1), vec![(0, (0.0, 0.0)), (10, (10.0, 0.0))]),
+            Trajectory::from_points(ObjectId::new(2), vec![(5, (0.0, 5.0)), (15, (0.0, 15.0))]),
+            Trajectory::from_points(ObjectId::new(3), vec![(20, (1.0, 1.0))]),
+        ])
+    }
+
+    #[test]
+    fn time_domain_spans_all_lifespans() {
+        assert_eq!(db().time_domain(), Some(TimeInterval::new(0, 20)));
+        assert_eq!(TrajectoryDatabase::new().time_domain(), None);
+    }
+
+    #[test]
+    fn snapshot_contains_only_live_objects() {
+        let db = db();
+        let s0 = db.snapshot(0);
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0.position_of(ObjectId::new(1)), Some(Point::new(0.0, 0.0)));
+
+        let s7 = db.snapshot(7);
+        assert_eq!(s7.len(), 2);
+        // Object 1 interpolated at t=7 -> (7, 0); object 2 at t=7 -> (0, 7).
+        assert_eq!(s7.position_of(ObjectId::new(1)), Some(Point::new(7.0, 0.0)));
+        assert_eq!(s7.position_of(ObjectId::new(2)), Some(Point::new(0.0, 7.0)));
+        assert_eq!(s7.position_of(ObjectId::new(3)), None);
+
+        let s20 = db.snapshot(20);
+        assert_eq!(s20.len(), 1);
+        assert!(!s20.is_empty());
+        assert_eq!(s20.position_of(ObjectId::new(3)), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn snapshot_positions_sorted_by_object_id() {
+        let s = db().snapshot(7);
+        let ids: Vec<u32> = s.positions.iter().map(|(id, _)| id.raw()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn insert_merges_same_object() {
+        let mut db = TrajectoryDatabase::new();
+        db.insert(Trajectory::from_points(ObjectId::new(1), vec![(0, (0.0, 0.0))]));
+        db.insert(Trajectory::from_points(ObjectId::new(1), vec![(5, (5.0, 0.0))]));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(ObjectId::new(1)).unwrap().len(), 2);
+        assert_eq!(db.total_samples(), 2);
+    }
+
+    #[test]
+    fn filter_objects_keeps_only_requested() {
+        let db = db();
+        let filtered = db.filter_objects(&[ObjectId::new(1), ObjectId::new(3), ObjectId::new(9)]);
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.get(ObjectId::new(2)).is_none());
+    }
+
+    #[test]
+    fn append_batch_extends_time_domain() {
+        let mut db = db();
+        db.append_batch(vec![Trajectory::from_points(
+            ObjectId::new(2),
+            vec![(25, (0.0, 25.0))],
+        )]);
+        assert_eq!(db.time_domain(), Some(TimeInterval::new(0, 25)));
+        assert_eq!(db.get(ObjectId::new(2)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn slice_time_drops_objects_outside_interval() {
+        let db = db();
+        let sliced = db.slice_time(TimeInterval::new(0, 10));
+        assert_eq!(sliced.len(), 2);
+        assert!(sliced.get(ObjectId::new(3)).is_none());
+    }
+
+    #[test]
+    fn builder_assembles_per_object_trajectories() {
+        let mut b = DatabaseBuilder::new();
+        b.push(ObjectId::new(1), 2, Point::new(1.0, 1.0));
+        b.push(ObjectId::new(2), 0, Point::new(0.0, 0.0));
+        b.push(ObjectId::new(1), 0, Point::new(0.0, 0.0));
+        assert_eq!(b.sample_count(), 3);
+        let db = b.build();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(ObjectId::new(1)).unwrap().len(), 2);
+        assert_eq!(
+            db.get(ObjectId::new(1)).unwrap().lifespan(),
+            TimeInterval::new(0, 2)
+        );
+    }
+
+    #[test]
+    fn empty_database_properties() {
+        let db = TrajectoryDatabase::new();
+        assert!(db.is_empty());
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.total_samples(), 0);
+        assert!(db.snapshot(0).is_empty());
+        assert!(db.object_ids().is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Douglas–Peucker polyline simplification.
+//!
+//! The snapshot-clustering phase of the paper can be accelerated by first
+//! simplifying every trajectory with the Douglas–Peucker algorithm and
+//! clustering the resulting line segments (the CuTS approach of Jeung et
+//! al.).  This module provides the simplification step; the segment
+//! clustering lives in `gpdt-clustering`.
+
+use gpdt_geo::Point;
+
+use crate::trajectory::{Sample, Trajectory};
+
+/// Simplifies a polyline with the Douglas–Peucker algorithm.
+///
+/// Returns the indices (into `points`, in increasing order) of the retained
+/// vertices.  The first and last points are always retained.  `tolerance` is
+/// the maximum allowed perpendicular deviation of dropped points from the
+/// simplified polyline.
+///
+/// An empty input yields an empty output; a single point yields `[0]`.
+pub fn douglas_peucker(points: &[Point], tolerance: f64) -> Vec<usize> {
+    assert!(
+        tolerance >= 0.0 && tolerance.is_finite(),
+        "tolerance must be non-negative and finite"
+    );
+    match points.len() {
+        0 => return Vec::new(),
+        1 => return vec![0],
+        2 => return vec![0, 1],
+        _ => {}
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    // Explicit stack instead of recursion: trajectories can be long and the
+    // recursion depth is data-dependent.
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((start, end)) = stack.pop() {
+        if end <= start + 1 {
+            continue;
+        }
+        let (mut max_dist, mut max_idx) = (0.0f64, start);
+        for (idx, p) in points.iter().enumerate().take(end).skip(start + 1) {
+            let d = p.distance_to_segment(&points[start], &points[end]);
+            if d > max_dist {
+                max_dist = d;
+                max_idx = idx;
+            }
+        }
+        if max_dist > tolerance {
+            keep[max_idx] = true;
+            stack.push((start, max_idx));
+            stack.push((max_idx, end));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Simplifies a trajectory, keeping only the samples selected by
+/// Douglas–Peucker on its spatial polyline.
+///
+/// The temporal information of retained samples is preserved, so the
+/// simplified trajectory still interpolates positions over the same
+/// lifespan (with bounded spatial error).
+pub fn simplify_trajectory(trajectory: &Trajectory, tolerance: f64) -> Trajectory {
+    let points: Vec<Point> = trajectory.samples().iter().map(|s| s.position).collect();
+    let kept = douglas_peucker(&points, tolerance);
+    let samples: Vec<Sample> = kept.iter().map(|&i| trajectory.samples()[i]).collect();
+    Trajectory::new(trajectory.id(), samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ObjectId;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert_eq!(douglas_peucker(&[], 1.0), Vec::<usize>::new());
+        assert_eq!(douglas_peucker(&pts(&[(0.0, 0.0)]), 1.0), vec![0]);
+        assert_eq!(douglas_peucker(&pts(&[(0.0, 0.0), (1.0, 1.0)]), 1.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_endpoints() {
+        let p = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(douglas_peucker(&p, 0.1), vec![0, 3]);
+    }
+
+    #[test]
+    fn prominent_corner_is_kept() {
+        let p = pts(&[(0.0, 0.0), (5.0, 10.0), (10.0, 0.0)]);
+        assert_eq!(douglas_peucker(&p, 1.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn small_wiggles_are_dropped() {
+        let p = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.05),
+            (2.0, -0.05),
+            (3.0, 0.02),
+            (4.0, 0.0),
+        ]);
+        assert_eq!(douglas_peucker(&p, 0.5), vec![0, 4]);
+    }
+
+    #[test]
+    fn spike_splits_recursion_and_keeps_deviating_neighbours() {
+        // The spike at index 3 is kept.  Within the [0, 3] split, index 2
+        // deviates most from the (0,0)-(3,5) chord and is kept; index 1 then
+        // lies within the tolerance of the (0,0)-(2,-0.05) chord and is
+        // dropped.
+        let p = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.05),
+            (2.0, -0.05),
+            (3.0, 5.0),
+            (4.0, 0.0),
+        ]);
+        assert_eq!(douglas_peucker(&p, 0.5), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_all_non_collinear_points() {
+        let p = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.5), (3.0, 2.0)]);
+        assert_eq!(douglas_peucker(&p, 0.0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        let _ = douglas_peucker(&pts(&[(0.0, 0.0), (1.0, 0.0)]), -1.0);
+    }
+
+    #[test]
+    fn simplify_trajectory_preserves_endpoints_and_id() {
+        let traj = Trajectory::from_points(
+            ObjectId::new(9),
+            vec![
+                (0, (0.0, 0.0)),
+                (1, (10.0, 0.1)),
+                (2, (20.0, -0.1)),
+                (3, (30.0, 0.0)),
+            ],
+        );
+        let s = simplify_trajectory(&traj, 1.0);
+        assert_eq!(s.id(), ObjectId::new(9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lifespan(), traj.lifespan());
+    }
+
+    #[test]
+    fn simplified_error_is_bounded_by_tolerance() {
+        let traj = Trajectory::from_points(
+            ObjectId::new(1),
+            (0..50u32)
+                .map(|i| {
+                    let x = i as f64 * 10.0;
+                    let y = (i as f64 * 0.7).sin() * 3.0;
+                    (i, (x, y))
+                })
+                .collect::<Vec<_>>(),
+        );
+        let tol = 1.5;
+        let s = simplify_trajectory(&traj, tol);
+        assert!(s.len() < traj.len());
+        // Every original sample must be within `tol` of the simplified
+        // polyline (checked against the nearest retained segment).
+        let simplified: Vec<Point> = s.samples().iter().map(|p| p.position).collect();
+        for orig in traj.samples() {
+            let min_d = simplified
+                .windows(2)
+                .map(|w| orig.position.distance_to_segment(&w[0], &w[1]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_d <= tol + 1e-9, "sample deviates by {min_d}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_polyline() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 2..60)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        /// Output indices are strictly increasing and include both endpoints.
+        #[test]
+        fn keeps_endpoints_and_order(points in arb_polyline(), tol in 0.0..500.0f64) {
+            let kept = douglas_peucker(&points, tol);
+            prop_assert!(kept.len() >= 2);
+            prop_assert_eq!(kept[0], 0);
+            prop_assert_eq!(*kept.last().unwrap(), points.len() - 1);
+            for w in kept.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+
+        /// Every dropped point is within tolerance of the simplified polyline.
+        #[test]
+        fn error_bounded(points in arb_polyline(), tol in 0.0..500.0f64) {
+            let kept = douglas_peucker(&points, tol);
+            let simplified: Vec<Point> = kept.iter().map(|&i| points[i]).collect();
+            for p in &points {
+                let min_d = simplified
+                    .windows(2)
+                    .map(|w| p.distance_to_segment(&w[0], &w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                let min_d = if simplified.len() == 1 { p.distance(&simplified[0]) } else { min_d };
+                prop_assert!(min_d <= tol + 1e-6);
+            }
+        }
+    }
+}

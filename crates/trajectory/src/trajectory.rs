@@ -1,0 +1,367 @@
+//! A single moving object's trajectory.
+
+use gpdt_geo::Point;
+
+use crate::types::{ObjectId, TimeInterval, Timestamp};
+
+/// One timestamped location sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The tick at which the location was observed.
+    pub time: Timestamp,
+    /// The observed location.
+    pub position: Point,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub const fn new(time: Timestamp, position: Point) -> Self {
+        Sample { time, position }
+    }
+}
+
+/// The trajectory of a single moving object.
+///
+/// A trajectory is a polyline given as a finite sequence of timestamped
+/// locations over a closed time interval (§II of the paper).  Samples are
+/// kept sorted by timestamp; different objects may have different lifespans
+/// and sampling rates.  Locations at unsampled ticks inside the lifespan are
+/// produced by linear interpolation ([`Trajectory::position_at`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    id: ObjectId,
+    samples: Vec<Sample>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from unordered samples.
+    ///
+    /// Samples are sorted by timestamp; duplicate timestamps keep the last
+    /// occurrence (later observations overwrite earlier ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn new(id: ObjectId, mut samples: Vec<Sample>) -> Self {
+        assert!(!samples.is_empty(), "a trajectory needs at least one sample");
+        samples.sort_by_key(|s| s.time);
+        samples.dedup_by(|later, earlier| {
+            if later.time == earlier.time {
+                // keep the later observation's position
+                earlier.position = later.position;
+                true
+            } else {
+                false
+            }
+        });
+        Trajectory { id, samples }
+    }
+
+    /// Convenience constructor from `(timestamp, (x, y))` pairs.
+    pub fn from_points(id: ObjectId, points: impl IntoIterator<Item = (Timestamp, (f64, f64))>) -> Self {
+        let samples = points
+            .into_iter()
+            .map(|(t, (x, y))| Sample::new(t, Point::new(x, y)))
+            .collect();
+        Trajectory::new(id, samples)
+    }
+
+    /// The object this trajectory belongs to.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always `false`: trajectories have at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The lifespan `o.τ` of the object: the closed interval from the first
+    /// to the last sample.
+    pub fn lifespan(&self) -> TimeInterval {
+        TimeInterval::new(
+            self.samples.first().expect("non-empty").time,
+            self.samples.last().expect("non-empty").time,
+        )
+    }
+
+    /// The location `o(t)` of the object at tick `t`.
+    ///
+    /// Returns the sampled position if `t` is a sample tick; otherwise, if
+    /// `t` falls strictly inside the lifespan, the *virtual point* obtained
+    /// by linear interpolation between the neighbouring samples; and `None`
+    /// if `t` lies outside the lifespan (the object is not being tracked).
+    pub fn position_at(&self, t: Timestamp) -> Option<Point> {
+        let first = self.samples.first().expect("non-empty");
+        let last = self.samples.last().expect("non-empty");
+        if t < first.time || t > last.time {
+            return None;
+        }
+        match self.samples.binary_search_by_key(&t, |s| s.time) {
+            Ok(idx) => Some(self.samples[idx].position),
+            Err(idx) => {
+                // `idx` is the insertion point: samples[idx - 1].time < t < samples[idx].time
+                let before = &self.samples[idx - 1];
+                let after = &self.samples[idx];
+                let span = (after.time - before.time) as f64;
+                let frac = (t - before.time) as f64 / span;
+                Some(before.position.lerp(&after.position, frac))
+            }
+        }
+    }
+
+    /// The exact sample at tick `t`, without interpolation.
+    pub fn sample_at(&self, t: Timestamp) -> Option<&Sample> {
+        self.samples
+            .binary_search_by_key(&t, |s| s.time)
+            .ok()
+            .map(|idx| &self.samples[idx])
+    }
+
+    /// Appends a sample; it must be strictly later than the current last
+    /// sample.
+    ///
+    /// Used by the incremental pipeline when new trajectory batches arrive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sample.time` is not strictly greater than the
+    /// last sample's timestamp.
+    pub fn append(&mut self, sample: Sample) -> Result<(), AppendError> {
+        let last = self.samples.last().expect("non-empty");
+        if sample.time <= last.time {
+            return Err(AppendError {
+                last: last.time,
+                attempted: sample.time,
+            });
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+
+    /// Total polyline length in metres (sum of inter-sample distances).
+    pub fn path_length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| w[0].position.distance(&w[1].position))
+            .sum()
+    }
+
+    /// The sub-trajectory restricted to `interval`, if any samples fall
+    /// inside it.
+    pub fn slice(&self, interval: TimeInterval) -> Option<Trajectory> {
+        let samples: Vec<Sample> = self
+            .samples
+            .iter()
+            .filter(|s| interval.contains(s.time))
+            .copied()
+            .collect();
+        if samples.is_empty() {
+            None
+        } else {
+            Some(Trajectory::new(self.id, samples))
+        }
+    }
+}
+
+/// Error returned by [`Trajectory::append`] when the new sample does not
+/// advance time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendError {
+    /// Timestamp of the current last sample.
+    pub last: Timestamp,
+    /// Timestamp of the rejected sample.
+    pub attempted: Timestamp,
+}
+
+impl std::fmt::Display for AppendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "appended sample at t={} does not advance past last sample at t={}",
+            self.attempted, self.last
+        )
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_points(
+            ObjectId::new(1),
+            vec![
+                (0, (0.0, 0.0)),
+                (10, (100.0, 0.0)),
+                (20, (100.0, 100.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn samples_are_sorted_on_construction() {
+        let t = Trajectory::from_points(
+            ObjectId::new(7),
+            vec![(20, (2.0, 0.0)), (0, (0.0, 0.0)), (10, (1.0, 0.0))],
+        );
+        let times: Vec<Timestamp> = t.samples().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_last_observation() {
+        let t = Trajectory::new(
+            ObjectId::new(1),
+            vec![
+                Sample::new(5, Point::new(1.0, 1.0)),
+                Sample::new(5, Point::new(2.0, 2.0)),
+            ],
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.position_at(5), Some(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trajectory_rejected() {
+        let _ = Trajectory::new(ObjectId::new(0), vec![]);
+    }
+
+    #[test]
+    fn lifespan_covers_first_to_last() {
+        assert_eq!(traj().lifespan(), TimeInterval::new(0, 20));
+    }
+
+    #[test]
+    fn position_at_sample_ticks() {
+        let t = traj();
+        assert_eq!(t.position_at(0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.position_at(10), Some(Point::new(100.0, 0.0)));
+        assert_eq!(t.position_at(20), Some(Point::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn position_at_interpolates_virtual_points() {
+        let t = traj();
+        assert_eq!(t.position_at(5), Some(Point::new(50.0, 0.0)));
+        assert_eq!(t.position_at(15), Some(Point::new(100.0, 50.0)));
+        assert_eq!(t.position_at(1), Some(Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn position_outside_lifespan_is_none() {
+        let t = traj();
+        assert_eq!(t.position_at(21), None);
+        let t2 = Trajectory::from_points(ObjectId::new(2), vec![(5, (0.0, 0.0)), (9, (4.0, 0.0))]);
+        assert_eq!(t2.position_at(4), None);
+        assert_eq!(t2.position_at(10), None);
+    }
+
+    #[test]
+    fn sample_at_only_returns_exact_samples() {
+        let t = traj();
+        assert!(t.sample_at(10).is_some());
+        assert!(t.sample_at(5).is_none());
+    }
+
+    #[test]
+    fn append_advancing_sample() {
+        let mut t = traj();
+        assert!(t.append(Sample::new(25, Point::new(0.0, 0.0))).is_ok());
+        assert_eq!(t.lifespan(), TimeInterval::new(0, 25));
+    }
+
+    #[test]
+    fn append_non_advancing_sample_is_rejected() {
+        let mut t = traj();
+        let err = t.append(Sample::new(20, Point::new(0.0, 0.0))).unwrap_err();
+        assert_eq!(err.last, 20);
+        assert_eq!(err.attempted, 20);
+        assert!(err.to_string().contains("does not advance"));
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        assert_eq!(traj().path_length(), 200.0);
+        let single = Trajectory::from_points(ObjectId::new(3), vec![(0, (1.0, 1.0))]);
+        assert_eq!(single.path_length(), 0.0);
+    }
+
+    #[test]
+    fn slice_restricts_to_interval() {
+        let t = traj();
+        let s = t.slice(TimeInterval::new(5, 20)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lifespan(), TimeInterval::new(10, 20));
+        assert!(t.slice(TimeInterval::new(30, 40)).is_none());
+    }
+
+    #[test]
+    fn single_sample_trajectory_interpolation() {
+        let t = Trajectory::from_points(ObjectId::new(4), vec![(7, (3.0, 4.0))]);
+        assert_eq!(t.position_at(7), Some(Point::new(3.0, 4.0)));
+        assert_eq!(t.position_at(6), None);
+        assert_eq!(t.position_at(8), None);
+        assert_eq!(t.lifespan().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_samples() -> impl Strategy<Value = Vec<(Timestamp, (f64, f64))>> {
+        proptest::collection::vec(
+            (0u32..1000, (-1e5..1e5f64, -1e5..1e5f64)),
+            1..40,
+        )
+    }
+
+    proptest! {
+        /// Interpolated positions always lie inside the bounding box of the
+        /// neighbouring samples (convexity of linear interpolation).
+        #[test]
+        fn interpolation_stays_in_sample_bbox(samples in arb_samples(), t in 0u32..1000) {
+            let traj = Trajectory::from_points(ObjectId::new(0), samples);
+            if let Some(p) = traj.position_at(t) {
+                let min_x = traj.samples().iter().map(|s| s.position.x).fold(f64::INFINITY, f64::min);
+                let max_x = traj.samples().iter().map(|s| s.position.x).fold(f64::NEG_INFINITY, f64::max);
+                let min_y = traj.samples().iter().map(|s| s.position.y).fold(f64::INFINITY, f64::min);
+                let max_y = traj.samples().iter().map(|s| s.position.y).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(p.x >= min_x - 1e-6 && p.x <= max_x + 1e-6);
+                prop_assert!(p.y >= min_y - 1e-6 && p.y <= max_y + 1e-6);
+            }
+        }
+
+        /// `position_at` is defined exactly on the lifespan.
+        #[test]
+        fn position_defined_iff_in_lifespan(samples in arb_samples(), t in 0u32..1100) {
+            let traj = Trajectory::from_points(ObjectId::new(0), samples);
+            let lifespan = traj.lifespan();
+            prop_assert_eq!(traj.position_at(t).is_some(), lifespan.contains(t));
+        }
+
+        /// Sample timestamps are strictly increasing after construction.
+        #[test]
+        fn samples_strictly_increasing(samples in arb_samples()) {
+            let traj = Trajectory::from_points(ObjectId::new(0), samples);
+            for w in traj.samples().windows(2) {
+                prop_assert!(w[0].time < w[1].time);
+            }
+        }
+    }
+}

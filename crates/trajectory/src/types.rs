@@ -1,0 +1,163 @@
+//! Fundamental identifier and time types.
+
+use std::fmt;
+
+/// Discretised time point: an index into the database's time domain `TDB`.
+///
+/// The paper discretises the time domain at one-minute granularity; a
+/// `Timestamp` of `t` denotes the `t`-th tick of that domain.
+pub type Timestamp = u32;
+
+/// Identifier of a moving object (a taxi, pedestrian, animal, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Creates an object identifier.
+    pub const fn new(id: u32) -> Self {
+        ObjectId(id)
+    }
+
+    /// The raw numeric identifier.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The identifier as a `usize`, convenient for indexing dense arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<ObjectId> for u32 {
+    fn from(v: ObjectId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A closed interval of timestamps `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    /// First timestamp of the interval (inclusive).
+    pub start: Timestamp,
+    /// Last timestamp of the interval (inclusive).
+    pub end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "invalid interval [{start}, {end}]");
+        TimeInterval { start, end }
+    }
+
+    /// Number of timestamps covered (the paper's lifetime `τ`).
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Always `false`: a `TimeInterval` covers at least one timestamp.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `t` lies inside the interval.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Intersection of two intervals, if they overlap.
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start <= end {
+            Some(TimeInterval::new(start, end))
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over the covered timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = Timestamp> {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_conversions() {
+        let id = ObjectId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(ObjectId::from(42u32), id);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(id.to_string(), "o42");
+    }
+
+    #[test]
+    fn interval_length_and_contains() {
+        let iv = TimeInterval::new(3, 7);
+        assert_eq!(iv.len(), 5);
+        assert!(!iv.is_empty());
+        assert!(iv.contains(3));
+        assert!(iv.contains(7));
+        assert!(!iv.contains(2));
+        assert!(!iv.contains(8));
+        assert_eq!(iv.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn single_point_interval() {
+        let iv = TimeInterval::new(5, 5);
+        assert_eq!(iv.len(), 1);
+        assert!(iv.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn interval_rejects_reversed_bounds() {
+        let _ = TimeInterval::new(7, 3);
+    }
+
+    #[test]
+    fn interval_intersection() {
+        let a = TimeInterval::new(0, 10);
+        let b = TimeInterval::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(TimeInterval::new(5, 10)));
+        assert_eq!(b.intersect(&a), Some(TimeInterval::new(5, 10)));
+        let c = TimeInterval::new(11, 12);
+        assert_eq!(a.intersect(&c), None);
+        let d = TimeInterval::new(10, 20);
+        assert_eq!(a.intersect(&d), Some(TimeInterval::new(10, 10)));
+    }
+
+    #[test]
+    fn interval_display() {
+        assert_eq!(TimeInterval::new(1, 9).to_string(), "[1, 9]");
+    }
+}

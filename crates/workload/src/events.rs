@@ -1,0 +1,96 @@
+//! Ground-truth descriptions of the congregation events planted in a
+//! synthetic scenario.
+
+use gpdt_geo::Point;
+use gpdt_trajectory::{ObjectId, TimeInterval};
+
+use crate::config::Regime;
+
+/// The kind of congregation event planted by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A traffic jam: a core of vehicles stuck together for the whole event
+    /// plus a stream of vehicles passing through.  Expected to be detected as
+    /// a crowd *and* a gathering.
+    TrafficJam,
+    /// A venue drop-off hotspot: the spot stays busy but every vehicle leaves
+    /// after a few minutes.  Expected to be detected as a crowd but *not* as
+    /// a gathering.
+    Venue,
+    /// A platoon of vehicles travelling a corridor together.  Expected to be
+    /// detected by the convoy/swarm baselines.
+    ConvoyFlow,
+}
+
+impl EventKind {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TrafficJam => "traffic jam",
+            EventKind::Venue => "venue",
+            EventKind::ConvoyFlow => "convoy flow",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One event planted by the generator, kept as ground truth so that tests and
+/// the effectiveness experiment can check what the miners recover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedEvent {
+    /// What kind of incident this is.
+    pub kind: EventKind,
+    /// Where the incident is centred (for convoy flows: the starting point).
+    pub center: Point,
+    /// The ticks during which the incident is active.
+    pub interval: TimeInterval,
+    /// The time-of-day regime in which the incident started.
+    pub regime: Regime,
+    /// Vehicles committed to the incident for (most of) its duration.
+    pub core_members: Vec<ObjectId>,
+    /// Vehicles that only pass through briefly.
+    pub transient_members: Vec<ObjectId>,
+}
+
+impl PlantedEvent {
+    /// Total number of vehicles involved.
+    pub fn total_members(&self) -> usize {
+        self.core_members.len() + self.transient_members.len()
+    }
+
+    /// Duration of the incident in ticks.
+    pub fn duration(&self) -> u32 {
+        self.interval.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(EventKind::TrafficJam.label(), "traffic jam");
+        assert_eq!(EventKind::Venue.to_string(), "venue");
+        assert_eq!(EventKind::ConvoyFlow.to_string(), "convoy flow");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = PlantedEvent {
+            kind: EventKind::TrafficJam,
+            center: Point::new(1.0, 2.0),
+            interval: TimeInterval::new(10, 39),
+            regime: Regime::Peak,
+            core_members: vec![ObjectId::new(1), ObjectId::new(2)],
+            transient_members: vec![ObjectId::new(3)],
+        };
+        assert_eq!(e.total_members(), 3);
+        assert_eq!(e.duration(), 30);
+    }
+}

@@ -1,0 +1,645 @@
+//! The scenario simulator.
+//!
+//! One tick is one minute.  Every taxi contributes one sample per tick, so a
+//! generated database is temporally dense (the interpolation path of the
+//! trajectory crate is still exercised by tests and by callers that thin the
+//! samples out).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gpdt_geo::Point;
+use gpdt_trajectory::{DatabaseBuilder, ObjectId, TimeInterval, TrajectoryDatabase};
+
+use crate::config::{Regime, ScenarioConfig, Weather};
+use crate::events::{EventKind, PlantedEvent};
+
+/// The output of the generator: the trajectory database plus the ground-truth
+/// list of planted events.
+#[derive(Debug, Clone)]
+pub struct GeneratedScenario {
+    /// The synthetic trajectory database.
+    pub database: TrajectoryDatabase,
+    /// The congregation events that were planted, as ground truth.
+    pub events: Vec<PlantedEvent>,
+    /// The configuration that produced this scenario.
+    pub config: ScenarioConfig,
+}
+
+impl GeneratedScenario {
+    /// Planted events of one kind.
+    pub fn events_of_kind(&self, kind: EventKind) -> Vec<&PlantedEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+/// What a taxi is currently doing.
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Driving between random waypoints.
+    Roam,
+    /// Committed to a congregation event: drive to `target`, dwell there
+    /// until `depart`, then resume roaming.
+    Event {
+        target: Point,
+        arrive: u32,
+        depart: u32,
+        /// Position at the moment of recruitment (for the approach leg).
+        from: Point,
+        recruited: u32,
+    },
+    /// Travelling as part of a convoy flow until `until`.
+    Convoy {
+        velocity: (f64, f64),
+        started: u32,
+        until: u32,
+        anchor: Point,
+        offset: (f64, f64),
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Taxi {
+    pos: Point,
+    dest: Point,
+    speed: f64,
+    mode: Mode,
+}
+
+struct ActiveEvent {
+    kind: EventKind,
+    center: Point,
+    start: u32,
+    end: u32,
+    regime: Regime,
+    core: Vec<ObjectId>,
+    transient: Vec<ObjectId>,
+    /// Transient vehicles recruited per minute while the event is active.
+    churn_per_min: u32,
+    /// Dwell-time bounds (minutes) for transient vehicles.
+    churn_dwell: (u32, u32),
+    /// Taxis already recruited by this event; a vehicle visits an incident at
+    /// most once, so venue churn never accumulates enough occurrences to turn
+    /// a passer-by into a participator.
+    recruited: HashSet<usize>,
+}
+
+/// Generates a scenario deterministically from its configuration.
+pub fn generate_scenario(config: &ScenarioConfig) -> GeneratedScenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sim = Simulation::new(config, &mut rng);
+    for tick in 0..config.duration {
+        sim.step(tick, &mut rng);
+    }
+    sim.finish(config)
+}
+
+struct Simulation {
+    taxis: Vec<Taxi>,
+    events: Vec<ActiveEvent>,
+    builder: DatabaseBuilder,
+    weather: Weather,
+    area: f64,
+    start_minute: u32,
+    duration: u32,
+    rates: crate::config::EventRates,
+}
+
+impl Simulation {
+    fn new(config: &ScenarioConfig, rng: &mut StdRng) -> Self {
+        let taxis = (0..config.num_taxis)
+            .map(|_| {
+                let pos = random_point(rng, config.area_size);
+                Taxi {
+                    pos,
+                    dest: random_point(rng, config.area_size),
+                    speed: roam_speed(rng, config.weather),
+                    mode: Mode::Roam,
+                }
+            })
+            .collect();
+        Simulation {
+            taxis,
+            events: Vec::new(),
+            builder: DatabaseBuilder::new(),
+            weather: config.weather,
+            area: config.area_size,
+            start_minute: config.start_minute_of_day,
+            duration: config.duration,
+            rates: config.event_rates,
+        }
+    }
+
+    fn step(&mut self, tick: u32, rng: &mut StdRng) {
+        let regime = Regime::for_minute_of_day(self.start_minute + tick);
+        self.maybe_spawn_events(tick, regime, rng);
+        self.recruit_churn(tick, rng);
+        self.move_taxis(tick, rng);
+    }
+
+    fn maybe_spawn_events(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
+        // Leave room for the event to play out before the scenario ends.
+        if tick + 15 >= self.duration {
+            return;
+        }
+        let jam_rate = self.rates.jams(regime) * self.weather.jam_factor() / 60.0;
+        if rng.gen::<f64>() < jam_rate {
+            self.spawn_jam(tick, regime, rng);
+        }
+        let venue_rate = self.rates.venues(regime) / 60.0;
+        if rng.gen::<f64>() < venue_rate {
+            self.spawn_venue(tick, regime, rng);
+        }
+        let convoy_rate = self.rates.convoys(regime) * self.weather.convoy_factor() / 60.0;
+        if rng.gen::<f64>() < convoy_rate {
+            self.spawn_convoy(tick, regime, rng);
+        }
+    }
+
+    fn roaming_taxis(&self, count: usize, rng: &mut StdRng) -> Vec<usize> {
+        self.roaming_taxis_excluding(count, rng, None)
+    }
+
+    /// Picks up to `count` roaming taxis, optionally excluding the taxis an
+    /// event has already recruited once.
+    fn roaming_taxis_excluding(
+        &self,
+        count: usize,
+        rng: &mut StdRng,
+        exclude: Option<&HashSet<usize>>,
+    ) -> Vec<usize> {
+        let mut free: Vec<usize> = self
+            .taxis
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.mode, Mode::Roam))
+            .filter(|(i, _)| exclude.is_none_or(|set| !set.contains(i)))
+            .map(|(i, _)| i)
+            .collect();
+        // Fisher–Yates prefix shuffle to pick a random subset.
+        let take = count.min(free.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..free.len());
+            free.swap(i, j);
+        }
+        free.truncate(take);
+        free
+    }
+
+    fn spawn_jam(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
+        let duration = rng.gen_range(30..=50).min(self.duration - tick - 1);
+        let center = random_point(rng, self.area);
+        let core_size = rng.gen_range(16..=22);
+        let members = self.roaming_taxis(core_size, rng);
+        if members.len() < core_size / 2 {
+            return; // fleet exhausted; skip the event
+        }
+        let end = tick + duration;
+        let mut core = Vec::new();
+        for &taxi_idx in &members {
+            let arrive = tick + rng.gen_range(2..=5);
+            // Core vehicles stay until (almost) the end of the jam.
+            let depart = end.saturating_sub(rng.gen_range(0..=3)).max(arrive + 1);
+            let jitter = random_offset(rng, 60.0);
+            self.taxis[taxi_idx].mode = Mode::Event {
+                target: Point::new(center.x + jitter.0, center.y + jitter.1),
+                arrive,
+                depart,
+                from: self.taxis[taxi_idx].pos,
+                recruited: tick,
+            };
+            core.push(ObjectId::new(taxi_idx as u32));
+        }
+        self.events.push(ActiveEvent {
+            kind: EventKind::TrafficJam,
+            center,
+            start: tick,
+            end,
+            regime,
+            core,
+            transient: Vec::new(),
+            churn_per_min: rng.gen_range(2..=4),
+            churn_dwell: (3, 6),
+            recruited: members.into_iter().collect(),
+        });
+    }
+
+    fn spawn_venue(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
+        let duration = rng.gen_range(35..=60).min(self.duration - tick - 1);
+        let center = random_point(rng, self.area);
+        let event_idx = self.events.len();
+        self.events.push(ActiveEvent {
+            kind: EventKind::Venue,
+            center,
+            start: tick,
+            end: tick + duration,
+            regime,
+            core: Vec::new(),
+            transient: Vec::new(),
+            churn_per_min: rng.gen_range(5..=7),
+            churn_dwell: (3, 6),
+            recruited: HashSet::new(),
+        });
+        // Seed the venue with an initial batch so it reaches critical mass
+        // quickly.
+        let initial = self.roaming_taxis(12, rng);
+        for taxi_idx in initial {
+            self.recruit_transient(event_idx, taxi_idx, tick, rng);
+        }
+    }
+
+    fn spawn_convoy(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
+        let duration = rng.gen_range(12..=20).min(self.duration - tick - 1);
+        let group_size = rng.gen_range(15..=18);
+        let members = self.roaming_taxis(group_size, rng);
+        if members.len() < 12 {
+            return;
+        }
+        let start_point = random_point(rng, self.area * 0.8);
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let speed = rng.gen_range(240.0..320.0) * self.weather.speed_factor();
+        let velocity = (speed * angle.cos(), speed * angle.sin());
+        let mut core = Vec::new();
+        for &taxi_idx in &members {
+            let offset = random_offset(rng, 70.0);
+            self.taxis[taxi_idx].pos =
+                Point::new(start_point.x + offset.0, start_point.y + offset.1);
+            self.taxis[taxi_idx].mode = Mode::Convoy {
+                velocity,
+                started: tick,
+                until: tick + duration,
+                anchor: start_point,
+                offset,
+            };
+            core.push(ObjectId::new(taxi_idx as u32));
+        }
+        self.events.push(ActiveEvent {
+            kind: EventKind::ConvoyFlow,
+            center: start_point,
+            start: tick,
+            end: tick + duration,
+            regime,
+            core,
+            transient: Vec::new(),
+            churn_per_min: 0,
+            churn_dwell: (0, 0),
+            recruited: members.into_iter().collect(),
+        });
+    }
+
+    fn recruit_churn(&mut self, tick: u32, rng: &mut StdRng) {
+        let recruiting: Vec<(usize, u32)> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                e.churn_per_min > 0 && tick >= e.start && tick + 4 < e.end
+            })
+            .map(|(idx, e)| (idx, e.churn_per_min))
+            .collect();
+        for (event_idx, per_min) in recruiting {
+            let already = self.events[event_idx].recruited.clone();
+            let picks = self.roaming_taxis_excluding(per_min as usize, rng, Some(&already));
+            for taxi_idx in picks {
+                self.recruit_transient(event_idx, taxi_idx, tick, rng);
+            }
+        }
+    }
+
+    fn recruit_transient(
+        &mut self,
+        event_idx: usize,
+        taxi_idx: usize,
+        tick: u32,
+        rng: &mut StdRng,
+    ) {
+        let (center, end, dwell_range) = {
+            let e = &self.events[event_idx];
+            (e.center, e.end, e.churn_dwell)
+        };
+        let arrive = tick + rng.gen_range(1..=3);
+        let dwell = rng.gen_range(dwell_range.0..=dwell_range.1.max(dwell_range.0));
+        let depart = (arrive + dwell).min(end);
+        if depart <= arrive {
+            return;
+        }
+        let jitter = random_offset(rng, 55.0);
+        self.taxis[taxi_idx].mode = Mode::Event {
+            target: Point::new(center.x + jitter.0, center.y + jitter.1),
+            arrive,
+            depart,
+            from: self.taxis[taxi_idx].pos,
+            recruited: tick,
+        };
+        self.events[event_idx]
+            .transient
+            .push(ObjectId::new(taxi_idx as u32));
+        self.events[event_idx].recruited.insert(taxi_idx);
+    }
+
+    fn move_taxis(&mut self, tick: u32, rng: &mut StdRng) {
+        let weather = self.weather;
+        let area = self.area;
+        for (idx, taxi) in self.taxis.iter_mut().enumerate() {
+            match taxi.mode.clone() {
+                Mode::Roam => {
+                    advance_towards(taxi, taxi.dest, taxi.speed);
+                    if taxi.pos.distance(&taxi.dest) < taxi.speed {
+                        taxi.dest = random_point(rng, area);
+                        taxi.speed = roam_speed(rng, weather);
+                    }
+                }
+                Mode::Event {
+                    target,
+                    arrive,
+                    depart,
+                    from,
+                    recruited,
+                    ..
+                } => {
+                    if tick >= depart {
+                        taxi.mode = Mode::Roam;
+                        taxi.dest = random_point(rng, area);
+                        taxi.speed = roam_speed(rng, weather);
+                        advance_towards(taxi, taxi.dest, taxi.speed);
+                    } else if tick >= arrive {
+                        // Dwell at the event with a small positional jitter.
+                        taxi.pos = Point::new(
+                            target.x + rng.gen_range(-4.0..4.0),
+                            target.y + rng.gen_range(-4.0..4.0),
+                        );
+                    } else {
+                        // Approach leg: interpolate from the recruitment
+                        // position so arrival lands exactly on `arrive`.
+                        let total = (arrive - recruited).max(1) as f64;
+                        let done = (tick + 1 - recruited) as f64;
+                        taxi.pos = from.lerp(&target, (done / total).min(1.0));
+                    }
+                }
+                Mode::Convoy {
+                    velocity,
+                    started,
+                    until,
+                    anchor,
+                    offset,
+                } => {
+                    if tick >= until {
+                        taxi.mode = Mode::Roam;
+                        taxi.dest = random_point(rng, area);
+                        taxi.speed = roam_speed(rng, weather);
+                    } else {
+                        // The platoon translates rigidly along its velocity;
+                        // each member keeps its fixed offset plus a little
+                        // per-minute jitter.
+                        let age = (tick - started) as f64;
+                        taxi.pos = Point::new(
+                            anchor.x + velocity.0 * age + offset.0 + rng.gen_range(-5.0..5.0),
+                            anchor.y + velocity.1 * age + offset.1 + rng.gen_range(-5.0..5.0),
+                        );
+                    }
+                }
+            }
+            self.builder.push(ObjectId::new(idx as u32), tick, taxi.pos);
+        }
+    }
+
+    fn finish(self, config: &ScenarioConfig) -> GeneratedScenario {
+        let events = self
+            .events
+            .into_iter()
+            .map(|e| PlantedEvent {
+                kind: e.kind,
+                center: e.center,
+                interval: TimeInterval::new(e.start, e.end.min(self.duration.saturating_sub(1))),
+                regime: e.regime,
+                core_members: e.core,
+                transient_members: e.transient,
+            })
+            .collect();
+        GeneratedScenario {
+            database: self.builder.build(),
+            events,
+            config: *config,
+        }
+    }
+}
+
+// --- helpers -----------------------------------------------------------
+
+fn random_point(rng: &mut StdRng, area: f64) -> Point {
+    Point::new(rng.gen_range(0.0..area), rng.gen_range(0.0..area))
+}
+
+fn random_offset(rng: &mut StdRng, radius: f64) -> (f64, f64) {
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = radius * rng.gen::<f64>().sqrt();
+    (r * angle.cos(), r * angle.sin())
+}
+
+fn roam_speed(rng: &mut StdRng, weather: Weather) -> f64 {
+    rng.gen_range(300.0..550.0) * weather.speed_factor()
+}
+
+fn advance_towards(taxi: &mut Taxi, dest: Point, speed: f64) {
+    let dist = taxi.pos.distance(&dest);
+    if dist <= speed {
+        taxi.pos = dest;
+    } else {
+        taxi.pos = taxi.pos.lerp(&dest, speed / dist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EventRates;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScenarioConfig::small_demo(123);
+        let a = generate_scenario(&config);
+        let b = generate_scenario(&config);
+        assert_eq!(a.database.total_samples(), b.database.total_samples());
+        assert_eq!(a.events.len(), b.events.len());
+        for (ea, eb) in a.events.iter().zip(&b.events) {
+            assert_eq!(ea, eb);
+        }
+        // Spot-check a trajectory.
+        let id = ObjectId::new(0);
+        assert_eq!(
+            a.database.get(id).unwrap().samples(),
+            b.database.get(id).unwrap().samples()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_scenario(&ScenarioConfig::small_demo(1));
+        let b = generate_scenario(&ScenarioConfig::small_demo(2));
+        let ta = a.database.get(ObjectId::new(0)).unwrap();
+        let tb = b.database.get(ObjectId::new(0)).unwrap();
+        assert_ne!(ta.samples()[5].position, tb.samples()[5].position);
+    }
+
+    #[test]
+    fn every_taxi_has_one_sample_per_tick() {
+        let config = ScenarioConfig::small_demo(7);
+        let scenario = generate_scenario(&config);
+        assert_eq!(scenario.database.len(), config.num_taxis);
+        assert_eq!(
+            scenario.database.total_samples(),
+            config.num_taxis * config.duration as usize
+        );
+        for traj in scenario.database.iter() {
+            assert_eq!(traj.len(), config.duration as usize);
+            assert_eq!(
+                traj.lifespan(),
+                TimeInterval::new(0, config.duration - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn positions_stay_roughly_within_the_city() {
+        let config = ScenarioConfig::small_demo(11);
+        let scenario = generate_scenario(&config);
+        // Convoys can drift a little outside; allow a generous margin.
+        let margin = 10_000.0;
+        for traj in scenario.database.iter() {
+            for s in traj.samples() {
+                assert!(s.position.x > -margin && s.position.x < config.area_size + margin);
+                assert!(s.position.y > -margin && s.position.y < config.area_size + margin);
+                assert!(s.position.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn jam_core_members_dwell_near_the_event_center() {
+        // Force frequent jams so the small demo certainly contains one.
+        let mut config = ScenarioConfig::small_demo(5);
+        config.event_rates = EventRates {
+            jams_per_hour: [60.0, 60.0, 60.0],
+            venues_per_hour: [0.0, 0.0, 0.0],
+            convoys_per_hour: [0.0, 0.0, 0.0],
+        };
+        let scenario = generate_scenario(&config);
+        let jams = scenario.events_of_kind(EventKind::TrafficJam);
+        assert!(!jams.is_empty());
+        let jam = jams[0];
+        assert!(jam.core_members.len() >= 8);
+        // During the middle of the jam, every core member is within ~100 m of
+        // the centre.
+        let mid = (jam.interval.start + jam.interval.end) / 2;
+        for &member in &jam.core_members {
+            let pos = scenario
+                .database
+                .get(member)
+                .unwrap()
+                .position_at(mid)
+                .unwrap();
+            assert!(
+                pos.distance(&jam.center) < 150.0,
+                "core member {member} is {:.0} m away at tick {mid}",
+                pos.distance(&jam.center)
+            );
+        }
+    }
+
+    #[test]
+    fn venue_events_have_only_transient_members() {
+        let mut config = ScenarioConfig::small_demo(9);
+        config.event_rates = EventRates {
+            jams_per_hour: [0.0, 0.0, 0.0],
+            venues_per_hour: [60.0, 60.0, 60.0],
+            convoys_per_hour: [0.0, 0.0, 0.0],
+        };
+        let scenario = generate_scenario(&config);
+        let venues = scenario.events_of_kind(EventKind::Venue);
+        assert!(!venues.is_empty());
+        for venue in venues {
+            assert!(venue.core_members.is_empty());
+            assert!(venue.total_members() > 0);
+        }
+    }
+
+    #[test]
+    fn convoy_members_travel_together() {
+        let mut config = ScenarioConfig::small_demo(13);
+        config.event_rates = EventRates {
+            jams_per_hour: [0.0, 0.0, 0.0],
+            venues_per_hour: [0.0, 0.0, 0.0],
+            convoys_per_hour: [60.0, 60.0, 60.0],
+        };
+        let scenario = generate_scenario(&config);
+        let convoys = scenario.events_of_kind(EventKind::ConvoyFlow);
+        assert!(!convoys.is_empty());
+        let convoy = convoys[0];
+        assert!(convoy.core_members.len() >= 12);
+        // Mid-flow, all members stay within a few hundred metres of each
+        // other (they share the same velocity and anchor).
+        let mid = (convoy.interval.start + convoy.interval.end) / 2;
+        let positions: Vec<Point> = convoy
+            .core_members
+            .iter()
+            .map(|&m| scenario.database.get(m).unwrap().position_at(mid).unwrap())
+            .collect();
+        let centroid = Point::centroid(&positions).unwrap();
+        for p in &positions {
+            assert!(p.distance(&centroid) < 300.0);
+        }
+    }
+
+    #[test]
+    fn snowy_weather_plants_more_jams_than_clear() {
+        let base = ScenarioConfig {
+            seed: 31,
+            num_taxis: 400,
+            duration: 300,
+            start_minute_of_day: 7 * 60,
+            weather: Weather::Clear,
+            area_size: 10_000.0,
+            event_rates: EventRates::city_default(),
+        };
+        let clear = generate_scenario(&base);
+        let snowy = generate_scenario(&ScenarioConfig {
+            weather: Weather::Snowy,
+            ..base
+        });
+        let clear_jams = clear.events_of_kind(EventKind::TrafficJam).len();
+        let snowy_jams = snowy.events_of_kind(EventKind::TrafficJam).len();
+        assert!(
+            snowy_jams > clear_jams,
+            "snowy {snowy_jams} vs clear {clear_jams}"
+        );
+    }
+
+    #[test]
+    fn peak_hours_plant_more_jams_than_work_hours() {
+        let peak = ScenarioConfig {
+            seed: 77,
+            num_taxis: 400,
+            duration: 240,
+            start_minute_of_day: 6 * 60,
+            weather: Weather::Clear,
+            area_size: 10_000.0,
+            event_rates: EventRates::city_default(),
+        };
+        let work = ScenarioConfig {
+            start_minute_of_day: 11 * 60,
+            ..peak
+        };
+        let peak_jams = generate_scenario(&peak)
+            .events_of_kind(EventKind::TrafficJam)
+            .len();
+        let work_jams = generate_scenario(&work)
+            .events_of_kind(EventKind::TrafficJam)
+            .len();
+        assert!(
+            peak_jams > work_jams,
+            "peak {peak_jams} vs work {work_jams}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic taxi-trajectory workload generator.
+//!
+//! The paper evaluates on a proprietary Beijing taxi dataset (T-Drive: about
+//! 120 K trajectories from 33 000 taxis over three months).  That dataset is
+//! not publicly redistributable, so this crate provides a **deterministic,
+//! seedable substitute**: a city-scale simulation that produces taxi-like
+//! trajectories with the properties the paper's experiments depend on:
+//!
+//! * a large fleet of *background* taxis criss-crossing the city between
+//!   random waypoints (they produce incidental density but few patterns),
+//! * **traffic jams** — congregation events where a core of vehicles is
+//!   stuck together for tens of minutes (producing crowds *and* gatherings),
+//! * **venue events** — drop-off hotspots (restaurants, malls) with high
+//!   membership churn (producing crowds that are *not* gatherings),
+//! * **convoy flows** — platoons of vehicles travelling a corridor together
+//!   (producing convoys and swarms for the baseline comparison),
+//!
+//! with event rates that depend on the **time of day** (peak / work / casual)
+//! and the **weather** (clear / rainy / snowy), calibrated to reproduce the
+//! qualitative shape of the paper's Figure 5.
+//!
+//! Everything is driven by a single `u64` seed: the same
+//! [`ScenarioConfig`] always yields the same [`GeneratedScenario`].
+
+pub mod config;
+pub mod events;
+pub mod generator;
+
+pub use config::{EventRates, Regime, ScenarioConfig, Weather};
+pub use events::{EventKind, PlantedEvent};
+pub use generator::{generate_scenario, GeneratedScenario};

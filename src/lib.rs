@@ -1,0 +1,58 @@
+//! # gathering-patterns
+//!
+//! A Rust reproduction of *"On Discovery of Gathering Patterns from
+//! Trajectories"* (Kai Zheng, Yu Zheng, Nicholas Jing Yuan, Shuo Shang —
+//! ICDE 2013).
+//!
+//! This facade crate re-exports the workspace crates so downstream users can
+//! depend on a single package:
+//!
+//! * [`geo`] — points, MBRs, Hausdorff distance, grid geometry.
+//! * [`trajectory`] — moving-object trajectories and the trajectory database.
+//! * [`clustering`] — DBSCAN snapshot clustering.
+//! * [`index`] — R-tree and grid indexes over snapshot clusters.
+//! * [`core`] — crowds, gatherings, TAD/TAD\*, incremental discovery.
+//! * [`baselines`] — flock, convoy, swarm and moving-cluster miners.
+//! * [`workload`] — synthetic taxi-trajectory workload generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gathering_patterns::prelude::*;
+//!
+//! // Generate a small synthetic scene with one planted gathering.
+//! let scenario = ScenarioConfig::small_demo(42);
+//! let dataset = generate_scenario(&scenario);
+//!
+//! // Configure the discovery pipeline.
+//! let config = GatheringConfig::builder()
+//!     .clustering(ClusteringParams::new(60.0, 3))
+//!     .crowd(CrowdParams::new(3, 3, 120.0))
+//!     .gathering(GatheringParams::new(3, 2))
+//!     .build()
+//!     .expect("valid parameters");
+//!
+//! let pipeline = GatheringPipeline::new(config);
+//! let result = pipeline.discover(&dataset.database);
+//! println!("found {} gatherings", result.gatherings.len());
+//! ```
+
+pub use gpdt_baselines as baselines;
+pub use gpdt_clustering as clustering;
+pub use gpdt_core as core;
+pub use gpdt_geo as geo;
+pub use gpdt_index as index;
+pub use gpdt_trajectory as trajectory;
+pub use gpdt_workload as workload;
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use gpdt_clustering::{ClusterDatabase, ClusteringParams, SnapshotCluster};
+    pub use gpdt_core::{
+        Crowd, CrowdParams, Gathering, GatheringConfig, GatheringParams, GatheringPipeline,
+        RangeSearchStrategy, TadVariant,
+    };
+    pub use gpdt_geo::{Mbr, Point};
+    pub use gpdt_trajectory::{ObjectId, Timestamp, Trajectory, TrajectoryDatabase};
+    pub use gpdt_workload::{generate_scenario, ScenarioConfig, Weather};
+}

@@ -1,0 +1,86 @@
+//! Cross-algorithm equivalence on realistic data: every range-search
+//! strategy must discover the same closed crowds, and every gathering
+//! detection variant must report the same closed gatherings.
+
+use gathering_patterns::prelude::*;
+use gpdt_core::{
+    detect_closed_gatherings, ClusteringParams, CrowdDiscovery, CrowdParams, GatheringParams,
+};
+use gpdt_workload::EventRates;
+
+fn clustered_scene(seed: u64) -> (gpdt_clustering::ClusterDatabase, CrowdParams, GatheringParams) {
+    let mut config = ScenarioConfig::small_demo(seed);
+    config.num_taxis = 220;
+    config.duration = 120;
+    config.area_size = 9_000.0;
+    config.event_rates = EventRates {
+        jams_per_hour: [8.0, 8.0, 8.0],
+        venues_per_hour: [5.0, 5.0, 5.0],
+        convoys_per_hour: [3.0, 3.0, 3.0],
+    };
+    let scenario = generate_scenario(&config);
+    let clusters = ClusterDatabase::build(&scenario.database, &ClusteringParams::new(200.0, 5));
+    (
+        clusters,
+        CrowdParams::new(12, 15, 300.0),
+        GatheringParams::new(8, 10),
+    )
+}
+
+#[test]
+fn all_range_search_strategies_find_identical_closed_crowds() {
+    for seed in [1u64, 2, 3] {
+        let (clusters, crowd_params, _) = clustered_scene(seed);
+        let mut reference: Option<Vec<Crowd>> = None;
+        for strategy in RangeSearchStrategy::ALL {
+            let mut crowds = CrowdDiscovery::new(crowd_params, strategy)
+                .run(&clusters)
+                .closed_crowds;
+            crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
+            match &reference {
+                None => reference = Some(crowds),
+                Some(expected) => assert_eq!(
+                    &crowds, expected,
+                    "strategy {strategy} disagrees on seed {seed}"
+                ),
+            }
+        }
+        assert!(
+            reference.map(|r| !r.is_empty()).unwrap_or(false),
+            "seed {seed} produced no crowds, the comparison is vacuous"
+        );
+    }
+}
+
+#[test]
+fn all_detection_variants_find_identical_closed_gatherings() {
+    for seed in [4u64, 5] {
+        let (clusters, crowd_params, gathering_params) = clustered_scene(seed);
+        let crowds = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid)
+            .run(&clusters)
+            .closed_crowds;
+        assert!(!crowds.is_empty());
+        let mut any_gathering = false;
+        for crowd in &crowds {
+            let mut reference: Option<Vec<Gathering>> = None;
+            for variant in TadVariant::ALL {
+                let gatherings = detect_closed_gatherings(
+                    crowd,
+                    &clusters,
+                    &gathering_params,
+                    crowd_params.kc,
+                    variant,
+                );
+                any_gathering |= !gatherings.is_empty();
+                match &reference {
+                    None => reference = Some(gatherings),
+                    Some(expected) => assert_eq!(
+                        &gatherings, expected,
+                        "variant {variant} disagrees on seed {seed}"
+                    ),
+                }
+            }
+        }
+        assert!(any_gathering, "seed {seed} produced no gatherings at all");
+    }
+}

@@ -1,0 +1,79 @@
+//! Incremental-vs-batch consistency on realistic data: feeding the cluster
+//! stream in batches must yield exactly the crowds and gatherings of a
+//! from-scratch run, regardless of how the stream is sliced.
+
+use gathering_patterns::prelude::*;
+use gpdt_clustering::ClusterDatabase as CDB;
+use gpdt_core::incremental::IncrementalDiscovery;
+use gpdt_core::{
+    detect_closed_gatherings, ClusteringParams, CrowdDiscovery, CrowdParams, GatheringParams,
+};
+use gpdt_trajectory::TimeInterval;
+use gpdt_workload::EventRates;
+
+fn scenario(seed: u64, duration: u32) -> gpdt_workload::GeneratedScenario {
+    let mut config = ScenarioConfig::small_demo(seed);
+    config.num_taxis = 220;
+    config.duration = duration;
+    config.area_size = 9_000.0;
+    config.event_rates = EventRates {
+        jams_per_hour: [7.0, 7.0, 7.0],
+        venues_per_hour: [4.0, 4.0, 4.0],
+        convoys_per_hour: [2.0, 2.0, 2.0],
+    };
+    generate_scenario(&config)
+}
+
+#[test]
+fn incremental_ingestion_matches_batch_run_for_several_slicings() {
+    let duration = 120u32;
+    let scenario = scenario(99, duration);
+    let clustering = ClusteringParams::new(200.0, 5);
+    let crowd_params = CrowdParams::new(12, 15, 300.0);
+    let gathering_params = GatheringParams::new(8, 10);
+
+    // Batch reference.
+    let full = CDB::build(&scenario.database, &clustering);
+    let batch_result = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid).run(&full);
+    let mut batch_crowds = batch_result.closed_crowds.clone();
+    batch_crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
+    let mut batch_gatherings: Vec<Gathering> = batch_crowds
+        .iter()
+        .flat_map(|c| {
+            detect_closed_gatherings(c, &full, &gathering_params, crowd_params.kc, TadVariant::TadStar)
+        })
+        .collect();
+    batch_gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
+    assert!(!batch_crowds.is_empty());
+
+    for batch_minutes in [20u32, 40, 60] {
+        let mut incremental = IncrementalDiscovery::new(
+            crowd_params,
+            gathering_params,
+            RangeSearchStrategy::Grid,
+            TadVariant::TadStar,
+        );
+        let mut start = 0u32;
+        while start < duration {
+            let end = (start + batch_minutes - 1).min(duration - 1);
+            let batch = CDB::build_interval(
+                &scenario.database,
+                &clustering,
+                TimeInterval::new(start, end),
+            );
+            incremental.ingest(batch);
+            start = end + 1;
+        }
+        let mut crowds = incremental.closed_crowds();
+        crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
+        assert_eq!(
+            crowds, batch_crowds,
+            "closed crowds diverge for {batch_minutes}-minute batches"
+        );
+        let gatherings = incremental.gatherings();
+        assert_eq!(
+            gatherings, batch_gatherings,
+            "closed gatherings diverge for {batch_minutes}-minute batches"
+        );
+    }
+}
