@@ -55,8 +55,13 @@ impl GroupPattern {
         if self.objects.len() > other.objects.len() || self.times.len() > other.times.len() {
             return false;
         }
-        self.objects.iter().all(|o| other.objects.binary_search(o).is_ok())
-            && self.times.iter().all(|t| other.times.binary_search(t).is_ok())
+        self.objects
+            .iter()
+            .all(|o| other.objects.binary_search(o).is_ok())
+            && self
+                .times
+                .iter()
+                .all(|t| other.times.binary_search(t).is_ok())
     }
 }
 

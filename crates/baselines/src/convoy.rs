@@ -72,12 +72,14 @@ pub fn discover_convoys_from_clusters(
 
         for candidate in candidates.drain(..) {
             let mut extended = false;
+            let mut shrunk = false;
             for (idx, cluster) in clusters.iter().enumerate() {
                 let intersection: BTreeSet<ObjectId> =
                     candidate.objects.intersection(cluster).copied().collect();
                 if intersection.len() >= params.min_objects {
                     absorbed[idx] = true;
                     extended = true;
+                    shrunk |= intersection.len() < candidate.objects.len();
                     next.push(Candidate {
                         objects: intersection,
                         start: candidate.start,
@@ -85,7 +87,10 @@ pub fn discover_convoys_from_clusters(
                     });
                 }
             }
-            if !extended {
+            // A candidate that only carries forward with fewer objects is
+            // maximal in the object dimension: emit it too, or the wider
+            // membership is silently lost (`retain_maximal` dedups later).
+            if !extended || shrunk {
                 emit(&candidate, params, &mut results);
             }
         }

@@ -37,7 +37,10 @@ impl FlockParams {
     pub fn new(min_objects: usize, min_duration: u32, radius: f64) -> Self {
         assert!(min_objects >= 2, "min_objects must be at least 2");
         assert!(min_duration >= 1, "min_duration must be at least 1");
-        assert!(radius.is_finite() && radius > 0.0, "radius must be positive");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "radius must be positive"
+        );
         FlockParams {
             min_objects,
             min_duration,
@@ -209,7 +212,9 @@ mod tests {
         for i in 0..3u32 {
             trajs.push(traj(
                 i,
-                (0..5u32).map(|t| (t, (t as f64 * 40.0, i as f64 * 5.0))).collect(),
+                (0..5u32)
+                    .map(|t| (t, (t as f64 * 40.0, i as f64 * 5.0)))
+                    .collect(),
             ));
         }
         // Companion 60 m off to the side: outside a 15 m disc.
@@ -248,7 +253,9 @@ mod tests {
 
     #[test]
     fn empty_and_sparse_databases() {
-        assert!(discover_flocks(&TrajectoryDatabase::new(), &FlockParams::new(2, 2, 10.0)).is_empty());
+        assert!(
+            discover_flocks(&TrajectoryDatabase::new(), &FlockParams::new(2, 2, 10.0)).is_empty()
+        );
         let db = TrajectoryDatabase::from_trajectories(vec![traj(
             1,
             vec![(0, (0.0, 0.0)), (1, (10.0, 0.0))],

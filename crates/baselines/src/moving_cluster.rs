@@ -180,11 +180,15 @@ mod tests {
         // Object 0 present for the first half only, object 5 for the second.
         trajs.push(Trajectory::from_points(
             ObjectId::new(0),
-            (0..5u32).map(|t| (t, (t as f64 * 30.0, 2.0))).collect::<Vec<_>>(),
+            (0..5u32)
+                .map(|t| (t, (t as f64 * 30.0, 2.0)))
+                .collect::<Vec<_>>(),
         ));
         trajs.push(Trajectory::from_points(
             ObjectId::new(5),
-            (5..10u32).map(|t| (t, (t as f64 * 30.0, 2.0))).collect::<Vec<_>>(),
+            (5..10u32)
+                .map(|t| (t, (t as f64 * 30.0, 2.0)))
+                .collect::<Vec<_>>(),
         ));
         let db = TrajectoryDatabase::from_trajectories(trajs);
         let mcs = discover_moving_clusters(&db, &params(0.6, 8));
@@ -201,13 +205,17 @@ mod tests {
         for i in 0..3u32 {
             trajs.push(Trajectory::from_points(
                 ObjectId::new(i),
-                (0..4u32).map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0))).collect::<Vec<_>>(),
+                (0..4u32)
+                    .map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0)))
+                    .collect::<Vec<_>>(),
             ));
         }
         for i in 10..13u32 {
             trajs.push(Trajectory::from_points(
                 ObjectId::new(i),
-                (4..8u32).map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0))).collect::<Vec<_>>(),
+                (4..8u32)
+                    .map(|t| (t, (t as f64 * 30.0 + i as f64 * 4.0, 0.0)))
+                    .collect::<Vec<_>>(),
             ));
         }
         let db = TrajectoryDatabase::from_trajectories(trajs);

@@ -50,14 +50,75 @@ impl SwarmParams {
     }
 }
 
-/// Per-object cluster membership: timestamp → cluster index at that
-/// timestamp.
-type Membership = HashMap<ObjectId, HashMap<Timestamp, usize>>;
-
 /// Discovers all closed swarms in a trajectory database.
 pub fn discover_closed_swarms(db: &TrajectoryDatabase, params: &SwarmParams) -> Vec<GroupPattern> {
     let cdb = ClusterDatabase::build(db, &params.clustering);
     discover_closed_swarms_from_clusters(&cdb, params)
+}
+
+/// Dense per-object cluster membership over the covered timeline.
+///
+/// `timelines[obj][tick]` holds `cluster_index + 1` at that tick, or `0` when
+/// the object is in no cluster.  Dense arrays make the hot pruning predicates
+/// of ObjectGrowth (same-cluster tests per timestamp) branch-predictable
+/// array reads instead of nested hash lookups — the difference between the
+/// full-day effectiveness run completing in seconds and not completing at
+/// all.
+struct SwarmIndex {
+    objects: Vec<ObjectId>,
+    timelines: Vec<Vec<u32>>,
+    start_time: Timestamp,
+}
+
+impl SwarmIndex {
+    fn build(cdb: &ClusterDatabase, min_duration: usize) -> Option<Self> {
+        let domain = cdb.time_domain()?;
+        let n_ticks = (domain.end - domain.start + 1) as usize;
+        let mut by_object: HashMap<ObjectId, Vec<u32>> = HashMap::new();
+        for set in cdb.iter() {
+            let tick = (set.time - domain.start) as usize;
+            for (idx, cluster) in set.clusters.iter().enumerate() {
+                for &obj in cluster.members() {
+                    by_object.entry(obj).or_insert_with(|| vec![0; n_ticks])[tick] = idx as u32 + 1;
+                }
+            }
+        }
+        // Candidate objects: those appearing in clusters at >= mint
+        // timestamps (an object below that can never be part of a swarm).
+        let mut objects: Vec<ObjectId> = by_object
+            .iter()
+            .filter(|(_, tl)| tl.iter().filter(|&&c| c != 0).count() >= min_duration)
+            .map(|(&obj, _)| obj)
+            .collect();
+        objects.sort_unstable();
+        let timelines = objects
+            .iter()
+            .map(|obj| by_object.remove(obj).expect("filtered from this map"))
+            .collect();
+        Some(SwarmIndex {
+            objects,
+            timelines,
+            start_time: domain.start,
+        })
+    }
+
+    /// `true` if objects `a` and `b` are in the same snapshot cluster at
+    /// `tick`.
+    #[inline]
+    fn same_cluster(&self, a: usize, b: usize, tick: usize) -> bool {
+        let ca = self.timelines[a][tick];
+        ca != 0 && ca == self.timelines[b][tick]
+    }
+
+    /// Ticks at which object `idx` is in any cluster.
+    fn occupied_ticks(&self, idx: usize) -> Vec<usize> {
+        self.timelines[idx]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(t, _)| t)
+            .collect()
+    }
 }
 
 /// Discovers all closed swarms from a pre-built snapshot-cluster database.
@@ -65,102 +126,71 @@ pub fn discover_closed_swarms_from_clusters(
     cdb: &ClusterDatabase,
     params: &SwarmParams,
 ) -> Vec<GroupPattern> {
-    // Build per-object membership maps.
-    let mut membership: Membership = HashMap::new();
-    for set in cdb.iter() {
-        for (idx, cluster) in set.clusters.iter().enumerate() {
-            for &obj in cluster.members() {
-                membership.entry(obj).or_default().insert(set.time, idx);
-            }
-        }
-    }
-    // Candidate objects: those appearing in clusters at >= mint timestamps
-    // (an object below that can never be part of a swarm).
-    let mut objects: Vec<ObjectId> = membership
-        .iter()
-        .filter(|(_, times)| times.len() >= params.min_duration)
-        .map(|(&obj, _)| obj)
-        .collect();
-    objects.sort_unstable();
-
+    let Some(index) = SwarmIndex::build(cdb, params.min_duration) else {
+        return Vec::new();
+    };
     let mut results = Vec::new();
-    let mut stack: Vec<ObjectId> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut in_stack = vec![false; index.objects.len()];
     grow(
-        &objects,
-        &membership,
+        &index,
         params,
         0,
         &mut stack,
+        &mut in_stack,
         None,
         &mut results,
     );
     results
 }
 
-/// The timestamp set shared by `current ∪ {candidate}` given the shared set
-/// of `current` (`None` = unconstrained, i.e. the empty object set).
-fn shared_times(
-    membership: &Membership,
-    shared: Option<&Vec<Timestamp>>,
-    anchor: Option<ObjectId>,
-    candidate: ObjectId,
-) -> Vec<Timestamp> {
-    let cand_map = &membership[&candidate];
-    match (shared, anchor) {
-        (None, _) => {
-            let mut times: Vec<Timestamp> = cand_map.keys().copied().collect();
-            times.sort_unstable();
-            times
-        }
-        (Some(times), Some(anchor)) => {
-            let anchor_map = &membership[&anchor];
-            times
-                .iter()
-                .copied()
-                .filter(|t| match (anchor_map.get(t), cand_map.get(t)) {
-                    (Some(a), Some(b)) => a == b,
-                    _ => false,
-                })
-                .collect()
-        }
-        (Some(times), None) => times.clone(),
-    }
-}
-
 #[allow(clippy::too_many_arguments)]
 fn grow(
-    objects: &[ObjectId],
-    membership: &Membership,
+    index: &SwarmIndex,
     params: &SwarmParams,
     start: usize,
-    current: &mut Vec<ObjectId>,
-    shared: Option<Vec<Timestamp>>,
+    current: &mut Vec<usize>,
+    in_current: &mut Vec<bool>,
+    shared: Option<Vec<usize>>,
     results: &mut Vec<GroupPattern>,
 ) {
+    let n = index.objects.len();
     // Check object-closedness / emit when the current set qualifies.
     if current.len() >= params.min_objects {
-        let times = shared.as_ref().expect("non-empty set has a shared time set");
+        let times = shared
+            .as_ref()
+            .expect("non-empty set has a shared time set");
         if times.len() >= params.min_duration {
             // Object-closed: no object outside the set can be added without
             // shrinking the timestamp set.
             let anchor = current[0];
-            let closed = !objects.iter().any(|&other| {
-                !current.contains(&other)
-                    && shared_times(membership, shared.as_ref(), Some(anchor), other).len()
-                        == times.len()
+            let closed = !(0..n).any(|other| {
+                !in_current[other] && times.iter().all(|&t| index.same_cluster(anchor, other, t))
             });
             if closed {
-                results.push(GroupPattern::new(current.clone(), times.clone()));
+                results.push(GroupPattern::new(
+                    current.iter().map(|&i| index.objects[i]).collect(),
+                    times
+                        .iter()
+                        .map(|&t| index.start_time + t as Timestamp)
+                        .collect(),
+                ));
             }
         }
     }
 
-    for (offset, &candidate) in objects[start..].iter().enumerate() {
-        let idx = start + offset;
+    for candidate in start..n {
         let anchor = current.first().copied();
-        let new_shared = shared_times(membership, shared.as_ref(), anchor, candidate);
         // Apriori pruning: the shared timestamp set only shrinks as objects
         // are added.
+        let new_shared: Vec<usize> = match (shared.as_ref(), anchor) {
+            (Some(times), Some(anchor)) => times
+                .iter()
+                .copied()
+                .filter(|&t| index.same_cluster(anchor, candidate, t))
+                .collect(),
+            _ => index.occupied_ticks(candidate),
+        };
         if new_shared.len() < params.min_duration {
             continue;
         }
@@ -168,24 +198,27 @@ fn grow(
         // not the candidate) could be added without shrinking the shared
         // set, this branch is covered by the branch that includes it.
         let new_anchor = anchor.unwrap_or(candidate);
-        let covered = objects[..idx].iter().any(|&earlier| {
-            !current.contains(&earlier)
-                && shared_times(membership, Some(&new_shared), Some(new_anchor), earlier).len()
-                    == new_shared.len()
+        let covered = (0..candidate).any(|earlier| {
+            !in_current[earlier]
+                && new_shared
+                    .iter()
+                    .all(|&t| index.same_cluster(new_anchor, earlier, t))
         });
         if covered {
             continue;
         }
         current.push(candidate);
+        in_current[candidate] = true;
         grow(
-            objects,
-            membership,
+            index,
             params,
-            idx + 1,
+            candidate + 1,
             current,
+            in_current,
             Some(new_shared),
             results,
         );
+        in_current[candidate] = false;
         current.pop();
     }
 }
@@ -283,10 +316,7 @@ mod tests {
     #[test]
     fn two_disjoint_groups_give_two_swarms() {
         let db = scripted_db(
-            &[
-                (&[1, 2, 3], &[0, 1, 2, 3]),
-                (&[10, 11, 12], &[2, 3, 4, 5]),
-            ],
+            &[(&[1, 2, 3], &[0, 1, 2, 3]), (&[10, 11, 12], &[2, 3, 4, 5])],
             6,
         );
         let swarms = discover_closed_swarms(&db, &params(3, 3));

@@ -11,8 +11,7 @@
 //! `GPDT_SCALE` to adjust.
 
 use gpdt_baselines::{
-    discover_closed_swarms_from_clusters, discover_convoys_from_clusters, ConvoyParams,
-    SwarmParams,
+    discover_closed_swarms_from_clusters, discover_convoys_from_clusters, ConvoyParams, SwarmParams,
 };
 use gpdt_bench::report::Table;
 use gpdt_bench::scenarios::{clustered_day, scaled};
@@ -59,6 +58,7 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
     let th = thresholds();
     let num_taxis = scaled(900);
     let duration = 1_440u32;
+    let day_start = std::time::Instant::now();
     let cs = clustered_day(seed, weather, num_taxis, duration);
 
     // Crowds and gatherings.
@@ -89,15 +89,36 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
         &cs.clusters,
         &SwarmParams::new(th.swarm_m, th.swarm_k, baseline_clustering),
     );
+    // One progress line per simulated day: the full run mines four days and
+    // swarm mining dominates, so silence would look like a hang.
+    eprintln!(
+        "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?}",
+        day_start.elapsed()
+    );
 
     let regime_of_interval = |interval: &TimeInterval| -> Regime {
         let mid = start_of_day + (interval.start + interval.end) / 2;
         Regime::for_minute_of_day(mid)
     };
     let mut out = [
-        Counts { crowds: 0, gatherings: 0, swarms: 0, convoys: 0 },
-        Counts { crowds: 0, gatherings: 0, swarms: 0, convoys: 0 },
-        Counts { crowds: 0, gatherings: 0, swarms: 0, convoys: 0 },
+        Counts {
+            crowds: 0,
+            gatherings: 0,
+            swarms: 0,
+            convoys: 0,
+        },
+        Counts {
+            crowds: 0,
+            gatherings: 0,
+            swarms: 0,
+            convoys: 0,
+        },
+        Counts {
+            crowds: 0,
+            gatherings: 0,
+            swarms: 0,
+            convoys: 0,
+        },
     ];
     let idx = |r: Regime| match r {
         Regime::Peak => 0,
@@ -130,7 +151,13 @@ fn main() {
     let by_regime = count_by_regime(seed, Weather::Clear, 0);
     let mut fig5a = Table::new(
         "Figure 5a — average number of patterns per day vs time of day",
-        &["time of day", "closed crowds", "closed gatherings", "closed swarms", "convoys"],
+        &[
+            "time of day",
+            "closed crowds",
+            "closed gatherings",
+            "closed swarms",
+            "convoys",
+        ],
     );
     for (i, regime) in Regime::ALL.iter().enumerate() {
         fig5a.add_row(vec![
@@ -146,7 +173,13 @@ fn main() {
     // ---- Figure 5b: patterns per day vs weather ---------------------------
     let mut fig5b = Table::new(
         "Figure 5b — average number of patterns per day vs weather",
-        &["weather", "closed crowds", "closed gatherings", "closed swarms", "convoys"],
+        &[
+            "weather",
+            "closed crowds",
+            "closed gatherings",
+            "closed swarms",
+            "convoys",
+        ],
     );
     for (w_i, weather) in Weather::ALL.iter().enumerate() {
         let per_regime = count_by_regime(seed + 1 + w_i as u64, *weather, 0);

@@ -41,7 +41,10 @@ fn millis(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1_000.0)
 }
 
-fn crowd_set(count: usize, length: usize) -> Vec<(gpdt_clustering::ClusterDatabase, gpdt_core::Crowd)> {
+fn crowd_set(
+    count: usize,
+    length: usize,
+) -> Vec<(gpdt_clustering::ClusterDatabase, gpdt_core::Crowd)> {
     (0..count)
         .map(|i| synthetic_crowd(&SyntheticCrowdSpec::jam_like(i as u64, length)))
         .collect()

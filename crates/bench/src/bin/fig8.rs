@@ -47,11 +47,7 @@ fn fig8a() {
     let batches: Vec<ClusterDatabase> = (0..days)
         .map(|d| {
             let interval = TimeInterval::new(d * day_minutes, (d + 1) * day_minutes - 1);
-            ClusterDatabase::build_interval(
-                &total.scenario.database,
-                &total.clustering,
-                interval,
-            )
+            ClusterDatabase::build_interval(&total.scenario.database, &total.clustering, interval)
         })
         .collect();
 

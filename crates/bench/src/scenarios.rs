@@ -51,7 +51,12 @@ pub fn clustered_scenario(seed: u64, num_taxis: usize, duration: u32) -> Cluster
 
 /// Generates a (scaled) single synthetic day for the effectiveness study
 /// (Figure 5) and clusters it.
-pub fn clustered_day(seed: u64, weather: Weather, num_taxis: usize, duration: u32) -> ClusteredScenario {
+pub fn clustered_day(
+    seed: u64,
+    weather: Weather,
+    num_taxis: usize,
+    duration: u32,
+) -> ClusteredScenario {
     let config = ScenarioConfig {
         num_taxis,
         duration,

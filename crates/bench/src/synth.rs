@@ -92,7 +92,11 @@ pub fn synthetic_crowd(spec: &SyntheticCrowdSpec) -> (ClusterDatabase, Crowd) {
         });
     }
     let cdb = ClusterDatabase::from_sets(sets);
-    let crowd = Crowd::new((0..spec.length as u32).map(|t| ClusterId::new(t, 0)).collect());
+    let crowd = Crowd::new(
+        (0..spec.length as u32)
+            .map(|t| ClusterId::new(t, 0))
+            .collect(),
+    );
     (cdb, crowd)
 }
 

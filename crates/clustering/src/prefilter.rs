@@ -148,10 +148,7 @@ mod tests {
         let p = segment_prefilter(&db, TimeInterval::new(0, 10), 50.0, 1.0);
         assert_eq!(p.groups.len(), 2);
         assert_eq!(p.total_objects(), 3);
-        assert_eq!(
-            p.groups[0],
-            vec![ObjectId::new(1), ObjectId::new(2)]
-        );
+        assert_eq!(p.groups[0], vec![ObjectId::new(1), ObjectId::new(2)]);
         assert_eq!(p.groups[1], vec![ObjectId::new(3)]);
     }
 
@@ -169,10 +166,8 @@ mod tests {
     #[test]
     fn moving_objects_that_cross_are_grouped() {
         // Two objects start far apart but cross paths inside the window.
-        let a = Trajectory::from_points(
-            ObjectId::new(1),
-            vec![(0, (0.0, 0.0)), (10, (1000.0, 0.0))],
-        );
+        let a =
+            Trajectory::from_points(ObjectId::new(1), vec![(0, (0.0, 0.0)), (10, (1000.0, 0.0))]);
         let b = Trajectory::from_points(
             ObjectId::new(2),
             vec![(0, (1000.0, 10.0)), (10, (0.0, 10.0))],

@@ -29,8 +29,7 @@ impl SnapshotCluster {
             points.len(),
             "members and points must be parallel"
         );
-        let mut pairs: Vec<(ObjectId, Point)> =
-            members.into_iter().zip(points).collect();
+        let mut pairs: Vec<(ObjectId, Point)> = members.into_iter().zip(points).collect();
         pairs.sort_by_key(|(id, _)| *id);
         let members: Vec<ObjectId> = pairs.iter().map(|(id, _)| *id).collect();
         let points: Vec<Point> = pairs.iter().map(|(_, p)| *p).collect();
@@ -195,16 +194,15 @@ impl ClusterDatabase {
         let ticks: Vec<Timestamp> = interval.iter().collect();
         let mut sets: Vec<Option<SnapshotClusterSet>> = vec![None; ticks.len()];
         let chunk = ticks.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (tick_chunk, out_chunk) in ticks.chunks(chunk).zip(sets.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (t, slot) in tick_chunk.iter().zip(out_chunk.iter_mut()) {
                         *slot = Some(Self::cluster_snapshot(db, params, *t));
                     }
                 });
             }
-        })
-        .expect("clustering worker panicked");
+        });
         ClusterDatabase {
             sets: sets.into_iter().map(|s| s.expect("filled")).collect(),
         }

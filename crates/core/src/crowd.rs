@@ -40,9 +40,7 @@ impl Crowd {
 
     /// A single-cluster sequence (the seed of a crowd candidate).
     pub fn single(id: ClusterId) -> Self {
-        Crowd {
-            clusters: vec![id],
-        }
+        Crowd { clusters: vec![id] }
     }
 
     /// The referenced clusters, in time order.
@@ -107,7 +105,10 @@ impl Crowd {
     ///
     /// Panics if the range is empty or out of bounds.
     pub fn sub_crowd(&self, start: usize, end: usize) -> Crowd {
-        assert!(start < end && end <= self.clusters.len(), "invalid sub-crowd range");
+        assert!(
+            start < end && end <= self.clusters.len(),
+            "invalid sub-crowd range"
+        );
         Crowd {
             clusters: self.clusters[start..end].to_vec(),
         }
@@ -293,7 +294,9 @@ pub fn discover_closed_crowds(
     params: &CrowdParams,
     strategy: RangeSearchStrategy,
 ) -> Vec<Crowd> {
-    CrowdDiscovery::new(*params, strategy).run(cdb).closed_crowds
+    CrowdDiscovery::new(*params, strategy)
+        .run(cdb)
+        .closed_crowds
 }
 
 #[cfg(test)]
@@ -385,14 +388,14 @@ mod tests {
         //   row 5:                     c2^6 c1^7 c1^8
         //   row 6:                     c3^6
         let layout: Vec<Vec<(u32, u32)>> = vec![
-            vec![(3, 10)],                        // t1: c1^1
-            vec![(3, 20), (4, 23)],               // t2: c1^2, c2^2
-            vec![(2, 30), (4, 33)],               // t3: c1^3, c2^3
-            vec![(2, 40)],                        // t4: c1^4
-            vec![(2, 50), (3, 53), (4, 56)],      // t5: c1^5, c2^5, c3^5
-            vec![(1, 60), (5, 63), (6, 66)],      // t6: c1^6, c2^6, c3^6
-            vec![(5, 70)],                        // t7: c1^7
-            vec![(5, 80)],                        // t8: c1^8
+            vec![(3, 10)],                   // t1: c1^1
+            vec![(3, 20), (4, 23)],          // t2: c1^2, c2^2
+            vec![(2, 30), (4, 33)],          // t3: c1^3, c2^3
+            vec![(2, 40)],                   // t4: c1^4
+            vec![(2, 50), (3, 53), (4, 56)], // t5: c1^5, c2^5, c3^5
+            vec![(1, 60), (5, 63), (6, 66)], // t6: c1^6, c2^6, c3^6
+            vec![(5, 70)],                   // t7: c1^7
+            vec![(5, 80)],                   // t8: c1^8
         ];
         for (i, clusters) in layout.iter().enumerate() {
             let t = (i + 1) as u32;
@@ -421,7 +424,12 @@ mod tests {
             let mut found: Vec<Vec<(u32, usize)>> = result
                 .closed_crowds
                 .iter()
-                .map(|c| c.cluster_ids().iter().map(|id| (id.time, id.index)).collect())
+                .map(|c| {
+                    c.cluster_ids()
+                        .iter()
+                        .map(|id| (id.time, id.index))
+                        .collect()
+                })
                 .collect();
             found.sort();
             // Expected (in (time, index-within-tick) notation):
@@ -440,7 +448,12 @@ mod tests {
             let mut frontier: Vec<Vec<(u32, usize)>> = result
                 .frontier
                 .iter()
-                .map(|c| c.cluster_ids().iter().map(|id| (id.time, id.index)).collect())
+                .map(|c| {
+                    c.cluster_ids()
+                        .iter()
+                        .map(|id| (id.time, id.index))
+                        .collect()
+                })
                 .collect();
             frontier.sort();
             let mut expected_frontier = vec![

@@ -165,7 +165,9 @@ impl CrowdOccurrence {
     /// Occurrence count of object `idx` within positions `[start, end)`,
     /// counted naively (the TAD path).
     fn count_in_range_naive(&self, idx: usize, start: usize, end: usize) -> u32 {
-        (start..end).filter(|&pos| self.signatures[idx].get(pos)).count() as u32
+        (start..end)
+            .filter(|&pos| self.signatures[idx].get(pos))
+            .count() as u32
     }
 
     /// Occurrence count of object `idx` under `mask` using the word-parallel
@@ -377,7 +379,10 @@ pub fn detect_in_range(
     start: usize,
     end: usize,
 ) -> Vec<Gathering> {
-    assert!(start <= end && end <= crowd.len(), "invalid detection range");
+    assert!(
+        start <= end && end <= crowd.len(),
+        "invalid detection range"
+    );
     let mut out = Vec::new();
     if start == end {
         return out;
@@ -440,14 +445,14 @@ mod tests {
     /// gathering.
     fn figure3() -> (ClusterDatabase, Crowd) {
         membership_database(&[
-            &[2, 3, 4],       // c1: o2 o3 o4
-            &[1, 2, 3, 5],    // c2: o1 o2 o3 o5
-            &[1, 2, 4, 5],    // c3: o1 o2 o4 o5
-            &[2, 3, 4, 5],    // c4: o2 o3 o4 o5
-            &[1, 4, 6],       // c5: o1 o4 o6
-            &[1, 3, 4, 6],    // c6: o1 o3 o4 o6
-            &[2, 3, 4],       // c7: o2 o3 o4
-            &[2, 3, 4],       // c8: o2 o3 o4
+            &[2, 3, 4],    // c1: o2 o3 o4
+            &[1, 2, 3, 5], // c2: o1 o2 o3 o5
+            &[1, 2, 4, 5], // c3: o1 o2 o4 o5
+            &[2, 3, 4, 5], // c4: o2 o3 o4 o5
+            &[1, 4, 6],    // c5: o1 o4 o6
+            &[1, 3, 4, 6], // c6: o1 o3 o4 o6
+            &[2, 3, 4],    // c7: o2 o3 o4
+            &[2, 3, 4],    // c8: o2 o3 o4
         ])
     }
 
@@ -508,12 +513,8 @@ mod tests {
     fn whole_crowd_gathering_is_returned_immediately() {
         // Three dedicated objects present everywhere: the whole crowd is a
         // gathering and is closed.
-        let (cdb, crowd) = membership_database(&[
-            &[1, 2, 3, 9],
-            &[1, 2, 3],
-            &[1, 2, 3, 7],
-            &[1, 2, 3],
-        ]);
+        let (cdb, crowd) =
+            membership_database(&[&[1, 2, 3, 9], &[1, 2, 3], &[1, 2, 3, 7], &[1, 2, 3]]);
         let params = GatheringParams::new(3, 4);
         for variant in TadVariant::ALL {
             let gatherings = detect_closed_gatherings(&crowd, &cdb, &params, 3, variant);
@@ -530,12 +531,8 @@ mod tests {
     fn no_gathering_when_membership_churns_completely() {
         // Every cluster has enough members but no object stays long enough to
         // be a participator.
-        let (cdb, crowd) = membership_database(&[
-            &[1, 2, 3],
-            &[4, 5, 6],
-            &[7, 8, 9],
-            &[10, 11, 12],
-        ]);
+        let (cdb, crowd) =
+            membership_database(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9], &[10, 11, 12]]);
         let params = GatheringParams::new(2, 2);
         for variant in TadVariant::ALL {
             assert!(
@@ -550,12 +547,7 @@ mod tests {
         // The paper's motivating example for the lack of downward closure:
         // c1..c4 over objects o1..o4 with kp = 3, mp = 2.  Neither <c1,c2,c3>
         // nor <c2,c3,c4> is a gathering, but the whole crowd is.
-        let (cdb, crowd) = membership_database(&[
-            &[1, 2, 3],
-            &[1, 2, 4],
-            &[1, 3, 4],
-            &[2, 3, 4],
-        ]);
+        let (cdb, crowd) = membership_database(&[&[1, 2, 3], &[1, 2, 4], &[1, 3, 4], &[2, 3, 4]]);
         let params = GatheringParams::new(2, 3);
         // Sanity: the 3-length prefixes/suffixes are not gatherings.
         let prefix = crowd.sub_crowd(0, 3);

@@ -23,9 +23,7 @@ use gpdt_clustering::ClusterDatabase;
 use gpdt_trajectory::Timestamp;
 
 use crate::crowd::{Crowd, CrowdDiscovery};
-use crate::gathering::{
-    detect_with_occurrence, CrowdOccurrence, Gathering, TadVariant,
-};
+use crate::gathering::{detect_with_occurrence, CrowdOccurrence, Gathering, TadVariant};
 use crate::params::{CrowdParams, GatheringParams};
 use crate::range_search::RangeSearchStrategy;
 
@@ -332,7 +330,11 @@ mod tests {
     }
 
     fn single_cluster_crowd(start: Timestamp, len: usize) -> Crowd {
-        Crowd::new((0..len).map(|i| ClusterId::new(start + i as u32, 0)).collect())
+        Crowd::new(
+            (0..len)
+                .map(|i| ClusterId::new(start + i as u32, 0))
+                .collect(),
+        )
     }
 
     #[test]
@@ -410,8 +412,7 @@ mod tests {
             3,
             TadVariant::TadStar,
         );
-        let updated =
-            update_gatherings(&new_crowd, &cdb, 5, &old, &params, 3, TadVariant::TadStar);
+        let updated = update_gatherings(&new_crowd, &cdb, 5, &old, &params, 3, TadVariant::TadStar);
         let recomputed = crate::gathering::detect_closed_gatherings(
             &new_crowd,
             &cdb,

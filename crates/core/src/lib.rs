@@ -55,9 +55,7 @@ pub mod range_search;
 
 pub use bvs::BitVector;
 pub use crowd::{discover_closed_crowds, Crowd, CrowdDiscovery, CrowdDiscoveryResult};
-pub use gathering::{
-    detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant,
-};
+pub use gathering::{detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant};
 pub use incremental::{IncrementalDiscovery, IncrementalUpdate};
 pub use params::{
     ConfigError, CrowdParams, GatheringConfig, GatheringConfigBuilder, GatheringParams,

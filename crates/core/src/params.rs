@@ -190,9 +190,13 @@ impl GatheringConfigBuilder {
     /// Returns a [`ConfigError`] if the combined parameters are inconsistent.
     pub fn build(self) -> Result<GatheringConfig, ConfigError> {
         let config = GatheringConfig {
-            clustering: self.clustering.unwrap_or_else(ClusteringParams::paper_default),
+            clustering: self
+                .clustering
+                .unwrap_or_else(ClusteringParams::paper_default),
             crowd: self.crowd.unwrap_or_else(CrowdParams::paper_default),
-            gathering: self.gathering.unwrap_or_else(GatheringParams::paper_default),
+            gathering: self
+                .gathering
+                .unwrap_or_else(GatheringParams::paper_default),
         };
         config.validate()?;
         Ok(config)

@@ -118,9 +118,8 @@ mod tests {
         for i in 0..10u32 {
             let x = 100.0 + (i % 5) as f64 * 8.0;
             let y = 200.0 + (i / 5) as f64 * 8.0;
-            let samples: Vec<(u32, (f64, f64))> = (0..12u32)
-                .map(|t| (t, (x + (t as f64 * 0.5), y)))
-                .collect();
+            let samples: Vec<(u32, (f64, f64))> =
+                (0..12u32).map(|t| (t, (x + (t as f64 * 0.5), y))).collect();
             trajectories.push(Trajectory::from_points(ObjectId::new(i), samples));
         }
         // Pass-through traffic: fast movers that never linger.
@@ -168,7 +167,10 @@ mod tests {
                     .with_variant(variant)
                     .discover(&db);
                 assert_eq!(result.crowds, reference.crowds, "{strategy}/{variant}");
-                assert_eq!(result.gatherings, reference.gatherings, "{strategy}/{variant}");
+                assert_eq!(
+                    result.gatherings, reference.gatherings,
+                    "{strategy}/{variant}"
+                );
             }
         }
     }

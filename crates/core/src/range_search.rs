@@ -163,9 +163,7 @@ impl<'a> TickSearcher<'a> {
                 let candidates = candidate_ids.len();
                 let results: Vec<usize> = candidate_ids
                     .into_iter()
-                    .filter(|&i| {
-                        index.within_delta(query.points(), &query_cells, i, self.delta)
-                    })
+                    .filter(|&i| index.within_delta(query.points(), &query_cells, i, self.delta))
                     .collect();
                 (results, candidates)
             }

@@ -187,10 +187,7 @@ mod tests {
         let min = g.cell_min_corner(&cell);
         let eps = 1e-9;
         let a = Point::new(min.x + eps, min.y + eps);
-        let b = Point::new(
-            min.x + g.cell_size() - eps,
-            min.y + g.cell_size() - eps,
-        );
+        let b = Point::new(min.x + g.cell_size() - eps, min.y + g.cell_size() - eps);
         assert_eq!(g.cell_of(&a), cell);
         assert_eq!(g.cell_of(&b), cell);
         assert!(a.distance(&b) <= delta);
@@ -262,65 +259,75 @@ mod tests {
 }
 
 #[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        /// Every point maps to a cell whose extent contains it.
-        #[test]
-        fn cell_of_roundtrip(x in -1e6..1e6f64, y in -1e6..1e6f64, size in 1.0..1000.0f64) {
+    /// Every point maps to a cell whose extent contains it.
+    #[test]
+    fn cell_of_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x61);
+        for _ in 0..512 {
+            let size = rng.gen_range(1.0..1000.0);
             let g = GridGeometry::new(Point::ORIGIN, size);
-            let p = Point::new(x, y);
+            let p = Point::new(rng.gen_range(-1e6..1e6), rng.gen_range(-1e6..1e6));
             let cell = g.cell_of(&p);
             let min = g.cell_min_corner(&cell);
-            prop_assert!(p.x >= min.x - 1e-6 && p.x <= min.x + size + 1e-6);
-            prop_assert!(p.y >= min.y - 1e-6 && p.y <= min.y + size + 1e-6);
+            assert!(p.x >= min.x - 1e-6 && p.x <= min.x + size + 1e-6);
+            assert!(p.y >= min.y - 1e-6 && p.y <= min.y + size + 1e-6);
         }
+    }
 
-        /// Two points in the same cell of a `for_delta` grid are within delta.
-        #[test]
-        fn same_cell_implies_within_delta(
-            delta in 10.0..1000.0f64,
-            x in -1e5..1e5f64,
-            y in -1e5..1e5f64,
-            dx in 0.0..1.0f64,
-            dy in 0.0..1.0f64,
-        ) {
+    /// Two points in the same cell of a `for_delta` grid are within delta.
+    #[test]
+    fn same_cell_implies_within_delta() {
+        let mut rng = StdRng::seed_from_u64(0x62);
+        for _ in 0..512 {
+            let delta = rng.gen_range(10.0..1000.0);
             let g = GridGeometry::for_delta(delta);
-            let a = Point::new(x, y);
+            let a = Point::new(rng.gen_range(-1e5..1e5), rng.gen_range(-1e5..1e5));
             let cell = g.cell_of(&a);
             let min = g.cell_min_corner(&cell);
-            let b = Point::new(min.x + dx * g.cell_size() * 0.999, min.y + dy * g.cell_size() * 0.999);
+            let (dx, dy) = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let b = Point::new(
+                min.x + dx * g.cell_size() * 0.999,
+                min.y + dy * g.cell_size() * 0.999,
+            );
             if g.cell_of(&b) == cell {
-                prop_assert!(a.distance(&b) <= delta + 1e-6);
+                assert!(a.distance(&b) <= delta + 1e-6);
             }
         }
+    }
 
-        /// Points in cells outside each other's affect region are farther
-        /// apart than delta.
-        #[test]
-        fn outside_affect_region_implies_far(
-            delta in 10.0..500.0f64,
-            ax in -1e4..1e4f64, ay in -1e4..1e4f64,
-            bx in -1e4..1e4f64, by in -1e4..1e4f64,
-        ) {
+    /// Points in cells outside each other's affect region are farther
+    /// apart than delta.
+    #[test]
+    fn outside_affect_region_implies_far() {
+        let mut rng = StdRng::seed_from_u64(0x63);
+        for _ in 0..512 {
+            let delta = rng.gen_range(10.0..500.0);
             let g = GridGeometry::for_delta(delta);
-            let a = Point::new(ax, ay);
-            let b = Point::new(bx, by);
+            let a = Point::new(rng.gen_range(-1e4..1e4), rng.gen_range(-1e4..1e4));
+            let b = Point::new(rng.gen_range(-1e4..1e4), rng.gen_range(-1e4..1e4));
             let ca = g.cell_of(&a);
             let cb = g.cell_of(&b);
             if !cb.in_affect_region_of(&ca) {
-                prop_assert!(a.distance(&b) > delta - 1e-6);
+                assert!(a.distance(&b) > delta - 1e-6);
             }
         }
+    }
 
-        /// Affect-region membership is symmetric.
-        #[test]
-        fn affect_region_symmetric(c1 in -100i64..100, r1 in -100i64..100, c2 in -100i64..100, r2 in -100i64..100) {
-            let a = CellCoord::new(c1, r1);
-            let b = CellCoord::new(c2, r2);
-            prop_assert_eq!(a.in_affect_region_of(&b), b.in_affect_region_of(&a));
+    /// Affect-region membership is symmetric.
+    #[test]
+    fn affect_region_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0x64);
+        for _ in 0..512 {
+            let a = CellCoord::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+            let b = CellCoord::new(rng.gen_range(-100i64..100), rng.gen_range(-100i64..100));
+            assert_eq!(a.in_affect_region_of(&b), b.in_affect_region_of(&a));
         }
     }
 }

@@ -159,67 +159,94 @@ mod tests {
 }
 
 #[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
 mod proptests {
     use super::*;
     use crate::mbr::Mbr;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_point() -> impl Strategy<Value = Point> {
-        (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+    fn random_points(rng: &mut StdRng, max: usize) -> Vec<Point> {
+        let n = rng.gen_range(1..max);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(-1000.0..1000.0),
+                    rng.gen_range(-1000.0..1000.0),
+                )
+            })
+            .collect()
     }
 
-    fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-        proptest::collection::vec(arb_point(), 1..max)
-    }
-
-    proptest! {
-        /// dH is symmetric.
-        #[test]
-        fn hausdorff_symmetry(p in arb_points(12), q in arb_points(12)) {
+    /// dH is symmetric.
+    #[test]
+    fn hausdorff_symmetry() {
+        let mut rng = StdRng::seed_from_u64(0x71);
+        for _ in 0..256 {
+            let p = random_points(&mut rng, 12);
+            let q = random_points(&mut rng, 12);
             let d1 = hausdorff_distance(&p, &q);
             let d2 = hausdorff_distance(&q, &p);
-            prop_assert!((d1 - d2).abs() < 1e-9);
+            assert!((d1 - d2).abs() < 1e-9);
         }
+    }
 
-        /// dH(P, P) = 0 (identity of indiscernibles, one direction).
-        #[test]
-        fn hausdorff_self_zero(p in arb_points(12)) {
-            prop_assert_eq!(hausdorff_distance(&p, &p), 0.0);
+    /// dH(P, P) = 0 (identity of indiscernibles, one direction).
+    #[test]
+    fn hausdorff_self_zero() {
+        let mut rng = StdRng::seed_from_u64(0x72);
+        for _ in 0..256 {
+            let p = random_points(&mut rng, 12);
+            assert_eq!(hausdorff_distance(&p, &p), 0.0);
         }
+    }
 
-        /// Triangle inequality over point sets.
-        #[test]
-        fn hausdorff_triangle_inequality(
-            p in arb_points(8),
-            q in arb_points(8),
-            r in arb_points(8),
-        ) {
+    /// Triangle inequality over point sets.
+    #[test]
+    fn hausdorff_triangle_inequality() {
+        let mut rng = StdRng::seed_from_u64(0x73);
+        for _ in 0..256 {
+            let p = random_points(&mut rng, 8);
+            let q = random_points(&mut rng, 8);
+            let r = random_points(&mut rng, 8);
             let pq = hausdorff_distance(&p, &q);
             let qr = hausdorff_distance(&q, &r);
             let pr = hausdorff_distance(&p, &r);
-            prop_assert!(pr <= pq + qr + 1e-9);
+            assert!(pr <= pq + qr + 1e-9);
         }
+    }
 
-        /// The threshold test agrees with the exact computation.
-        #[test]
-        fn within_matches_exact(p in arb_points(10), q in arb_points(10), thr in 0.0..2000.0f64) {
+    /// The threshold test agrees with the exact computation.
+    #[test]
+    fn within_matches_exact() {
+        let mut rng = StdRng::seed_from_u64(0x74);
+        for _ in 0..256 {
+            let p = random_points(&mut rng, 10);
+            let q = random_points(&mut rng, 10);
+            let thr = rng.gen_range(0.0..2000.0);
             let d = hausdorff_distance(&p, &q);
-            prop_assert_eq!(hausdorff_within(&p, &q, thr), d <= thr);
+            assert_eq!(hausdorff_within(&p, &q, thr), d <= thr);
         }
+    }
 
-        /// Lemma 2 and Lemma 3: dmin ≤ dside ≤ dH for the sets' MBRs.
-        #[test]
-        fn mbr_bounds_lower_bound_hausdorff(p in arb_points(12), q in arb_points(12)) {
+    /// Lemma 2 and Lemma 3: dmin ≤ dside ≤ dH for the sets' MBRs.
+    #[test]
+    fn mbr_bounds_lower_bound_hausdorff() {
+        let mut rng = StdRng::seed_from_u64(0x75);
+        for _ in 0..256 {
+            let p = random_points(&mut rng, 12);
+            let q = random_points(&mut rng, 12);
             let mp = Mbr::from_points(&p).unwrap();
             let mq = Mbr::from_points(&q).unwrap();
             let dh = hausdorff_distance(&p, &q);
             let dmin = mp.min_distance(&mq);
             let dside = mp.side_distance(&mq).max(mq.side_distance(&mp));
-            prop_assert!(dmin <= dside + 1e-9);
-            prop_assert!(dmin <= dh + 1e-9);
-            prop_assert!(mp.side_distance(&mq) <= dh + 1e-9);
-            prop_assert!(mq.side_distance(&mp) <= dh + 1e-9);
-            prop_assert!(dside <= dh + 1e-9);
+            assert!(dmin <= dside + 1e-9);
+            assert!(dmin <= dh + 1e-9);
+            assert!(mp.side_distance(&mq) <= dh + 1e-9);
+            assert!(mq.side_distance(&mp) <= dh + 1e-9);
+            assert!(dside <= dh + 1e-9);
         }
     }
 }

@@ -175,8 +175,12 @@ impl Mbr {
     /// By Lemma 2 of the paper `dmin(M(ci), M(cj)) ≤ dH(ci, cj)`, so any pair
     /// with `dmin > δ` can be pruned without looking at the points.
     pub fn min_distance(&self, other: &Mbr) -> f64 {
-        let dx = (self.min_x - other.max_x).max(0.0).max(other.min_x - self.max_x);
-        let dy = (self.min_y - other.max_y).max(0.0).max(other.min_y - self.max_y);
+        let dx = (self.min_x - other.max_x)
+            .max(0.0)
+            .max(other.min_x - self.max_x);
+        let dy = (self.min_y - other.max_y)
+            .max(0.0)
+            .max(other.min_y - self.max_y);
         (dx * dx + dy * dy).sqrt()
     }
 

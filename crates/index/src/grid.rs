@@ -169,8 +169,13 @@ impl GridClusterIndex {
                 continue;
             }
             for p in points {
-                if !Self::point_near_in_affect_region(&self.geometry, &query_by_cell, p, cell, delta_sq)
-                {
+                if !Self::point_near_in_affect_region(
+                    &self.geometry,
+                    &query_by_cell,
+                    p,
+                    cell,
+                    delta_sq,
+                ) {
                     return false;
                 }
             }
@@ -208,10 +213,7 @@ impl GridClusterIndex {
         false
     }
 
-    fn bucket_by_cell(
-        geometry: &GridGeometry,
-        points: &[Point],
-    ) -> HashMap<CellCoord, Vec<Point>> {
+    fn bucket_by_cell(geometry: &GridGeometry, points: &[Point]) -> HashMap<CellCoord, Vec<Point>> {
         let mut map: HashMap<CellCoord, Vec<Point>> = HashMap::new();
         for p in points {
             map.entry(geometry.cell_of(p)).or_default().push(*p);
@@ -348,34 +350,42 @@ mod tests {
 }
 
 #[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
 mod proptests {
     use super::*;
     use gpdt_geo::hausdorff_within;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_cluster() -> impl Strategy<Value = Vec<Point>> {
-        (
-            -500.0..500.0f64,
-            -500.0..500.0f64,
-            proptest::collection::vec((-80.0..80.0f64, -80.0..80.0f64), 1..20),
-        )
-            .prop_map(|(cx, cy, offsets)| {
-                offsets
-                    .into_iter()
-                    .map(|(dx, dy)| Point::new(cx + dx, cy + dy))
-                    .collect()
+    fn random_cluster(rng: &mut StdRng) -> Vec<Point> {
+        let cx = rng.gen_range(-500.0..500.0);
+        let cy = rng.gen_range(-500.0..500.0);
+        let n = rng.gen_range(1..20);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    cx + rng.gen_range(-80.0..80.0),
+                    cy + rng.gen_range(-80.0..80.0),
+                )
             })
+            .collect()
     }
 
-    proptest! {
-        /// The grid range search returns exactly the clusters within
-        /// Hausdorff distance delta (agrees with the exact predicate).
-        #[test]
-        fn grid_range_search_is_exact(
-            clusters in proptest::collection::vec(arb_cluster(), 0..8),
-            query in arb_cluster(),
-            delta in 20.0..400.0f64,
-        ) {
+    fn random_clusters(rng: &mut StdRng) -> Vec<Vec<Point>> {
+        let n = rng.gen_range(0..8);
+        (0..n).map(|_| random_cluster(rng)).collect()
+    }
+
+    /// The grid range search returns exactly the clusters within
+    /// Hausdorff distance delta (agrees with the exact predicate).
+    #[test]
+    fn grid_range_search_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0xa1);
+        for _ in 0..256 {
+            let clusters = random_clusters(&mut rng);
+            let query = random_cluster(&mut rng);
+            let delta = rng.gen_range(20.0..400.0);
             let geometry = GridGeometry::for_delta(delta);
             let index = GridClusterIndex::build(geometry, &clusters);
             let got = index.range_search(&query, delta);
@@ -385,24 +395,26 @@ mod proptests {
                 .filter(|(_, c)| hausdorff_within(&query, c, delta))
                 .map(|(i, _)| i)
                 .collect();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
+    }
 
-        /// Candidate generation never prunes a true result (it is a superset
-        /// of the exact answer).
-        #[test]
-        fn candidates_are_superset_of_exact(
-            clusters in proptest::collection::vec(arb_cluster(), 0..8),
-            query in arb_cluster(),
-            delta in 20.0..400.0f64,
-        ) {
+    /// Candidate generation never prunes a true result (it is a superset
+    /// of the exact answer).
+    #[test]
+    fn candidates_are_superset_of_exact() {
+        let mut rng = StdRng::seed_from_u64(0xa2);
+        for _ in 0..256 {
+            let clusters = random_clusters(&mut rng);
+            let query = random_cluster(&mut rng);
+            let delta = rng.gen_range(20.0..400.0);
             let geometry = GridGeometry::for_delta(delta);
             let index = GridClusterIndex::build(geometry, &clusters);
             let cells = index.cell_list_of(&query);
             let candidates = index.candidates(&cells);
             for (i, c) in clusters.iter().enumerate() {
                 if hausdorff_within(&query, c, delta) {
-                    prop_assert!(candidates.contains(&i), "true result {i} was pruned");
+                    assert!(candidates.contains(&i), "true result {i} was pruned");
                 }
             }
         }

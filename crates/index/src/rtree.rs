@@ -535,34 +535,46 @@ mod tests {
         let t = RTree::bulk_load(entries);
         assert_eq!(t.window_query(&Mbr::new(0.0, 0.0, 2.0, 2.0)), vec![0, 2]);
         assert_eq!(t.window_query(&Mbr::new(5.5, 5.5, 6.0, 6.0)), vec![1]);
-        assert!(t.window_query(&Mbr::new(100.0, 100.0, 101.0, 101.0)).is_empty());
+        assert!(t
+            .window_query(&Mbr::new(100.0, 100.0, 101.0, 101.0))
+            .is_empty());
     }
 }
 
 #[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_mbr() -> impl Strategy<Value = Mbr> {
-        (
-            -500.0..500.0f64,
-            -500.0..500.0f64,
-            0.0..50.0f64,
-            0.0..50.0f64,
-        )
-            .prop_map(|(x, y, w, h)| Mbr::new(x, y, x + w, y + h))
+    fn random_mbr(rng: &mut StdRng) -> Mbr {
+        let x = rng.gen_range(-500.0..500.0);
+        let y = rng.gen_range(-500.0..500.0);
+        let w = rng.gen_range(0.0..50.0);
+        let h = rng.gen_range(0.0..50.0);
+        Mbr::new(x, y, x + w, y + h)
     }
 
-    proptest! {
-        /// The R-tree dmin query equals a linear scan for random data.
-        #[test]
-        fn dmin_query_equals_linear_scan(
-            mbrs in proptest::collection::vec(arb_mbr(), 0..80),
-            query in arb_mbr(),
-            delta in 0.0..200.0f64,
-        ) {
-            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+    fn random_entries(rng: &mut StdRng, min: usize, max: usize) -> Vec<Entry> {
+        let n = rng.gen_range(min..max);
+        (0..n)
+            .map(|id| Entry {
+                id,
+                mbr: random_mbr(rng),
+            })
+            .collect()
+    }
+
+    /// The R-tree dmin query equals a linear scan for random data.
+    #[test]
+    fn dmin_query_equals_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0xb1);
+        for _ in 0..256 {
+            let entries = random_entries(&mut rng, 0, 80);
+            let query = random_mbr(&mut rng);
+            let delta = rng.gen_range(0.0..200.0);
             let tree = RTree::bulk_load(entries.clone());
             let mut expected: Vec<usize> = entries
                 .iter()
@@ -570,17 +582,18 @@ mod proptests {
                 .map(|e| e.id)
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(tree.range_by_min_distance(&query, delta), expected);
+            assert_eq!(tree.range_by_min_distance(&query, delta), expected);
         }
+    }
 
-        /// The R-tree dside query equals a linear scan for random data.
-        #[test]
-        fn dside_query_equals_linear_scan(
-            mbrs in proptest::collection::vec(arb_mbr(), 0..80),
-            query in arb_mbr(),
-            delta in 0.0..200.0f64,
-        ) {
-            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+    /// The R-tree dside query equals a linear scan for random data.
+    #[test]
+    fn dside_query_equals_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0xb2);
+        for _ in 0..256 {
+            let entries = random_entries(&mut rng, 0, 80);
+            let query = random_mbr(&mut rng);
+            let delta = rng.gen_range(0.0..200.0);
             let tree = RTree::bulk_load(entries.clone());
             let mut expected: Vec<usize> = entries
                 .iter()
@@ -588,23 +601,24 @@ mod proptests {
                 .map(|e| e.id)
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(tree.range_by_side_distance(&query, delta), expected);
+            assert_eq!(tree.range_by_side_distance(&query, delta), expected);
         }
+    }
 
-        /// Insertion-built trees answer queries identically to bulk-loaded ones.
-        #[test]
-        fn insert_equals_bulk_load(
-            mbrs in proptest::collection::vec(arb_mbr(), 1..60),
-            query in arb_mbr(),
-            delta in 0.0..100.0f64,
-        ) {
-            let entries: Vec<Entry> = mbrs.iter().enumerate().map(|(id, &mbr)| Entry { id, mbr }).collect();
+    /// Insertion-built trees answer queries identically to bulk-loaded ones.
+    #[test]
+    fn insert_equals_bulk_load() {
+        let mut rng = StdRng::seed_from_u64(0xb3);
+        for _ in 0..256 {
+            let entries = random_entries(&mut rng, 1, 60);
+            let query = random_mbr(&mut rng);
+            let delta = rng.gen_range(0.0..100.0);
             let bulk = RTree::bulk_load(entries.clone());
             let mut incr = RTree::new();
             for e in &entries {
                 incr.insert(*e);
             }
-            prop_assert_eq!(
+            assert_eq!(
                 bulk.range_by_min_distance(&query, delta),
                 incr.range_by_min_distance(&query, delta)
             );

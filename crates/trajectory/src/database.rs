@@ -197,7 +197,10 @@ impl DatabaseBuilder {
 
     /// Records one observation.
     pub fn push(&mut self, id: ObjectId, time: Timestamp, position: Point) -> &mut Self {
-        self.samples.entry(id).or_default().push(Sample::new(time, position));
+        self.samples
+            .entry(id)
+            .or_default()
+            .push(Sample::new(time, position));
         self
     }
 
@@ -251,7 +254,10 @@ mod tests {
         let s20 = db.snapshot(20);
         assert_eq!(s20.len(), 1);
         assert!(!s20.is_empty());
-        assert_eq!(s20.position_of(ObjectId::new(3)), Some(Point::new(1.0, 1.0)));
+        assert_eq!(
+            s20.position_of(ObjectId::new(3)),
+            Some(Point::new(1.0, 1.0))
+        );
     }
 
     #[test]
@@ -266,8 +272,14 @@ mod tests {
     #[test]
     fn insert_merges_same_object() {
         let mut db = TrajectoryDatabase::new();
-        db.insert(Trajectory::from_points(ObjectId::new(1), vec![(0, (0.0, 0.0))]));
-        db.insert(Trajectory::from_points(ObjectId::new(1), vec![(5, (5.0, 0.0))]));
+        db.insert(Trajectory::from_points(
+            ObjectId::new(1),
+            vec![(0, (0.0, 0.0))],
+        ));
+        db.insert(Trajectory::from_points(
+            ObjectId::new(1),
+            vec![(5, (5.0, 0.0))],
+        ));
         assert_eq!(db.len(), 1);
         assert_eq!(db.get(ObjectId::new(1)).unwrap().len(), 2);
         assert_eq!(db.total_samples(), 2);

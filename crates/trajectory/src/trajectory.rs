@@ -43,7 +43,10 @@ impl Trajectory {
     ///
     /// Panics if `samples` is empty.
     pub fn new(id: ObjectId, mut samples: Vec<Sample>) -> Self {
-        assert!(!samples.is_empty(), "a trajectory needs at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "a trajectory needs at least one sample"
+        );
         samples.sort_by_key(|s| s.time);
         samples.dedup_by(|later, earlier| {
             if later.time == earlier.time {
@@ -58,7 +61,10 @@ impl Trajectory {
     }
 
     /// Convenience constructor from `(timestamp, (x, y))` pairs.
-    pub fn from_points(id: ObjectId, points: impl IntoIterator<Item = (Timestamp, (f64, f64))>) -> Self {
+    pub fn from_points(
+        id: ObjectId,
+        points: impl IntoIterator<Item = (Timestamp, (f64, f64))>,
+    ) -> Self {
         let samples = points
             .into_iter()
             .map(|(t, (x, y))| Sample::new(t, Point::new(x, y)))
@@ -203,11 +209,7 @@ mod tests {
     fn traj() -> Trajectory {
         Trajectory::from_points(
             ObjectId::new(1),
-            vec![
-                (0, (0.0, 0.0)),
-                (10, (100.0, 0.0)),
-                (20, (100.0, 100.0)),
-            ],
+            vec![(0, (0.0, 0.0)), (10, (100.0, 0.0)), (20, (100.0, 100.0))],
         )
     }
 
@@ -320,47 +322,83 @@ mod tests {
 }
 
 #[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arb_samples() -> impl Strategy<Value = Vec<(Timestamp, (f64, f64))>> {
-        proptest::collection::vec(
-            (0u32..1000, (-1e5..1e5f64, -1e5..1e5f64)),
-            1..40,
-        )
+    fn random_samples(rng: &mut StdRng) -> Vec<(Timestamp, (f64, f64))> {
+        let n = rng.gen_range(1..40);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..1000),
+                    (rng.gen_range(-1e5..1e5), rng.gen_range(-1e5..1e5)),
+                )
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Interpolated positions always lie inside the bounding box of the
-        /// neighbouring samples (convexity of linear interpolation).
-        #[test]
-        fn interpolation_stays_in_sample_bbox(samples in arb_samples(), t in 0u32..1000) {
+    /// Interpolated positions always lie inside the bounding box of the
+    /// neighbouring samples (convexity of linear interpolation).
+    #[test]
+    fn interpolation_stays_in_sample_bbox() {
+        let mut rng = StdRng::seed_from_u64(0x81);
+        for _ in 0..256 {
+            let samples = random_samples(&mut rng);
+            let t = rng.gen_range(0u32..1000);
             let traj = Trajectory::from_points(ObjectId::new(0), samples);
             if let Some(p) = traj.position_at(t) {
-                let min_x = traj.samples().iter().map(|s| s.position.x).fold(f64::INFINITY, f64::min);
-                let max_x = traj.samples().iter().map(|s| s.position.x).fold(f64::NEG_INFINITY, f64::max);
-                let min_y = traj.samples().iter().map(|s| s.position.y).fold(f64::INFINITY, f64::min);
-                let max_y = traj.samples().iter().map(|s| s.position.y).fold(f64::NEG_INFINITY, f64::max);
-                prop_assert!(p.x >= min_x - 1e-6 && p.x <= max_x + 1e-6);
-                prop_assert!(p.y >= min_y - 1e-6 && p.y <= max_y + 1e-6);
+                let min_x = traj
+                    .samples()
+                    .iter()
+                    .map(|s| s.position.x)
+                    .fold(f64::INFINITY, f64::min);
+                let max_x = traj
+                    .samples()
+                    .iter()
+                    .map(|s| s.position.x)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let min_y = traj
+                    .samples()
+                    .iter()
+                    .map(|s| s.position.y)
+                    .fold(f64::INFINITY, f64::min);
+                let max_y = traj
+                    .samples()
+                    .iter()
+                    .map(|s| s.position.y)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(p.x >= min_x - 1e-6 && p.x <= max_x + 1e-6);
+                assert!(p.y >= min_y - 1e-6 && p.y <= max_y + 1e-6);
             }
         }
+    }
 
-        /// `position_at` is defined exactly on the lifespan.
-        #[test]
-        fn position_defined_iff_in_lifespan(samples in arb_samples(), t in 0u32..1100) {
+    /// `position_at` is defined exactly on the lifespan.
+    #[test]
+    fn position_defined_iff_in_lifespan() {
+        let mut rng = StdRng::seed_from_u64(0x82);
+        for _ in 0..256 {
+            let samples = random_samples(&mut rng);
+            let t = rng.gen_range(0u32..1100);
             let traj = Trajectory::from_points(ObjectId::new(0), samples);
             let lifespan = traj.lifespan();
-            prop_assert_eq!(traj.position_at(t).is_some(), lifespan.contains(t));
+            assert_eq!(traj.position_at(t).is_some(), lifespan.contains(t));
         }
+    }
 
-        /// Sample timestamps are strictly increasing after construction.
-        #[test]
-        fn samples_strictly_increasing(samples in arb_samples()) {
+    /// Sample timestamps are strictly increasing after construction.
+    #[test]
+    fn samples_strictly_increasing() {
+        let mut rng = StdRng::seed_from_u64(0x83);
+        for _ in 0..256 {
+            let samples = random_samples(&mut rng);
             let traj = Trajectory::from_points(ObjectId::new(0), samples);
             for w in traj.samples().windows(2) {
-                prop_assert!(w[0].time < w[1].time);
+                assert!(w[0].time < w[1].time);
             }
         }
     }

@@ -189,9 +189,9 @@ impl Simulation {
     }
 
     fn spawn_jam(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
-        let duration = rng.gen_range(30..=50).min(self.duration - tick - 1);
+        let duration = rng.gen_range(30u32..=50).min(self.duration - tick - 1);
         let center = random_point(rng, self.area);
-        let core_size = rng.gen_range(16..=22);
+        let core_size = rng.gen_range(16usize..=22);
         let members = self.roaming_taxis(core_size, rng);
         if members.len() < core_size / 2 {
             return; // fleet exhausted; skip the event
@@ -199,9 +199,9 @@ impl Simulation {
         let end = tick + duration;
         let mut core = Vec::new();
         for &taxi_idx in &members {
-            let arrive = tick + rng.gen_range(2..=5);
+            let arrive = tick + rng.gen_range(2u32..=5);
             // Core vehicles stay until (almost) the end of the jam.
-            let depart = end.saturating_sub(rng.gen_range(0..=3)).max(arrive + 1);
+            let depart = end.saturating_sub(rng.gen_range(0u32..=3)).max(arrive + 1);
             let jitter = random_offset(rng, 60.0);
             self.taxis[taxi_idx].mode = Mode::Event {
                 target: Point::new(center.x + jitter.0, center.y + jitter.1),
@@ -220,15 +220,21 @@ impl Simulation {
             regime,
             core,
             transient: Vec::new(),
-            churn_per_min: rng.gen_range(2..=4),
+            churn_per_min: rng.gen_range(2u32..=4),
             churn_dwell: (3, 6),
             recruited: members.into_iter().collect(),
         });
     }
 
     fn spawn_venue(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
-        let duration = rng.gen_range(35..=60).min(self.duration - tick - 1);
+        let duration = rng.gen_range(35u32..=60).min(self.duration - tick - 1);
         let center = random_point(rng, self.area);
+        // Seed the venue with an initial batch so it reaches critical mass
+        // quickly.
+        let initial = self.roaming_taxis(12, rng);
+        if initial.is_empty() {
+            return; // fleet exhausted; skip the event
+        }
         let event_idx = self.events.len();
         self.events.push(ActiveEvent {
             kind: EventKind::Venue,
@@ -238,21 +244,18 @@ impl Simulation {
             regime,
             core: Vec::new(),
             transient: Vec::new(),
-            churn_per_min: rng.gen_range(5..=7),
+            churn_per_min: rng.gen_range(5u32..=7),
             churn_dwell: (3, 6),
             recruited: HashSet::new(),
         });
-        // Seed the venue with an initial batch so it reaches critical mass
-        // quickly.
-        let initial = self.roaming_taxis(12, rng);
         for taxi_idx in initial {
             self.recruit_transient(event_idx, taxi_idx, tick, rng);
         }
     }
 
     fn spawn_convoy(&mut self, tick: u32, regime: Regime, rng: &mut StdRng) {
-        let duration = rng.gen_range(12..=20).min(self.duration - tick - 1);
-        let group_size = rng.gen_range(15..=18);
+        let duration = rng.gen_range(12u32..=20).min(self.duration - tick - 1);
+        let group_size = rng.gen_range(15usize..=18);
         let members = self.roaming_taxis(group_size, rng);
         if members.len() < 12 {
             return;
@@ -294,9 +297,7 @@ impl Simulation {
             .events
             .iter()
             .enumerate()
-            .filter(|(_, e)| {
-                e.churn_per_min > 0 && tick >= e.start && tick + 4 < e.end
-            })
+            .filter(|(_, e)| e.churn_per_min > 0 && tick >= e.start && tick + 4 < e.end)
             .map(|(idx, e)| (idx, e.churn_per_min))
             .collect();
         for (event_idx, per_min) in recruiting {
@@ -319,8 +320,8 @@ impl Simulation {
             let e = &self.events[event_idx];
             (e.center, e.end, e.churn_dwell)
         };
-        let arrive = tick + rng.gen_range(1..=3);
-        let dwell = rng.gen_range(dwell_range.0..=dwell_range.1.max(dwell_range.0));
+        let arrive = tick + rng.gen_range(1u32..=3);
+        let dwell: u32 = rng.gen_range(dwell_range.0..=dwell_range.1.max(dwell_range.0));
         let depart = (arrive + dwell).min(end);
         if depart <= arrive {
             return;
@@ -494,10 +495,7 @@ mod tests {
         );
         for traj in scenario.database.iter() {
             assert_eq!(traj.len(), config.duration as usize);
-            assert_eq!(
-                traj.lifespan(),
-                TimeInterval::new(0, config.duration - 1)
-            );
+            assert_eq!(traj.lifespan(), TimeInterval::new(0, config.duration - 1));
         }
     }
 

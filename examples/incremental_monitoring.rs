@@ -72,7 +72,8 @@ fn main() {
 
     // Cross-check against a from-scratch batch run over the full history.
     let full_clusters = ClusterDatabase::build(&scenario.database, &clustering);
-    let batch_run = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid).run(&full_clusters);
+    let batch_run =
+        CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid).run(&full_clusters);
     println!(
         "from-scratch run finds {} closed crowds — incremental and batch results {}",
         batch_run.closed_crowds.len(),

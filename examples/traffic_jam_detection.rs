@@ -80,15 +80,28 @@ fn main() {
             ),
         }
     }
-    println!("recovered {recovered}/{} planted jams as gatherings", jams.len());
+    println!(
+        "recovered {recovered}/{} planted jams as gatherings",
+        jams.len()
+    );
 
     // Venue hotspots should not produce gatherings: their members churn too
-    // fast to become participators.
+    // fast to become participators.  A false positive is a gathering whose
+    // crowd passes through the venue site while it is active and whose
+    // participators are drawn from the venue's churners.
     let venue_gatherings = venues
         .iter()
         .filter(|v| {
             result.gatherings.iter().any(|g| {
-                g.crowd().interval().intersect(&v.interval).is_some()
+                let overlaps = g.crowd().interval().intersect(&v.interval).is_some();
+                let at_venue = g.crowd().cluster_ids().iter().any(|&id| {
+                    result
+                        .clusters
+                        .cluster(id)
+                        .is_some_and(|c| c.centroid().distance(&v.center) < 500.0)
+                });
+                overlaps
+                    && at_venue
                     && v.transient_members
                         .iter()
                         .filter(|m| g.participators().contains(m))

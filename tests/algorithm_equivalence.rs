@@ -8,7 +8,13 @@ use gpdt_core::{
 };
 use gpdt_workload::EventRates;
 
-fn clustered_scene(seed: u64) -> (gpdt_clustering::ClusterDatabase, CrowdParams, GatheringParams) {
+fn clustered_scene(
+    seed: u64,
+) -> (
+    gpdt_clustering::ClusterDatabase,
+    CrowdParams,
+    GatheringParams,
+) {
     let mut config = ScenarioConfig::small_demo(seed);
     config.num_taxis = 220;
     config.duration = 120;

@@ -31,8 +31,7 @@ fn planted_convoy_flows_are_found_by_convoy_and_swarm_miners() {
     let clustering = ClusteringParams::new(200.0, 5);
     let clusters = ClusterDatabase::build(&scenario.database, &clustering);
 
-    let convoys =
-        discover_convoys_from_clusters(&clusters, &ConvoyParams::new(10, 8, clustering));
+    let convoys = discover_convoys_from_clusters(&clusters, &ConvoyParams::new(10, 8, clustering));
     let swarms =
         discover_closed_swarms_from_clusters(&clusters, &SwarmParams::new(10, 8, clustering));
     assert!(!convoys.is_empty(), "no convoys found for planted flows");

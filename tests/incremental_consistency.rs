@@ -40,7 +40,13 @@ fn incremental_ingestion_matches_batch_run_for_several_slicings() {
     let mut batch_gatherings: Vec<Gathering> = batch_crowds
         .iter()
         .flat_map(|c| {
-            detect_closed_gatherings(c, &full, &gathering_params, crowd_params.kc, TadVariant::TadStar)
+            detect_closed_gatherings(
+                c,
+                &full,
+                &gathering_params,
+                crowd_params.kc,
+                TadVariant::TadStar,
+            )
         })
         .collect();
     batch_gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
