@@ -13,13 +13,10 @@
 use gpdt_baselines::{
     discover_closed_swarms_from_clusters, discover_convoys_from_clusters, ConvoyParams, SwarmParams,
 };
-use gpdt_bench::report::Table;
+use gpdt_bench::report::{BenchReport, Table};
 use gpdt_bench::scenarios::{clustered_day, scaled};
 use gpdt_clustering::ClusteringParams;
-use gpdt_core::{
-    detect_closed_gatherings, CrowdDiscovery, CrowdParams, GatheringParams, RangeSearchStrategy,
-    TadVariant,
-};
+use gpdt_core::{CrowdParams, GatheringConfig, GatheringEngine, GatheringParams};
 use gpdt_trajectory::TimeInterval;
 use gpdt_workload::{Regime, Weather};
 
@@ -61,24 +58,6 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
     let day_start = std::time::Instant::now();
     let cs = clustered_day(seed, weather, num_taxis, duration);
 
-    // Crowds and gatherings.
-    let discovery = CrowdDiscovery::new(th.crowd, RangeSearchStrategy::Grid);
-    let crowds = discovery.run(&cs.clusters).closed_crowds;
-    let gatherings: Vec<(TimeInterval, usize)> = crowds
-        .iter()
-        .flat_map(|c| {
-            detect_closed_gatherings(
-                c,
-                &cs.clusters,
-                &th.gathering,
-                th.crowd.kc,
-                TadVariant::TadStar,
-            )
-            .into_iter()
-            .map(|g| (g.crowd().interval(), g.participators().len()))
-        })
-        .collect();
-
     // Baselines.
     let baseline_clustering = ClusteringParams::new(200.0, 5);
     let convoys = discover_convoys_from_clusters(
@@ -89,6 +68,20 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
         &cs.clusters,
         &SwarmParams::new(th.swarm_m, th.swarm_k, baseline_clustering),
     );
+
+    // Crowds and gatherings via the streaming engine (one-big-batch mode).
+    let mut engine = GatheringEngine::new(GatheringConfig {
+        clustering: cs.clustering,
+        crowd: th.crowd,
+        gathering: th.gathering,
+    });
+    engine.ingest_clusters(cs.clusters);
+    let crowds = engine.closed_crowds();
+    let gatherings: Vec<(TimeInterval, usize)> = engine
+        .gatherings()
+        .iter()
+        .map(|g| (g.crowd().interval(), g.participators().len()))
+        .collect();
     // One progress line per simulated day: the full run mines four days and
     // swarm mining dominates, so silence would look like a hang.
     eprintln!(
@@ -146,6 +139,7 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
 
 fn main() {
     let seed = 2013;
+    let mut report = BenchReport::new("fig5");
 
     // ---- Figure 5a: patterns per time of day (clear weather) -------------
     let by_regime = count_by_regime(seed, Weather::Clear, 0);
@@ -168,7 +162,7 @@ fn main() {
             by_regime[i].convoys.to_string(),
         ]);
     }
-    fig5a.print();
+    report.print_and_add(fig5a);
 
     // ---- Figure 5b: patterns per day vs weather ---------------------------
     let mut fig5b = Table::new(
@@ -192,7 +186,8 @@ fn main() {
             total(|c| c.convoys).to_string(),
         ]);
     }
-    fig5b.print();
+    report.print_and_add(fig5b);
+    report.write_logged();
 
     println!(
         "Expected shape (paper): most gatherings in peak time; many crowds but few gatherings in \

@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use gpdt_bench::report::{measure, secs, Table};
+use gpdt_bench::report::{measure_with, secs, BenchReport, MeasureOpts, Table};
 use gpdt_bench::scenarios::{clustered_scenario, scaled};
 use gpdt_core::{CrowdDiscovery, CrowdParams, RangeSearchStrategy};
 
@@ -30,11 +30,12 @@ fn run_discovery(
     strategy: RangeSearchStrategy,
 ) -> (usize, Duration) {
     let discovery = CrowdDiscovery::new(params, strategy);
-    let (result, elapsed) = measure(|| discovery.run(clusters));
+    let (result, elapsed) = measure_with(MeasureOpts::from_env(), || discovery.run(clusters));
     (result.closed_crowds.len(), elapsed)
 }
 
 fn main() {
+    let mut report = BenchReport::new("fig6");
     let base_taxis = scaled(1_000);
     let duration = 240u32; // a 4-hour slice of the day
     let base = clustered_scenario(42, base_taxis, duration);
@@ -62,7 +63,7 @@ fn main() {
         cells.push(crowd_count.to_string());
         fig6a.add_row(cells);
     }
-    fig6a.print();
+    report.print_and_add(fig6a);
 
     // ---- Figure 6b: runtime vs delta ---------------------------------------
     let mut fig6b = Table::new(
@@ -81,7 +82,7 @@ fn main() {
         cells.push(crowd_count.to_string());
         fig6b.add_row(cells);
     }
-    fig6b.print();
+    report.print_and_add(fig6b);
 
     // ---- Figure 6c: runtime vs |ODB| ---------------------------------------
     let mut fig6c = Table::new(
@@ -102,7 +103,8 @@ fn main() {
         cells.push(crowd_count.to_string());
         fig6c.add_row(cells);
     }
-    fig6c.print();
+    report.print_and_add(fig6c);
+    report.write_logged();
 
     println!(
         "Expected shape (paper): GRID < IR < SR at every point; runtimes fall as mc grows, rise \

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use gpdt_bench::report::{measure, Table};
+use gpdt_bench::report::{measure_with, BenchReport, MeasureOpts, Table};
 use gpdt_bench::scenarios::scaled;
 use gpdt_bench::synth::{synthetic_crowd, SyntheticCrowdSpec};
 use gpdt_core::{detect_closed_gatherings, GatheringParams, TadVariant};
@@ -27,7 +27,7 @@ fn average_runtime(
     kc: u32,
     variant: TadVariant,
 ) -> Duration {
-    let (_, total) = measure(|| {
+    let (_, total) = measure_with(MeasureOpts::from_env(), || {
         let mut found = 0usize;
         for (cdb, crowd) in crowds {
             found += detect_closed_gatherings(crowd, cdb, params, kc, variant).len();
@@ -51,6 +51,7 @@ fn crowd_set(
 }
 
 fn main() {
+    let mut report = BenchReport::new("fig7");
     let kc = 15u32;
     let crowds_per_config = scaled(200);
 
@@ -68,7 +69,7 @@ fn main() {
         }
         fig7a.add_row(cells);
     }
-    fig7a.print();
+    report.print_and_add(fig7a);
 
     // ---- Figure 7b: runtime vs kp ------------------------------------------
     let mut fig7b = Table::new(
@@ -83,7 +84,7 @@ fn main() {
         }
         fig7b.add_row(cells);
     }
-    fig7b.print();
+    report.print_and_add(fig7b);
 
     // ---- Figure 7c: runtime vs crowd length --------------------------------
     let mut fig7c = Table::new(
@@ -99,7 +100,8 @@ fn main() {
         }
         fig7c.add_row(cells);
     }
-    fig7c.print();
+    report.print_and_add(fig7c);
+    report.write_logged();
 
     println!(
         "Expected shape (paper): TAD beats brute force by 1-2 orders of magnitude; TAD* improves \

@@ -13,20 +13,22 @@
 //! the time domain while the incremental algorithms stay flat / improve with
 //! larger reusable prefixes.
 
-use gpdt_bench::report::{measure, secs, Table};
+use gpdt_bench::report::{measure, measure_with, secs, BenchReport, MeasureOpts, Table};
 use gpdt_bench::scenarios::{clustered_scenario, scaled};
 use gpdt_bench::synth::{synthetic_crowd, SyntheticCrowdSpec};
 use gpdt_clustering::ClusterDatabase;
-use gpdt_core::incremental::{update_gatherings, IncrementalDiscovery};
+use gpdt_core::incremental::update_gatherings;
 use gpdt_core::{
-    detect_closed_gatherings, CrowdDiscovery, CrowdParams, GatheringParams, RangeSearchStrategy,
-    TadVariant,
+    detect_closed_gatherings, CrowdDiscovery, CrowdParams, GatheringConfig, GatheringEngine,
+    GatheringParams, RangeSearchStrategy, TadVariant,
 };
 use gpdt_trajectory::TimeInterval;
 
 fn main() {
-    fig8a();
-    fig8b();
+    let mut report = BenchReport::new("fig8");
+    fig8a(&mut report);
+    fig8b(&mut report);
+    report.write_logged();
     println!(
         "Expected shape (paper): re-computation cost grows with the accumulated time domain while \
          crowd extension stays roughly constant; the gathering-update algorithm gets faster as the \
@@ -35,7 +37,7 @@ fn main() {
 }
 
 /// Figure 8a: crowd discovery while appending batches ("days") one at a time.
-fn fig8a() {
+fn fig8a(report: &mut BenchReport) {
     let taxis = scaled(600);
     let day_minutes = 120u32;
     let days = 5u32;
@@ -56,12 +58,11 @@ fn fig8a() {
         &["|TDB| (days)", "re-computation", "crowd extension"],
     );
 
-    let mut incremental = IncrementalDiscovery::new(
-        crowd_params,
-        gathering_params,
-        RangeSearchStrategy::Grid,
-        TadVariant::TadStar,
-    );
+    let mut engine = GatheringEngine::new(GatheringConfig {
+        clustering: total.clustering,
+        crowd: crowd_params,
+        gathering: gathering_params,
+    });
     let mut accumulated = ClusterDatabase::new();
     for (day, batch) in batches.into_iter().enumerate() {
         // Re-computation: run Algorithm 1 over the whole accumulated domain.
@@ -72,8 +73,8 @@ fn fig8a() {
         }
         let discovery = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid);
         let (recomputed, recompute_time) = measure(|| discovery.run(&accumulated));
-        // Crowd extension: resume from the saved frontier.
-        let (update, extension_time) = measure(|| incremental.ingest(batch));
+        // Crowd extension: the engine resumes from its saved frontier.
+        let (update, extension_time) = measure(|| engine.ingest_clusters(batch));
         let _ = (recomputed.closed_crowds.len(), update.new_closed_crowds);
         table.add_row(vec![
             (day + 1).to_string(),
@@ -81,11 +82,11 @@ fn fig8a() {
             secs(extension_time),
         ]);
     }
-    table.print();
+    report.print_and_add(table);
 }
 
 /// Figure 8b: gathering update vs re-computation on extended crowds.
-fn fig8b() {
+fn fig8b(report: &mut BenchReport) {
     let kc = 8u32;
     let params = GatheringParams::new(8, 10);
     let new_length = 200usize;
@@ -116,10 +117,11 @@ fn fig8b() {
             let old_gatherings =
                 detect_closed_gatherings(&old_crowd, &cdb, &params, kc, TadVariant::TadStar);
 
-            let (_, recompute) = measure(|| {
+            let opts = MeasureOpts::from_env();
+            let (_, recompute) = measure_with(opts, || {
                 detect_closed_gatherings(&crowd, &cdb, &params, kc, TadVariant::TadStar)
             });
-            let (_, update) = measure(|| {
+            let (_, update) = measure_with(opts, || {
                 update_gatherings(
                     &crowd,
                     &cdb,
@@ -139,5 +141,5 @@ fn fig8b() {
             secs(update_total),
         ]);
     }
-    table.print();
+    report.print_and_add(table);
 }

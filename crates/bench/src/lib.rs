@@ -21,6 +21,6 @@ pub mod report;
 pub mod scenarios;
 pub mod synth;
 
-pub use report::{measure, Table};
+pub use report::{measure, measure_with, BenchReport, MeasureOpts, Table};
 pub use scenarios::{clustered_scenario, ClusteredScenario};
 pub use synth::{synthetic_crowd, SyntheticCrowdSpec};

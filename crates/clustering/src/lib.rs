@@ -5,21 +5,25 @@
 //! time point of the database, producing the *snapshot cluster database*
 //! `CDB = {C_{t1}, ..., C_{tn}}`.
 //!
-//! * [`dbscan`] — a DBSCAN implementation with a grid-accelerated
-//!   ε-neighbourhood search (Ester et al., KDD 1996 — reference [14] of the
+//! * [`dbscan()`] — a DBSCAN implementation with a grid-accelerated
+//!   ε-neighbourhood search (Ester et al., KDD 1996 — reference \[14\] of the
 //!   paper).
 //! * [`snapshot`] — [`SnapshotCluster`], the per-timestamp cluster sets and
 //!   the [`ClusterDatabase`] consumed by crowd discovery.
 //! * [`prefilter`] — an optional CuTS-style pre-partitioning step that uses
 //!   simplified trajectories to split the object population into independent
 //!   groups before clustering each time window.
+//! * [`stream`] — [`StreamingClusterer`], which clusters newly appended
+//!   snapshots on demand for the streaming discovery engine.
 
 pub mod dbscan;
 pub mod params;
 pub mod prefilter;
 pub mod snapshot;
+pub mod stream;
 
 pub use dbscan::{dbscan, DbscanResult};
 pub use params::ClusteringParams;
 pub use prefilter::segment_prefilter;
 pub use snapshot::{ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet};
+pub use stream::StreamingClusterer;

@@ -3,6 +3,7 @@
 use gpdt_clustering::{ClusterDatabase, ClusterId};
 use gpdt_trajectory::{TimeInterval, Timestamp};
 
+use crate::par::{default_threads, par_map};
 use crate::params::CrowdParams;
 use crate::range_search::{RangeSearchStrategy, TickSearcher};
 
@@ -175,17 +176,37 @@ impl CrowdDiscoveryResult {
 
 /// Closed-crowd discovery (Algorithm 1), parameterised by the range-search
 /// strategy.
+///
+/// The sweep itself is inherently sequential (candidates at tick `t` depend
+/// on the candidates at `t - 1`), but the per-tick search structures are
+/// independent of each other, so they are built in parallel up front and the
+/// sweep then consumes them in time order; each [`TickSearcher`] is built
+/// exactly once per tick and shared by every crowd candidate probing that
+/// tick.
 #[derive(Debug, Clone, Copy)]
 pub struct CrowdDiscovery {
     params: CrowdParams,
     strategy: RangeSearchStrategy,
+    threads: usize,
 }
 
 impl CrowdDiscovery {
     /// Creates a discovery sweep with the given parameters and range-search
-    /// strategy.
+    /// strategy, using all available cores for index construction.
     pub fn new(params: CrowdParams, strategy: RangeSearchStrategy) -> Self {
-        CrowdDiscovery { params, strategy }
+        CrowdDiscovery {
+            params,
+            strategy,
+            threads: default_threads(),
+        }
+    }
+
+    /// Overrides the number of worker threads used to build the per-tick
+    /// search structures (clamped to at least 1; results do not depend on
+    /// the thread count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The crowd parameters.
@@ -230,47 +251,60 @@ impl CrowdDiscovery {
         // processed timestamp.
         let mut candidates: Vec<Crowd> = seed;
 
-        for t in start_time.max(domain.start)..=domain.end {
-            let set = cdb
-                .set_at(t)
-                .expect("contiguous cluster database covers every tick of its domain");
-            let searcher = TickSearcher::build(self.strategy, set, self.params.delta);
+        // Build the per-tick search structures in parallel, a bounded window
+        // at a time: each index is independent of the others and of the sweep
+        // state, but holding one for every tick of a large domain at once
+        // would double peak memory, so the look-ahead is capped.
+        let ticks: Vec<Timestamp> = (start_time.max(domain.start)..=domain.end).collect();
+        let window = (self.threads * 8).max(32);
+        for tick_window in ticks.chunks(window) {
+            let searchers: Vec<TickSearcher<'_>> = par_map(tick_window, self.threads, |&t| {
+                let set = cdb
+                    .set_at(t)
+                    .expect("contiguous cluster database covers every tick of its domain");
+                TickSearcher::build(self.strategy, set, self.params.delta)
+            });
 
-            // Indices of clusters at `t` that extended at least one candidate;
-            // they must not seed new candidates (they are already covered by a
-            // longer sequence).
-            let mut absorbed = vec![false; set.clusters.len()];
-            let mut next_candidates: Vec<Crowd> = Vec::new();
+            for searcher in &searchers {
+                let set = searcher.cluster_set();
+                let t = set.time;
 
-            for candidate in candidates.drain(..) {
-                let last = cdb
-                    .cluster(candidate.last())
-                    .expect("candidate clusters exist in the database");
-                let near = searcher.search(last);
-                let mut extended = false;
-                for idx in near {
-                    if set.clusters[idx].len() < self.params.mc {
-                        continue;
+                // Indices of clusters at `t` that extended at least one
+                // candidate; they must not seed new candidates (they are
+                // already covered by a longer sequence).
+                let mut absorbed = vec![false; set.clusters.len()];
+                let mut next_candidates: Vec<Crowd> = Vec::new();
+
+                for candidate in candidates.drain(..) {
+                    let last = cdb
+                        .cluster(candidate.last())
+                        .expect("candidate clusters exist in the database");
+                    let near = searcher.search(last);
+                    let mut extended = false;
+                    for idx in near {
+                        if set.clusters[idx].len() < self.params.mc {
+                            continue;
+                        }
+                        absorbed[idx] = true;
+                        extended = true;
+                        next_candidates.push(candidate.extended(ClusterId::new(t, idx)));
                     }
-                    absorbed[idx] = true;
-                    extended = true;
-                    next_candidates.push(candidate.extended(ClusterId::new(t, idx)));
+                    if !extended && candidate.lifetime() >= self.params.kc {
+                        // Lemma 1: a crowd that cannot be extended by any
+                        // qualifying cluster at the next timestamp is closed.
+                        closed.push(candidate);
+                    }
                 }
-                if !extended && candidate.lifetime() >= self.params.kc {
-                    // Lemma 1: a crowd that cannot be extended by any
-                    // qualifying cluster at the next timestamp is closed.
-                    closed.push(candidate);
-                }
-            }
 
-            // Clusters that extended nothing become fresh single-cluster
-            // candidates (provided they meet the support threshold).
-            for (idx, cluster) in set.clusters.iter().enumerate() {
-                if !absorbed[idx] && cluster.len() >= self.params.mc {
-                    next_candidates.push(Crowd::single(ClusterId::new(t, idx)));
+                // Clusters that extended nothing become fresh single-cluster
+                // candidates (provided they meet the support threshold).
+                for (idx, cluster) in set.clusters.iter().enumerate() {
+                    if !absorbed[idx] && cluster.len() >= self.params.mc {
+                        next_candidates.push(Crowd::single(ClusterId::new(t, idx)));
+                    }
                 }
+                candidates = next_candidates;
             }
-            candidates = next_candidates;
         }
 
         // End of the time domain: candidates long enough are closed crowds

@@ -1,0 +1,549 @@
+//! The streaming-first discovery engine.
+//!
+//! [`GatheringEngine`] is the single implementation of gathering discovery in
+//! this crate: it ingests trajectory or snapshot-cluster data tick-by-tick
+//! (or in arbitrary batches) and maintains the set of closed crowds and
+//! closed gatherings incrementally.  Both public façades are thin wrappers
+//! over it — [`GatheringPipeline`](crate::pipeline::GatheringPipeline) feeds
+//! the engine one big batch, while
+//! [`IncrementalDiscovery`](crate::incremental::IncrementalDiscovery) exposes
+//! the batch-by-batch surface directly — so Algorithm 1 resumption (Lemma 4)
+//! and the Theorem 2 gathering update exist exactly once.
+//!
+//! Per tick, the engine:
+//!
+//! 1. clusters newly appended snapshots on demand (when fed trajectories)
+//!    with a [`StreamingClusterer`], in parallel across timestamps;
+//! 2. resumes Algorithm 1 from the saved frontier (Lemma 4: only cluster
+//!    sequences ending at the previous last timestamp can be extended), with
+//!    the per-tick [`TickSearcher`](crate::range_search::TickSearcher)s built
+//!    once per tick, in parallel, and shared across all crowd candidates;
+//! 3. detects the closed gatherings of every newly closed crowd in parallel,
+//!    reusing the gatherings of an extended crowd's old prefix (Theorem 2)
+//!    instead of re-running Test-and-Divide from scratch.
+//!
+//! Results are independent of the batch slicing, the range-search strategy,
+//! the detection variant and the thread count: the accessor methods return
+//! crowds and gatherings in a canonical order, so feeding the same data one
+//! tick at a time or as one big batch yields identical output.
+//!
+//! ```
+//! use gpdt_core::{GatheringConfig, GatheringEngine};
+//! use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+//!
+//! // Five objects linger together for eight ticks.
+//! let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+//!     Trajectory::from_points(
+//!         ObjectId::new(i),
+//!         (0..8u32).map(|t| (t, (i as f64 * 10.0, t as f64))).collect::<Vec<_>>(),
+//!     )
+//! }));
+//!
+//! let config = GatheringConfig::builder()
+//!     .clustering(gpdt_core::ClusteringParams::new(60.0, 3))
+//!     .crowd(gpdt_core::CrowdParams::new(4, 4, 100.0))
+//!     .gathering(gpdt_core::GatheringParams::new(3, 3))
+//!     .build()
+//!     .unwrap();
+//!
+//! // Stream the trajectory history into the engine in two arbitrary slices:
+//! // the engine clusters the new ticks, extends the crowd frontier and
+//! // updates the gatherings after each call.
+//! let mut engine = GatheringEngine::new(config);
+//! engine.ingest_trajectories_until(&db, 4);
+//! let update = engine.ingest_trajectories(&db);
+//! assert_eq!(update.new_closed_crowds, 1);
+//! assert_eq!(engine.gatherings().len(), 1);
+//! ```
+
+use gpdt_clustering::{ClusterDatabase, StreamingClusterer};
+use gpdt_trajectory::{TimeInterval, Timestamp, TrajectoryDatabase};
+
+use crate::crowd::{Crowd, CrowdDiscovery};
+use crate::gathering::{detect_closed_gatherings, Gathering, TadVariant};
+use crate::incremental::update_gatherings;
+use crate::par::{default_threads, par_map};
+use crate::params::GatheringConfig;
+use crate::pipeline::DiscoveryResult;
+use crate::range_search::RangeSearchStrategy;
+
+/// One closed crowd together with its closed gatherings.
+#[derive(Debug, Clone)]
+pub struct CrowdRecord {
+    /// The closed crowd.
+    pub crowd: Crowd,
+    /// The closed gatherings detected within it.
+    pub gatherings: Vec<Gathering>,
+}
+
+/// Summary of one engine ingestion step.
+#[derive(Debug, Clone, Default)]
+pub struct EngineUpdate {
+    /// Closed crowds that became final during this update (including old
+    /// frontier sequences that could not be extended).
+    pub new_closed_crowds: usize,
+    /// How many of those were extensions of sequences saved in the frontier
+    /// of the previous database state.
+    pub extended_from_frontier: usize,
+    /// Gatherings detected in the newly closed crowds.
+    pub new_gatherings: usize,
+}
+
+impl EngineUpdate {
+    fn merge(&mut self, other: EngineUpdate) {
+        self.new_closed_crowds += other.new_closed_crowds;
+        self.extended_from_frontier += other.extended_from_frontier;
+        self.new_gatherings += other.new_gatherings;
+    }
+}
+
+/// Streaming discovery engine maintaining closed crowds and gatherings over
+/// an ever-growing trajectory/cluster history.
+///
+/// See the [module documentation](self) for the data flow and a usage
+/// example.
+#[derive(Debug)]
+pub struct GatheringEngine {
+    config: GatheringConfig,
+    strategy: RangeSearchStrategy,
+    variant: TadVariant,
+    threads: usize,
+    clusterer: StreamingClusterer,
+    cdb: ClusterDatabase,
+    /// Closed crowds (with their gatherings) whose last cluster is strictly
+    /// before the current frontier time — they can never change again.
+    finalized: Vec<CrowdRecord>,
+    /// Cluster sequences ending at the last ingested timestamp (the paper's
+    /// `CS`), kept for extension; for those that are already closed crowds we
+    /// cache their gatherings so the Theorem 2 update can reuse them.
+    frontier: Vec<(Crowd, Vec<Gathering>)>,
+}
+
+impl GatheringEngine {
+    /// Creates an empty engine with the default (fastest) algorithm choices:
+    /// grid-index range search, TAD\* detection, all available cores.
+    pub fn new(config: GatheringConfig) -> Self {
+        let threads = default_threads();
+        GatheringEngine {
+            config,
+            strategy: RangeSearchStrategy::Grid,
+            variant: TadVariant::TadStar,
+            threads,
+            clusterer: StreamingClusterer::new(config.clustering).with_threads(threads),
+            cdb: ClusterDatabase::new(),
+            finalized: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Overrides the crowd-discovery range-search strategy.
+    pub fn with_strategy(mut self, strategy: RangeSearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the gathering-detection algorithm.
+    pub fn with_variant(mut self, variant: TadVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Overrides the worker-thread count for the parallel stages (snapshot
+    /// clustering, per-tick index construction, per-crowd gathering
+    /// detection).  Clamped to at least 1; never changes the results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.clusterer = self.clusterer.with_threads(self.threads);
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &GatheringConfig {
+        &self.config
+    }
+
+    /// The configured range-search strategy.
+    pub fn strategy(&self) -> RangeSearchStrategy {
+        self.strategy
+    }
+
+    /// The configured detection variant.
+    pub fn variant(&self) -> TadVariant {
+        self.variant
+    }
+
+    /// The accumulated snapshot-cluster database.
+    pub fn cluster_database(&self) -> &ClusterDatabase {
+        &self.cdb
+    }
+
+    /// The time interval ingested so far, or `None` before the first batch.
+    pub fn time_domain(&self) -> Option<TimeInterval> {
+        self.cdb.time_domain()
+    }
+
+    /// Clusters and ingests every not-yet-seen snapshot of `db`.
+    ///
+    /// The trajectory database may grow between calls; each call picks up
+    /// exactly the timestamps appended since the previous one.  Snapshots are
+    /// clustered in parallel across timestamps before the incremental
+    /// discovery step runs.
+    pub fn ingest_trajectories(&mut self, db: &TrajectoryDatabase) -> EngineUpdate {
+        let Some(domain) = db.time_domain() else {
+            return EngineUpdate::default();
+        };
+        self.ingest_trajectories_until(db, domain.end)
+    }
+
+    /// Like [`ingest_trajectories`](Self::ingest_trajectories) but stops at
+    /// timestamp `end` (inclusive), so a long history can be replayed in
+    /// controlled slices.
+    pub fn ingest_trajectories_until(
+        &mut self,
+        db: &TrajectoryDatabase,
+        end: Timestamp,
+    ) -> EngineUpdate {
+        // Keep the clustering cursor aligned with the ingested history even
+        // if the caller interleaved direct cluster batches.
+        if let Some(domain) = self.cdb.time_domain() {
+            self.clusterer.seek(domain.end + 1);
+        }
+        let batch = self.clusterer.advance_until(db, end);
+        self.ingest_clusters(batch)
+    }
+
+    /// Ingests the next batch of snapshot clusters.
+    ///
+    /// The batch must start exactly one tick after the data ingested so far
+    /// (or may be the first batch).  Returns a summary of what changed.
+    pub fn ingest_clusters(&mut self, batch: ClusterDatabase) -> EngineUpdate {
+        if batch.is_empty() {
+            return EngineUpdate::default();
+        }
+        let resume_at: Timestamp = batch.time_domain().expect("non-empty batch").start;
+        match self.cdb.time_domain() {
+            None => self.cdb = batch,
+            Some(_) => self.cdb.append(batch),
+        }
+
+        // Resume Algorithm 1 from the saved frontier (Lemma 4: nothing else
+        // can be extended).
+        let seeds: Vec<Crowd> = self.frontier.iter().map(|(c, _)| c.clone()).collect();
+        let old_frontier = std::mem::take(&mut self.frontier);
+        let discovery =
+            CrowdDiscovery::new(self.config.crowd, self.strategy).with_threads(self.threads);
+        let result = discovery.run_resumed(&self.cdb, resume_at, seeds);
+        let end = self.cdb.time_domain().expect("non-empty").end;
+
+        // Closed crowds reported by the resumed run are final unless they end
+        // at the new frontier time (then they stay extendable).  The frontier
+        // sequences that are not closed crowds are all still shorter than kc
+        // (the sweep reports every end-of-domain candidate with lifetime >= kc
+        // as closed), so they carry no gatherings yet.
+        let closed = result.closed_crowds;
+        let leftovers: Vec<Crowd> = result
+            .frontier
+            .into_iter()
+            .filter(|c| !closed.contains(c))
+            .collect();
+        debug_assert!(
+            leftovers
+                .iter()
+                .all(|c| c.lifetime() < self.config.crowd.kc),
+            "a frontier sequence long enough to be a crowd must be in the closed set"
+        );
+
+        // Per-crowd gathering detection is independent across crowds: fan it
+        // out, preserving order.  Extensions of old frontier crowds reuse the
+        // prefix gatherings via the Theorem 2 update.
+        let closed_gatherings: Vec<Vec<Gathering>> = par_map(&closed, self.threads, |crowd| {
+            self.detect_for(crowd, &old_frontier)
+        });
+        let leftover_gatherings = vec![Vec::new(); leftovers.len()];
+
+        let mut update = EngineUpdate::default();
+        for (crowd, gatherings) in closed.into_iter().zip(closed_gatherings) {
+            update.merge(EngineUpdate {
+                new_closed_crowds: 1,
+                extended_from_frontier: usize::from(
+                    old_frontier
+                        .iter()
+                        .any(|(old, _)| old.len() < crowd.len() && old.is_window_of(&crowd)),
+                ),
+                new_gatherings: gatherings.len(),
+            });
+            if crowd.end_time() < end {
+                self.finalized.push(CrowdRecord { crowd, gatherings });
+            } else {
+                self.frontier.push((crowd, gatherings));
+            }
+        }
+        self.frontier
+            .extend(leftovers.into_iter().zip(leftover_gatherings));
+        update
+    }
+
+    /// Detects the closed gatherings of one crowd, reusing the cached
+    /// gatherings of the longest old frontier crowd it extends (Theorem 2);
+    /// falls back to a from-scratch Test-and-Divide otherwise.
+    fn detect_for(
+        &self,
+        crowd: &Crowd,
+        old_frontier: &[(Crowd, Vec<Gathering>)],
+    ) -> Vec<Gathering> {
+        let best_prefix = old_frontier
+            .iter()
+            .filter(|(old, _)| {
+                old.len() <= crowd.len() && old.cluster_ids() == &crowd.cluster_ids()[..old.len()]
+            })
+            .max_by_key(|(old, _)| old.len());
+        match best_prefix {
+            Some((old, old_gatherings)) if old.lifetime() >= self.config.crowd.kc => {
+                update_gatherings(
+                    crowd,
+                    &self.cdb,
+                    old.len(),
+                    old_gatherings,
+                    &self.config.gathering,
+                    self.config.crowd.kc,
+                    self.variant,
+                )
+            }
+            _ => detect_closed_gatherings(
+                crowd,
+                &self.cdb,
+                &self.config.gathering,
+                self.config.crowd.kc,
+                self.variant,
+            ),
+        }
+    }
+
+    /// All currently known closed crowds, in canonical order: the finalized
+    /// ones plus frontier sequences that are long enough (they are closed
+    /// *with respect to the data seen so far*).
+    pub fn closed_crowds(&self) -> Vec<Crowd> {
+        let mut crowds: Vec<Crowd> = self.finalized.iter().map(|r| r.crowd.clone()).collect();
+        crowds.extend(
+            self.frontier
+                .iter()
+                .filter(|(c, _)| c.lifetime() >= self.config.crowd.kc)
+                .map(|(c, _)| c.clone()),
+        );
+        crowds.sort_by(Self::crowd_order);
+        crowds
+    }
+
+    /// All currently known closed gatherings, in canonical order.
+    pub fn gatherings(&self) -> Vec<Gathering> {
+        let mut out: Vec<Gathering> = self
+            .finalized
+            .iter()
+            .flat_map(|r| r.gatherings.iter().cloned())
+            .collect();
+        out.extend(
+            self.frontier
+                .iter()
+                .filter(|(c, _)| c.lifetime() >= self.config.crowd.kc)
+                .flat_map(|(_, gs)| gs.iter().cloned()),
+        );
+        out.sort_by(|a, b| {
+            Self::crowd_order(a.crowd(), b.crowd())
+                .then_with(|| a.participators().cmp(b.participators()))
+        });
+        out
+    }
+
+    /// The canonical crowd ordering used by the accessors: by time interval,
+    /// then by the referenced cluster sequence.  Total for any set of crowds
+    /// produced by one engine, so the output order never depends on batch
+    /// slicing or thread count.
+    fn crowd_order(a: &Crowd, b: &Crowd) -> std::cmp::Ordering {
+        a.start_time()
+            .cmp(&b.start_time())
+            .then(a.end_time().cmp(&b.end_time()))
+            .then_with(|| a.cluster_ids().cmp(b.cluster_ids()))
+    }
+
+    /// Consumes the engine and packages its current state as a
+    /// [`DiscoveryResult`] (the batch-pipeline output type).
+    ///
+    /// Equivalent to collecting [`Self::closed_crowds`] and
+    /// [`Self::gatherings`], but drains the engine state instead of cloning
+    /// it.
+    pub fn finish(self) -> DiscoveryResult {
+        let kc = self.config.crowd.kc;
+        let mut crowds: Vec<Crowd> = Vec::with_capacity(self.finalized.len());
+        let mut gatherings: Vec<Gathering> = Vec::new();
+        for record in self.finalized {
+            crowds.push(record.crowd);
+            gatherings.extend(record.gatherings);
+        }
+        for (crowd, crowd_gatherings) in self.frontier {
+            if crowd.lifetime() >= kc {
+                crowds.push(crowd);
+                gatherings.extend(crowd_gatherings);
+            }
+        }
+        crowds.sort_by(Self::crowd_order);
+        gatherings.sort_by(|a, b| {
+            Self::crowd_order(a.crowd(), b.crowd())
+                .then_with(|| a.participators().cmp(b.participators()))
+        });
+        DiscoveryResult {
+            clusters: self.cdb,
+            crowds,
+            gatherings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CrowdParams, GatheringParams};
+    use gpdt_clustering::{ClusteringParams, SnapshotCluster, SnapshotClusterSet};
+    use gpdt_geo::Point;
+    use gpdt_trajectory::{ObjectId, Trajectory};
+
+    fn config(kc: u32) -> GatheringConfig {
+        GatheringConfig {
+            clustering: ClusteringParams::new(60.0, 3),
+            crowd: CrowdParams::new(3, kc, 100.0),
+            gathering: GatheringParams::new(3, 3),
+        }
+    }
+
+    fn lingering_db(objects: u32, duration: u32) -> TrajectoryDatabase {
+        TrajectoryDatabase::from_trajectories((0..objects).map(|i| {
+            Trajectory::from_points(
+                ObjectId::new(i),
+                (0..duration)
+                    .map(|t| (t, (i as f64 * 10.0, t as f64 * 2.0)))
+                    .collect::<Vec<_>>(),
+            )
+        }))
+    }
+
+    fn membership_cdb(start: Timestamp, memberships: &[&[u32]]) -> ClusterDatabase {
+        let sets: Vec<SnapshotClusterSet> = memberships
+            .iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                let t = start + i as u32;
+                SnapshotClusterSet {
+                    time: t,
+                    clusters: vec![SnapshotCluster::new(
+                        t,
+                        ids.iter().map(|&i| ObjectId::new(i)).collect(),
+                        ids.iter()
+                            .enumerate()
+                            .map(|(k, _)| Point::new(k as f64, 0.0))
+                            .collect(),
+                    )],
+                }
+            })
+            .collect();
+        ClusterDatabase::from_sets(sets)
+    }
+
+    #[test]
+    fn trajectory_streaming_matches_cluster_streaming() {
+        let db = lingering_db(5, 10);
+        let mut by_trajectory = GatheringEngine::new(config(4));
+        by_trajectory.ingest_trajectories_until(&db, 3);
+        by_trajectory.ingest_trajectories(&db);
+
+        let mut by_clusters = GatheringEngine::new(config(4));
+        let full = ClusterDatabase::build(&db, &config(4).clustering);
+        by_clusters.ingest_clusters(full);
+
+        assert_eq!(by_trajectory.closed_crowds(), by_clusters.closed_crowds());
+        assert_eq!(by_trajectory.gatherings(), by_clusters.gatherings());
+        assert_eq!(by_trajectory.time_domain(), by_clusters.time_domain());
+    }
+
+    #[test]
+    fn single_batch_and_per_tick_ingestion_agree() {
+        let memberships: Vec<&[u32]> = vec![
+            &[1, 2, 3],
+            &[1, 2, 3, 4],
+            &[2, 3, 4],
+            &[9, 8, 7],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[4, 5, 6],
+            &[4, 5, 6],
+            &[4, 5, 6],
+        ];
+        let mut whole = GatheringEngine::new(config(3));
+        whole.ingest_clusters(membership_cdb(0, &memberships));
+
+        let mut ticked = GatheringEngine::new(config(3));
+        for (i, m) in memberships.iter().enumerate() {
+            ticked.ingest_clusters(membership_cdb(i as u32, &[m]));
+        }
+
+        assert_eq!(whole.closed_crowds(), ticked.closed_crowds());
+        assert_eq!(whole.gatherings(), ticked.gatherings());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = lingering_db(6, 12);
+        let reference = {
+            let mut e = GatheringEngine::new(config(4)).with_threads(1);
+            e.ingest_trajectories(&db);
+            (e.closed_crowds(), e.gatherings())
+        };
+        for threads in [2, 4, 16] {
+            let mut e = GatheringEngine::new(config(4)).with_threads(threads);
+            e.ingest_trajectories(&db);
+            assert_eq!(e.closed_crowds(), reference.0, "{threads} threads");
+            assert_eq!(e.gatherings(), reference.1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn update_counters_track_frontier_extensions() {
+        let first: Vec<&[u32]> = vec![&[1, 2, 3]; 4];
+        let mut engine = GatheringEngine::new(config(3));
+        let update1 = engine.ingest_clusters(membership_cdb(0, &first));
+        assert_eq!(update1.new_closed_crowds, 1);
+        assert_eq!(update1.extended_from_frontier, 0);
+
+        let second: Vec<&[u32]> = vec![&[1, 2, 3]; 3];
+        let update2 = engine.ingest_clusters(membership_cdb(4, &second));
+        assert_eq!(update2.new_closed_crowds, 1);
+        assert_eq!(update2.extended_from_frontier, 1);
+        let crowds = engine.closed_crowds();
+        assert_eq!(crowds.len(), 1);
+        assert_eq!(crowds[0].lifetime(), 7);
+    }
+
+    #[test]
+    fn empty_ingest_is_a_no_op() {
+        let mut engine = GatheringEngine::new(config(3));
+        let update = engine.ingest_clusters(ClusterDatabase::new());
+        assert_eq!(update.new_closed_crowds, 0);
+        assert!(engine.closed_crowds().is_empty());
+        assert!(engine.time_domain().is_none());
+        let update = engine.ingest_trajectories(&TrajectoryDatabase::new());
+        assert_eq!(update.new_closed_crowds, 0);
+    }
+
+    #[test]
+    fn finish_packages_the_streamed_state() {
+        let db = lingering_db(5, 8);
+        let mut engine = GatheringEngine::new(config(4));
+        engine.ingest_trajectories_until(&db, 2);
+        engine.ingest_trajectories(&db);
+        let crowds = engine.closed_crowds();
+        let gatherings = engine.gatherings();
+        let result = engine.finish();
+        assert_eq!(result.crowds, crowds);
+        assert_eq!(result.gatherings, gatherings);
+        assert_eq!(result.clusters.len(), 8);
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! * **Crowd extension (Lemma 4)** — only cluster sequences that end at the
 //!   last timestamp of the old database can possibly be extended; everything
-//!   else is already final.  [`CrowdDiscovery::run_resumed`] restarts
+//!   else is already final.  [`CrowdDiscovery::run_resumed`](crate::crowd::CrowdDiscovery::run_resumed) restarts
 //!   Algorithm 1 at the first new timestamp with the saved frontier as the
 //!   candidate set.
 //! * **Gathering update (Theorem 2)** — when an old crowd is extended into a
@@ -14,18 +14,22 @@
 //!   cluster that lies within the old part (or at the first new cluster) are
 //!   unchanged; only the region to its right needs a fresh Test-and-Divide.
 //!
-//! [`IncrementalDiscovery`] packages both into a stateful pipeline that
-//! ingests cluster batches and maintains the set of closed crowds and closed
-//! gatherings; [`update_gatherings`] exposes the Theorem 2 optimisation on a
-//! single extended crowd for direct use and benchmarking.
+//! Both are packaged into the streaming
+//! [`GatheringEngine`]; this module keeps
+//! [`update_gatherings`], the Theorem 2 primitive the engine (and the
+//! Figure 8b benchmark) builds on, and [`IncrementalDiscovery`], a thin
+//! stateful façade over the engine preserved for callers that only ingest
+//! pre-clustered batches.
 
-use gpdt_clustering::ClusterDatabase;
-use gpdt_trajectory::Timestamp;
+use gpdt_clustering::{ClusterDatabase, ClusteringParams};
 
-use crate::crowd::{Crowd, CrowdDiscovery};
+use crate::crowd::Crowd;
+use crate::engine::GatheringEngine;
 use crate::gathering::{detect_with_occurrence, CrowdOccurrence, Gathering, TadVariant};
-use crate::params::{CrowdParams, GatheringParams};
+use crate::params::{CrowdParams, GatheringConfig, GatheringParams};
 use crate::range_search::RangeSearchStrategy;
+
+pub use crate::engine::{CrowdRecord, EngineUpdate as IncrementalUpdate};
 
 /// Re-detects the closed gatherings of an *extended* crowd, reusing the
 /// gatherings already known for its old prefix (Theorem 2).
@@ -100,43 +104,15 @@ pub fn update_gatherings(
     result
 }
 
-/// One closed crowd together with its closed gatherings.
-#[derive(Debug, Clone)]
-pub struct CrowdRecord {
-    /// The closed crowd.
-    pub crowd: Crowd,
-    /// The closed gatherings detected within it.
-    pub gatherings: Vec<Gathering>,
-}
-
-/// Summary of one incremental batch ingestion.
-#[derive(Debug, Clone, Default)]
-pub struct IncrementalUpdate {
-    /// Closed crowds that became final during this update (including old
-    /// frontier sequences that could not be extended).
-    pub new_closed_crowds: usize,
-    /// How many of those were extensions of sequences saved in the frontier
-    /// of the previous database state.
-    pub extended_from_frontier: usize,
-    /// Gatherings detected in the newly closed crowds.
-    pub new_gatherings: usize,
-}
-
 /// Stateful incremental discovery over an ever-growing cluster database.
+///
+/// A thin façade over [`GatheringEngine`] for callers that ingest
+/// pre-clustered batches: there is no separate incremental implementation —
+/// the engine *is* the incremental path, and the batch pipeline is the
+/// one-big-batch special case of it.
 #[derive(Debug)]
 pub struct IncrementalDiscovery {
-    crowd_params: CrowdParams,
-    gathering_params: GatheringParams,
-    strategy: RangeSearchStrategy,
-    variant: TadVariant,
-    cdb: ClusterDatabase,
-    /// Closed crowds (with their gatherings) whose last cluster is strictly
-    /// before the current frontier time — they can never change again.
-    finalized: Vec<CrowdRecord>,
-    /// Cluster sequences ending at the last ingested timestamp (the paper's
-    /// `CS`), kept for extension; for those that are already closed crowds we
-    /// cache their gatherings so the Theorem 2 update can reuse them.
-    frontier: Vec<(Crowd, Vec<Gathering>)>,
+    engine: GatheringEngine,
 }
 
 impl IncrementalDiscovery {
@@ -147,51 +123,40 @@ impl IncrementalDiscovery {
         strategy: RangeSearchStrategy,
         variant: TadVariant,
     ) -> Self {
+        // The clustering parameters are irrelevant here: this façade only
+        // ever ingests pre-clustered batches.
+        let config = GatheringConfig {
+            clustering: ClusteringParams::paper_default(),
+            crowd: crowd_params,
+            gathering: gathering_params,
+        };
         IncrementalDiscovery {
-            crowd_params,
-            gathering_params,
-            strategy,
-            variant,
-            cdb: ClusterDatabase::new(),
-            finalized: Vec::new(),
-            frontier: Vec::new(),
+            engine: GatheringEngine::new(config)
+                .with_strategy(strategy)
+                .with_variant(variant),
         }
+    }
+
+    /// The underlying streaming engine.
+    pub fn engine(&self) -> &GatheringEngine {
+        &self.engine
     }
 
     /// The accumulated cluster database.
     pub fn cluster_database(&self) -> &ClusterDatabase {
-        &self.cdb
+        self.engine.cluster_database()
     }
 
     /// All currently known closed crowds (finalized ones plus frontier
     /// sequences that are long enough and cannot yet be ruled closed or
     /// extended — they are closed *with respect to the data seen so far*).
     pub fn closed_crowds(&self) -> Vec<Crowd> {
-        let mut crowds: Vec<Crowd> = self.finalized.iter().map(|r| r.crowd.clone()).collect();
-        crowds.extend(
-            self.frontier
-                .iter()
-                .filter(|(c, _)| c.lifetime() >= self.crowd_params.kc)
-                .map(|(c, _)| c.clone()),
-        );
-        crowds
+        self.engine.closed_crowds()
     }
 
     /// All currently known closed gatherings.
     pub fn gatherings(&self) -> Vec<Gathering> {
-        let mut out: Vec<Gathering> = self
-            .finalized
-            .iter()
-            .flat_map(|r| r.gatherings.iter().cloned())
-            .collect();
-        out.extend(
-            self.frontier
-                .iter()
-                .filter(|(c, _)| c.lifetime() >= self.crowd_params.kc)
-                .flat_map(|(_, gs)| gs.iter().cloned()),
-        );
-        out.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
-        out
+        self.engine.gatherings()
     }
 
     /// Ingests the next batch of snapshot clusters.
@@ -199,110 +164,17 @@ impl IncrementalDiscovery {
     /// The batch must start exactly one tick after the data ingested so far
     /// (or may be the first batch).  Returns a summary of what changed.
     pub fn ingest(&mut self, batch: ClusterDatabase) -> IncrementalUpdate {
-        if batch.is_empty() {
-            return IncrementalUpdate::default();
-        }
-        let resume_at: Timestamp = match self.cdb.time_domain() {
-            None => {
-                let start = batch.time_domain().expect("non-empty batch").start;
-                self.cdb = batch;
-                start
-            }
-            Some(_) => {
-                let start = batch.time_domain().expect("non-empty batch").start;
-                self.cdb.append(batch);
-                start
-            }
-        };
-
-        // Resume Algorithm 1 from the saved frontier (Lemma 4: nothing else
-        // can be extended).
-        let seeds: Vec<Crowd> = self.frontier.iter().map(|(c, _)| c.clone()).collect();
-        let old_frontier = std::mem::take(&mut self.frontier);
-        let discovery = CrowdDiscovery::new(self.crowd_params, self.strategy);
-        let result = discovery.run_resumed(&self.cdb, resume_at, seeds);
-
-        let mut update = IncrementalUpdate::default();
-
-        // Closed crowds reported by the resumed run end strictly before the
-        // new frontier; they are final.  Gatherings are detected with the
-        // Theorem 2 shortcut whenever the crowd extends an old frontier
-        // crowd that already had known gatherings.
-        for crowd in result.closed_crowds {
-            let gatherings = self.detect_for(&crowd, &old_frontier);
-            update.new_closed_crowds += 1;
-            update.new_gatherings += gatherings.len();
-            if old_frontier
-                .iter()
-                .any(|(old, _)| old.len() < crowd.len() && old.is_window_of(&crowd))
-            {
-                update.extended_from_frontier += 1;
-            }
-            if crowd.end_time() < self.cdb.time_domain().expect("non-empty").end {
-                self.finalized.push(CrowdRecord { crowd, gatherings });
-            } else {
-                // Ends at the new frontier: keep it extendable.
-                self.frontier.push((crowd, gatherings));
-            }
-        }
-        // The remaining frontier sequences (still too short to be crowds, or
-        // crowds that end at the last tick) are kept for the next batch.
-        for crowd in result.frontier {
-            if self.frontier.iter().any(|(c, _)| *c == crowd) {
-                continue;
-            }
-            let gatherings = if crowd.lifetime() >= self.crowd_params.kc {
-                self.detect_for(&crowd, &old_frontier)
-            } else {
-                Vec::new()
-            };
-            self.frontier.push((crowd, gatherings));
-        }
-        update
-    }
-
-    fn detect_for(
-        &self,
-        crowd: &Crowd,
-        old_frontier: &[(Crowd, Vec<Gathering>)],
-    ) -> Vec<Gathering> {
-        // If this crowd extends an old frontier crowd with known gatherings,
-        // use the Theorem 2 update; otherwise run TAD from scratch.
-        let best_prefix = old_frontier
-            .iter()
-            .filter(|(old, _)| {
-                old.len() <= crowd.len() && old.cluster_ids() == &crowd.cluster_ids()[..old.len()]
-            })
-            .max_by_key(|(old, _)| old.len());
-        match best_prefix {
-            Some((old, old_gatherings)) if old.lifetime() >= self.crowd_params.kc => {
-                update_gatherings(
-                    crowd,
-                    &self.cdb,
-                    old.len(),
-                    old_gatherings,
-                    &self.gathering_params,
-                    self.crowd_params.kc,
-                    self.variant,
-                )
-            }
-            _ => crate::gathering::detect_closed_gatherings(
-                crowd,
-                &self.cdb,
-                &self.gathering_params,
-                self.crowd_params.kc,
-                self.variant,
-            ),
-        }
+        self.engine.ingest_clusters(batch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crowd::CrowdDiscovery;
     use gpdt_clustering::{ClusterId, SnapshotCluster, SnapshotClusterSet};
     use gpdt_geo::Point;
-    use gpdt_trajectory::ObjectId;
+    use gpdt_trajectory::{ObjectId, Timestamp};
 
     /// Builds a cluster database with a single cluster per tick whose
     /// membership is given explicitly; all clusters sit at the same location

@@ -14,12 +14,19 @@
 //!   kernel used by TAD\*.
 //! * [`gathering`] — the [`Gathering`] pattern, participator computation and
 //!   the three detection algorithms (brute force, TAD, TAD\*).
-//! * [`incremental`] — crowd extension (Lemma 4) and gathering update
-//!   (Theorem 2) for handling new trajectory batches without recomputation.
-//! * [`pipeline`] — a high-level façade chaining snapshot clustering, crowd
-//!   discovery and gathering detection.
+//! * [`engine`] — the streaming [`GatheringEngine`], the single
+//!   implementation of discovery: it ingests trajectory/cluster data
+//!   tick-by-tick (or in arbitrary batches) and maintains closed crowds and
+//!   gatherings incrementally, parallelising snapshot clustering, per-tick
+//!   index construction and per-crowd gathering detection.
+//! * [`incremental`] — the Theorem 2 gathering-update primitive
+//!   ([`update_gatherings`](incremental::update_gatherings)) and a stateful
+//!   batch-ingestion façade over the engine.
+//! * [`pipeline`] — the batch façade: one-big-batch streaming, i.e. snapshot
+//!   clustering, crowd discovery and gathering detection in one call.
 //!
-//! The typical entry point is [`GatheringPipeline`]:
+//! The typical batch entry point is [`GatheringPipeline`]; for continuously
+//! arriving data use [`GatheringEngine`] directly:
 //!
 //! ```
 //! use gpdt_core::{ClusteringParams, CrowdParams, GatheringConfig, GatheringParams,
@@ -47,14 +54,17 @@
 
 pub mod bvs;
 pub mod crowd;
+pub mod engine;
 pub mod gathering;
 pub mod incremental;
+mod par;
 pub mod params;
 pub mod pipeline;
 pub mod range_search;
 
 pub use bvs::BitVector;
 pub use crowd::{discover_closed_crowds, Crowd, CrowdDiscovery, CrowdDiscoveryResult};
+pub use engine::{CrowdRecord, EngineUpdate, GatheringEngine};
 pub use gathering::{detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant};
 pub use incremental::{IncrementalDiscovery, IncrementalUpdate};
 pub use params::{

@@ -1,0 +1,71 @@
+//! Minimal scoped-thread fan-out used by the engine's hot paths.
+//!
+//! The discovery engine parallelises two embarrassingly parallel loops:
+//! per-tick [`TickSearcher`](crate::range_search::TickSearcher) construction
+//! and per-crowd gathering detection.  Both need an order-preserving parallel
+//! map over a slice; `std::thread::scope` keeps this dependency-free, in the
+//! same style as `ClusterDatabase::build_parallel`.
+
+use std::num::NonZeroUsize;
+
+/// The default worker count: the machine's available parallelism.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map: `out[i] = f(&items[i])`.
+///
+/// Falls back to a plain sequential map when a single thread is requested or
+/// there is at most one item, so callers never pay spawn overhead for tiny
+/// inputs.
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(par_map::<u32, u32, _>(&[], 4, |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,11 +1,17 @@
 //! High-level discovery pipeline: trajectories → snapshot clusters → closed
 //! crowds → closed gatherings.
+//!
+//! The pipeline is a thin batch façade over the streaming
+//! [`GatheringEngine`]: a batch run is simply
+//! the one-big-batch special case of the streaming ingestion, so both paths
+//! share a single implementation of crowd discovery and gathering detection.
 
 use gpdt_clustering::ClusterDatabase;
 use gpdt_trajectory::TrajectoryDatabase;
 
-use crate::crowd::{Crowd, CrowdDiscovery};
-use crate::gathering::{detect_closed_gatherings, Gathering, TadVariant};
+use crate::crowd::Crowd;
+use crate::engine::GatheringEngine;
+use crate::gathering::{Gathering, TadVariant};
 use crate::params::GatheringConfig;
 use crate::range_search::RangeSearchStrategy;
 
@@ -72,35 +78,30 @@ impl GatheringPipeline {
         &self.config
     }
 
+    /// A fresh streaming engine configured like this pipeline.
+    ///
+    /// Use this to keep ingesting data after an initial batch run, or to feed
+    /// the history in slices; [`Self::discover`] is equivalent to ingesting
+    /// everything into this engine at once.
+    pub fn engine(&self) -> GatheringEngine {
+        GatheringEngine::new(self.config)
+            .with_strategy(self.strategy)
+            .with_variant(self.variant)
+    }
+
     /// Runs the full pipeline on a trajectory database.
     pub fn discover(&self, db: &TrajectoryDatabase) -> DiscoveryResult {
-        let clusters = ClusterDatabase::build(db, &self.config.clustering);
-        self.discover_from_clusters(clusters)
+        let mut engine = self.engine();
+        engine.ingest_trajectories(db);
+        engine.finish()
     }
 
     /// Runs crowd discovery and gathering detection on a pre-built snapshot
     /// cluster database (skipping the clustering phase).
     pub fn discover_from_clusters(&self, clusters: ClusterDatabase) -> DiscoveryResult {
-        let discovery = CrowdDiscovery::new(self.config.crowd, self.strategy);
-        let crowds = discovery.run(&clusters).closed_crowds;
-        let mut gatherings: Vec<Gathering> = crowds
-            .iter()
-            .flat_map(|crowd| {
-                detect_closed_gatherings(
-                    crowd,
-                    &clusters,
-                    &self.config.gathering,
-                    self.config.crowd.kc,
-                    self.variant,
-                )
-            })
-            .collect();
-        gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
-        DiscoveryResult {
-            clusters,
-            crowds,
-            gatherings,
-        }
+        let mut engine = self.engine();
+        engine.ingest_clusters(clusters);
+        engine.finish()
     }
 }
 

@@ -2,20 +2,19 @@
 //!
 //! A monitoring deployment receives new GPS data periodically (the paper
 //! appends a day at a time).  Re-running discovery from scratch on the whole
-//! history gets slower with every batch; the incremental algorithms of
-//! §III-C only look at the cluster sequences that can still change.
+//! history gets slower with every batch; the streaming [`GatheringEngine`]
+//! clusters only the newly arrived snapshots and resumes crowd discovery
+//! from its saved frontier (Lemma 4), updating gatherings with the Theorem 2
+//! shortcut.
 //!
-//! This example feeds a three-hour scenario to the pipeline in 30-minute
-//! batches and prints what each update adds, then cross-checks the final
-//! state against a from-scratch run.
+//! This example replays a three-hour scenario into the engine in 30-minute
+//! slices and prints what each update adds, then cross-checks the final
+//! state against a from-scratch batch run — which is itself just the
+//! one-big-batch special case of the same engine.
 //!
 //! Run with `cargo run --example incremental_monitoring --release`.
 
 use gathering_patterns::prelude::*;
-use gpdt_clustering::ClusterDatabase;
-use gpdt_core::incremental::IncrementalDiscovery;
-use gpdt_core::{ClusteringParams, CrowdDiscovery, CrowdParams, GatheringParams};
-use gpdt_trajectory::TimeInterval;
 use gpdt_workload::EventRates;
 
 fn main() {
@@ -30,32 +29,27 @@ fn main() {
     };
     let scenario = generate_scenario(&config);
 
-    let clustering = ClusteringParams::new(200.0, 5);
-    let crowd_params = CrowdParams::new(12, 15, 300.0);
-    let gathering_params = GatheringParams::new(10, 12);
+    let discovery_config = GatheringConfig::builder()
+        .clustering(ClusteringParams::new(200.0, 5))
+        .crowd(CrowdParams::new(12, 15, 300.0))
+        .gathering(GatheringParams::new(10, 12))
+        .build()
+        .expect("valid parameters");
 
-    let mut monitor = IncrementalDiscovery::new(
-        crowd_params,
-        gathering_params,
-        RangeSearchStrategy::Grid,
-        TadVariant::TadStar,
-    );
+    let mut monitor = GatheringEngine::new(discovery_config);
 
     let batch_minutes = 30u32;
     for batch_idx in 0..(config.duration / batch_minutes) {
-        let interval = TimeInterval::new(
-            batch_idx * batch_minutes,
-            (batch_idx + 1) * batch_minutes - 1,
-        );
-        // In a real deployment this batch would come from the GPS feed; here
-        // we cluster the corresponding slice of the synthetic database.
-        let batch = ClusterDatabase::build_interval(&scenario.database, &clustering, interval);
-        let update = monitor.ingest(batch);
+        let through = (batch_idx + 1) * batch_minutes - 1;
+        // In a real deployment the new GPS points would be appended to the
+        // database between calls; here the history already exists and the
+        // engine replays it slice by slice, clustering only the new ticks.
+        let update = monitor.ingest_trajectories_until(&scenario.database, through);
         println!(
             "batch {:>2} (minutes {:>3}..{:<3}): {} crowds finalised ({} extended from the frontier), {} gatherings",
             batch_idx + 1,
-            interval.start,
-            interval.end,
+            batch_idx * batch_minutes,
+            through,
             update.new_closed_crowds,
             update.extended_from_frontier,
             update.new_gatherings,
@@ -71,13 +65,11 @@ fn main() {
     );
 
     // Cross-check against a from-scratch batch run over the full history.
-    let full_clusters = ClusterDatabase::build(&scenario.database, &clustering);
-    let batch_run =
-        CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid).run(&full_clusters);
+    let batch_run = GatheringPipeline::new(discovery_config).discover(&scenario.database);
     println!(
         "from-scratch run finds {} closed crowds — incremental and batch results {}",
-        batch_run.closed_crowds.len(),
-        if batch_run.closed_crowds.len() == final_crowds.len() {
+        batch_run.crowds.len(),
+        if batch_run.crowds == final_crowds && batch_run.gatherings == final_gatherings {
             "agree"
         } else {
             "DISAGREE (this would be a bug)"

@@ -49,8 +49,8 @@ pub use gpdt_workload as workload;
 pub mod prelude {
     pub use gpdt_clustering::{ClusterDatabase, ClusteringParams, SnapshotCluster};
     pub use gpdt_core::{
-        Crowd, CrowdParams, Gathering, GatheringConfig, GatheringParams, GatheringPipeline,
-        RangeSearchStrategy, TadVariant,
+        Crowd, CrowdParams, EngineUpdate, Gathering, GatheringConfig, GatheringEngine,
+        GatheringParams, GatheringPipeline, RangeSearchStrategy, TadVariant,
     };
     pub use gpdt_geo::{Mbr, Point};
     pub use gpdt_trajectory::{ObjectId, Timestamp, Trajectory, TrajectoryDatabase};

@@ -1,13 +1,12 @@
 //! Incremental-vs-batch consistency on realistic data: feeding the cluster
 //! stream in batches must yield exactly the crowds and gatherings of a
-//! from-scratch run, regardless of how the stream is sliced.
+//! from-scratch run, regardless of how the stream is sliced.  Both paths run
+//! through the same `GatheringEngine`; this exercises the Lemma 4 resumption
+//! and Theorem 2 reuse against the one-big-batch special case.
 
 use gathering_patterns::prelude::*;
 use gpdt_clustering::ClusterDatabase as CDB;
 use gpdt_core::incremental::IncrementalDiscovery;
-use gpdt_core::{
-    detect_closed_gatherings, ClusteringParams, CrowdDiscovery, CrowdParams, GatheringParams,
-};
 use gpdt_trajectory::TimeInterval;
 use gpdt_workload::EventRates;
 
@@ -32,25 +31,16 @@ fn incremental_ingestion_matches_batch_run_for_several_slicings() {
     let crowd_params = CrowdParams::new(12, 15, 300.0);
     let gathering_params = GatheringParams::new(8, 10);
 
-    // Batch reference.
+    // Batch reference: the one-big-batch special case of the engine.
+    let config = GatheringConfig::builder()
+        .clustering(clustering)
+        .crowd(crowd_params)
+        .gathering(gathering_params)
+        .build()
+        .unwrap();
     let full = CDB::build(&scenario.database, &clustering);
-    let batch_result = CrowdDiscovery::new(crowd_params, RangeSearchStrategy::Grid).run(&full);
-    let mut batch_crowds = batch_result.closed_crowds.clone();
-    batch_crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
-    let mut batch_gatherings: Vec<Gathering> = batch_crowds
-        .iter()
-        .flat_map(|c| {
-            detect_closed_gatherings(
-                c,
-                &full,
-                &gathering_params,
-                crowd_params.kc,
-                TadVariant::TadStar,
-            )
-        })
-        .collect();
-    batch_gatherings.sort_by_key(|g| (g.crowd().start_time(), g.crowd().end_time()));
-    assert!(!batch_crowds.is_empty());
+    let batch_result = GatheringPipeline::new(config).discover_from_clusters(full);
+    assert!(!batch_result.crowds.is_empty());
 
     for batch_minutes in [20u32, 40, 60] {
         let mut incremental = IncrementalDiscovery::new(
@@ -70,15 +60,14 @@ fn incremental_ingestion_matches_batch_run_for_several_slicings() {
             incremental.ingest(batch);
             start = end + 1;
         }
-        let mut crowds = incremental.closed_crowds();
-        crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
         assert_eq!(
-            crowds, batch_crowds,
+            incremental.closed_crowds(),
+            batch_result.crowds,
             "closed crowds diverge for {batch_minutes}-minute batches"
         );
-        let gatherings = incremental.gatherings();
         assert_eq!(
-            gatherings, batch_gatherings,
+            incremental.gatherings(),
+            batch_result.gatherings,
             "closed gatherings diverge for {batch_minutes}-minute batches"
         );
     }

@@ -1,0 +1,210 @@
+//! Streaming/batch equivalence: the `GatheringEngine` must produce exactly
+//! the crowds and gatherings of `GatheringPipeline::discover`, no matter how
+//! the input stream is sliced — one tick at a time, ragged random chunks or
+//! one big batch — for every range-search strategy × detection variant
+//! combination.
+
+use gathering_patterns::prelude::*;
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::{detect_closed_gatherings, discover_closed_crowds};
+use gpdt_trajectory::TimeInterval;
+use gpdt_workload::EventRates;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scenario(seed: u64, duration: u32) -> gpdt_workload::GeneratedScenario {
+    let mut config = ScenarioConfig::small_demo(seed);
+    config.num_taxis = 150;
+    config.duration = duration;
+    config.area_size = 8_000.0;
+    config.event_rates = EventRates {
+        jams_per_hour: [8.0, 8.0, 8.0],
+        venues_per_hour: [4.0, 4.0, 4.0],
+        convoys_per_hour: [2.0, 2.0, 2.0],
+    };
+    generate_scenario(&config)
+}
+
+fn config() -> GatheringConfig {
+    GatheringConfig::builder()
+        .clustering(ClusteringParams::new(200.0, 5))
+        .crowd(CrowdParams::new(10, 10, 300.0))
+        .gathering(GatheringParams::new(8, 8))
+        .build()
+        .unwrap()
+}
+
+/// Sorts crowds into the engine's canonical order.
+fn canonical_crowds(mut crowds: Vec<Crowd>) -> Vec<Crowd> {
+    crowds.sort_by_key(|c| (c.start_time(), c.end_time(), c.cluster_ids().to_vec()));
+    crowds
+}
+
+/// Sorts gatherings into the engine's canonical order.
+fn canonical_gatherings(mut gatherings: Vec<Gathering>) -> Vec<Gathering> {
+    gatherings.sort_by_key(|g| {
+        (
+            g.crowd().start_time(),
+            g.crowd().end_time(),
+            g.crowd().cluster_ids().to_vec(),
+            g.participators().to_vec(),
+        )
+    });
+    gatherings
+}
+
+/// Splits `0..duration` into ragged chunk widths drawn from `rng`.
+fn ragged_splits(rng: &mut StdRng, duration: u32) -> Vec<u32> {
+    let mut widths = Vec::new();
+    let mut covered = 0u32;
+    while covered < duration {
+        let w = rng.gen_range(1..=7u32).min(duration - covered);
+        widths.push(w);
+        covered += w;
+    }
+    widths
+}
+
+#[test]
+fn engine_matches_pipeline_for_all_slicings_strategies_and_variants() {
+    let duration = 60u32;
+    let scenario = scenario(4242, duration);
+    let config = config();
+    let full_clusters = ClusterDatabase::build(&scenario.database, &config.clustering);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for strategy in RangeSearchStrategy::ALL {
+        for variant in TadVariant::ALL {
+            let pipeline = GatheringPipeline::new(config)
+                .with_strategy(strategy)
+                .with_variant(variant);
+            let reference = pipeline.discover(&scenario.database);
+            assert!(
+                reference.crowd_count() > 0,
+                "the scenario must produce crowds for the test to be meaningful"
+            );
+
+            // Anchor the reference outside the engine: the pipeline (which
+            // routes through the engine) must match the direct composition of
+            // Algorithm 1 and Test-and-Divide, so an engine bug cannot slip
+            // through by altering reference and streamed results alike.
+            let independent_crowds = canonical_crowds(discover_closed_crowds(
+                &full_clusters,
+                &config.crowd,
+                strategy,
+            ));
+            assert_eq!(
+                reference.crowds, independent_crowds,
+                "{strategy}/{variant} independent crowd composition"
+            );
+            let independent_gatherings = canonical_gatherings(
+                independent_crowds
+                    .iter()
+                    .flat_map(|c| {
+                        detect_closed_gatherings(
+                            c,
+                            &full_clusters,
+                            &config.gathering,
+                            config.crowd.kc,
+                            variant,
+                        )
+                    })
+                    .collect(),
+            );
+            assert_eq!(
+                reference.gatherings, independent_gatherings,
+                "{strategy}/{variant} independent gathering composition"
+            );
+
+            // Slicing 1: one big batch of pre-built clusters.
+            let mut engine = pipeline.engine();
+            engine.ingest_clusters(full_clusters.clone());
+            assert_eq!(
+                engine.closed_crowds(),
+                reference.crowds,
+                "{strategy}/{variant} one batch"
+            );
+            assert_eq!(
+                engine.gatherings(),
+                reference.gatherings,
+                "{strategy}/{variant} one batch"
+            );
+
+            // Slicing 2: one tick at a time, streamed from the trajectories
+            // (the engine clusters each new tick on demand).
+            let mut engine = pipeline.engine();
+            for t in 0..duration {
+                engine.ingest_trajectories_until(&scenario.database, t);
+            }
+            assert_eq!(
+                engine.closed_crowds(),
+                reference.crowds,
+                "{strategy}/{variant} per tick"
+            );
+            assert_eq!(
+                engine.gatherings(),
+                reference.gatherings,
+                "{strategy}/{variant} per tick"
+            );
+
+            // Slicing 3: ragged random cluster batches.
+            let widths = ragged_splits(&mut rng, duration);
+            let mut engine = pipeline.engine();
+            let mut start = 0u32;
+            for w in &widths {
+                let interval = TimeInterval::new(start, start + w - 1);
+                let batch = ClusterDatabase::build_interval(
+                    &scenario.database,
+                    &config.clustering,
+                    interval,
+                );
+                engine.ingest_clusters(batch);
+                start += w;
+            }
+            assert_eq!(
+                engine.closed_crowds(),
+                reference.crowds,
+                "{strategy}/{variant} ragged {widths:?}"
+            );
+            assert_eq!(
+                engine.gatherings(),
+                reference.gatherings,
+                "{strategy}/{variant} ragged {widths:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaving_trajectory_and_cluster_ingestion_is_consistent() {
+    let duration = 50u32;
+    let scenario = scenario(99, duration);
+    let config = config();
+    let pipeline = GatheringPipeline::new(config);
+    let reference = pipeline.discover(&scenario.database);
+
+    // First half streamed from trajectories, second half as cluster batches.
+    let mut engine = pipeline.engine();
+    engine.ingest_trajectories_until(&scenario.database, duration / 2 - 1);
+    let rest = ClusterDatabase::build_interval(
+        &scenario.database,
+        &config.clustering,
+        TimeInterval::new(duration / 2, duration - 1),
+    );
+    engine.ingest_clusters(rest);
+    assert_eq!(engine.closed_crowds(), reference.crowds);
+    assert_eq!(engine.gatherings(), reference.gatherings);
+
+    // And the other way round: clusters first, trajectories afterwards (the
+    // engine re-aligns its clustering cursor).
+    let mut engine = pipeline.engine();
+    let head = ClusterDatabase::build_interval(
+        &scenario.database,
+        &config.clustering,
+        TimeInterval::new(0, duration / 2 - 1),
+    );
+    engine.ingest_clusters(head);
+    engine.ingest_trajectories(&scenario.database);
+    assert_eq!(engine.closed_crowds(), reference.crowds);
+    assert_eq!(engine.gatherings(), reference.gatherings);
+}
