@@ -18,10 +18,23 @@
 //!   added for free (object-closedness); time-closedness holds by
 //!   construction because the timestamp set is always maximal for the object
 //!   set.
+//!
+//! All three predicates reduce to *timestamp-set* algebra against the first
+//! (anchor) object of the current set, and the anchor is fixed for the whole
+//! DFS subtree rooted at it.  The miner therefore materialises, once per
+//! root, one [`BitVector`] row per object — bit `t` set iff the object shares
+//! a snapshot cluster with the root at tick `t` — and runs the search
+//! entirely on word-parallel bit operations: the shared timestamp set is an
+//! AND ([`BitVector::and_into`]), apriori pruning a popcount, and backward
+//! pruning / closedness subset tests ([`BitVector::is_subset_of`]) with
+//! per-word early exit.  The rows and the per-depth shared sets live in a
+//! scratch arena reused across the whole mine, so the DFS allocates only
+//! when it emits a result.
 
 use std::collections::HashMap;
 
 use gpdt_clustering::{ClusterDatabase, ClusteringParams};
+use gpdt_geo::BitVector;
 use gpdt_trajectory::{ObjectId, Timestamp, TrajectoryDatabase};
 
 use crate::common::GroupPattern;
@@ -68,6 +81,7 @@ struct SwarmIndex {
     objects: Vec<ObjectId>,
     timelines: Vec<Vec<u32>>,
     start_time: Timestamp,
+    n_ticks: usize,
 }
 
 impl SwarmIndex {
@@ -99,25 +113,8 @@ impl SwarmIndex {
             objects,
             timelines,
             start_time: domain.start,
+            n_ticks,
         })
-    }
-
-    /// `true` if objects `a` and `b` are in the same snapshot cluster at
-    /// `tick`.
-    #[inline]
-    fn same_cluster(&self, a: usize, b: usize, tick: usize) -> bool {
-        let ca = self.timelines[a][tick];
-        ca != 0 && ca == self.timelines[b][tick]
-    }
-
-    /// Ticks at which object `idx` is in any cluster.
-    fn occupied_ticks(&self, idx: usize) -> Vec<usize> {
-        self.timelines[idx]
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0)
-            .map(|(t, _)| t)
-            .collect()
     }
 }
 
@@ -129,97 +126,173 @@ pub fn discover_closed_swarms_from_clusters(
     let Some(index) = SwarmIndex::build(cdb, params.min_duration) else {
         return Vec::new();
     };
-    let mut results = Vec::new();
-    let mut stack: Vec<usize> = Vec::new();
-    let mut in_stack = vec![false; index.objects.len()];
-    grow(
-        &index,
+    let n = index.objects.len();
+    let mut miner = Miner {
+        index: &index,
         params,
-        0,
-        &mut stack,
-        &mut in_stack,
-        None,
-        &mut results,
-    );
-    results
+        rows: (0..n).map(|_| BitVector::zeros(index.n_ticks)).collect(),
+        // Depth d of the DFS intersects into slot d; depth <= n.
+        shared: (0..=n).map(|_| BitVector::zeros(index.n_ticks)).collect(),
+        root_occupied: Vec::new(),
+        active: Vec::new(),
+        current: Vec::new(),
+        in_current: vec![false; n],
+        results: Vec::new(),
+    };
+    miner.mine();
+    miner.results
 }
 
-#[allow(clippy::too_many_arguments)]
-fn grow(
-    index: &SwarmIndex,
-    params: &SwarmParams,
-    start: usize,
-    current: &mut Vec<usize>,
-    in_current: &mut Vec<bool>,
-    shared: Option<Vec<usize>>,
-    results: &mut Vec<GroupPattern>,
-) {
-    let n = index.objects.len();
-    // Check object-closedness / emit when the current set qualifies.
-    if current.len() >= params.min_objects {
-        let times = shared
-            .as_ref()
-            .expect("non-empty set has a shared time set");
-        if times.len() >= params.min_duration {
-            // Object-closed: no object outside the set can be added without
-            // shrinking the timestamp set.
-            let anchor = current[0];
-            let closed = !(0..n).any(|other| {
-                !in_current[other] && times.iter().all(|&t| index.same_cluster(anchor, other, t))
-            });
-            if closed {
-                results.push(GroupPattern::new(
-                    current.iter().map(|&i| index.objects[i]).collect(),
-                    times
-                        .iter()
-                        .map(|&t| index.start_time + t as Timestamp)
-                        .collect(),
-                ));
+/// DFS state of one closed-swarm mine: the per-root bitset rows, the
+/// per-depth shared timestamp sets and the current object set, all reused
+/// across the entire search.
+struct Miner<'a> {
+    index: &'a SwarmIndex,
+    params: &'a SwarmParams,
+    /// `rows[b]` bit `t`: object `b` shares a cluster with the current root
+    /// at tick `t` (rebuilt once per root; `rows[root]` is the root's
+    /// occupancy).
+    rows: Vec<BitVector>,
+    /// `shared[d]`: timestamp set shared by the current object set at DFS
+    /// depth `d`.
+    shared: Vec<BitVector>,
+    /// `(tick, cluster)` pairs at which the current root is clustered.
+    root_occupied: Vec<(usize, u32)>,
+    /// Objects whose row has at least `mint` set bits, ascending.  Any other
+    /// object can neither extend the current set past the apriori bound, nor
+    /// cover a branch (backward pruning), nor block object-closedness — all
+    /// three predicates require at least `mint` shared ticks with the root —
+    /// so the whole DFS iterates over this list instead of every object.
+    active: Vec<usize>,
+    current: Vec<usize>,
+    in_current: Vec<bool>,
+    results: Vec<GroupPattern>,
+}
+
+impl Miner<'_> {
+    fn mine(&mut self) {
+        let n = self.index.objects.len();
+        for root in 0..n {
+            self.build_rows(root);
+            // Apriori pruning (SwarmIndex::build already filtered objects
+            // clustered at fewer than mint ticks, so this never fires; kept
+            // to mirror the recursive case).
+            if (self.rows[root].count_ones() as usize) < self.params.min_duration {
+                continue;
+            }
+            self.active.clear();
+            let mint = self.params.min_duration;
+            self.active
+                .extend((0..n).filter(|&b| self.rows[b].count_ones() as usize >= mint));
+            let root_pos = self
+                .active
+                .iter()
+                .position(|&b| b == root)
+                .expect("root is active");
+            // Backward pruning: a smaller-id object joinable at every
+            // occupied tick of the root means this subtree is covered by the
+            // one rooted at that object.
+            if self.active[..root_pos]
+                .iter()
+                .any(|&earlier| self.rows[root].is_subset_of(&self.rows[earlier]))
+            {
+                continue;
+            }
+            self.shared[0].copy_from(&self.rows[root]);
+            self.current.push(root);
+            self.in_current[root] = true;
+            self.grow(root_pos + 1, 0);
+            self.in_current[root] = false;
+            self.current.pop();
+        }
+    }
+
+    /// Rebuilds the bitset rows for a new DFS root.
+    ///
+    /// Rows are *compressed* to the root's occupied ticks: bit `j` of
+    /// `rows[b]` says object `b` shares the root's cluster at the `j`-th tick
+    /// the root is clustered at.  Every shared timestamp set of the subtree
+    /// is a subset of the root's occupancy, so nothing is lost — and every
+    /// AND / subset test / popcount shrinks from `n_ticks` bits to however
+    /// many ticks the root actually spends in clusters.
+    fn build_rows(&mut self, root: usize) {
+        self.root_occupied.clear();
+        self.root_occupied.extend(
+            self.index.timelines[root]
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(t, &c)| (t, c)),
+        );
+        let compressed_len = self.root_occupied.len();
+        for (b, row) in self.rows.iter_mut().enumerate() {
+            row.reset(compressed_len);
+            let timeline = &self.index.timelines[b];
+            for (j, &(t, c)) in self.root_occupied.iter().enumerate() {
+                if timeline[t] == c {
+                    row.set(j, true);
+                }
             }
         }
     }
 
-    for candidate in start..n {
-        let anchor = current.first().copied();
-        // Apriori pruning: the shared timestamp set only shrinks as objects
-        // are added.
-        let new_shared: Vec<usize> = match (shared.as_ref(), anchor) {
-            (Some(times), Some(anchor)) => times
-                .iter()
-                .copied()
-                .filter(|&t| index.same_cluster(anchor, candidate, t))
-                .collect(),
-            _ => index.occupied_ticks(candidate),
-        };
-        if new_shared.len() < params.min_duration {
-            continue;
-        }
-        // Backward pruning: if an object with a smaller id (not in the set,
-        // not the candidate) could be added without shrinking the shared
-        // set, this branch is covered by the branch that includes it.
-        let new_anchor = anchor.unwrap_or(candidate);
-        let covered = (0..candidate).any(|earlier| {
-            !in_current[earlier]
-                && new_shared
+    /// One DFS node: the current set's shared timestamp set sits at
+    /// `shared[depth]`; candidates at positions >= `start` of the active
+    /// list are tried in id order.
+    fn grow(&mut self, start: usize, depth: usize) {
+        // Check object-closedness / emit when the current set qualifies.
+        if self.current.len() >= self.params.min_objects {
+            let times = &self.shared[depth];
+            if times.count_ones() as usize >= self.params.min_duration {
+                // Object-closed: no object outside the set can be added
+                // without shrinking the timestamp set.
+                let closed = !self
+                    .active
                     .iter()
-                    .all(|&t| index.same_cluster(new_anchor, earlier, t))
-        });
-        if covered {
-            continue;
+                    .any(|&other| !self.in_current[other] && times.is_subset_of(&self.rows[other]));
+                if closed {
+                    self.results.push(GroupPattern::new(
+                        self.current
+                            .iter()
+                            .map(|&i| self.index.objects[i])
+                            .collect(),
+                        times
+                            .iter_ones()
+                            .map(|j| self.index.start_time + self.root_occupied[j].0 as Timestamp)
+                            .collect(),
+                    ));
+                }
+            }
         }
-        current.push(candidate);
-        in_current[candidate] = true;
-        grow(
-            index,
-            params,
-            candidate + 1,
-            current,
-            in_current,
-            Some(new_shared),
-            results,
-        );
-        in_current[candidate] = false;
-        current.pop();
+
+        for cpos in start..self.active.len() {
+            let candidate = self.active[cpos];
+            // Apriori pruning: the shared timestamp set only shrinks as
+            // objects are added; skip the intersection entirely when its
+            // popcount cannot reach mint.
+            let lower = &self.shared[depth];
+            if (lower.count_ones_masked(&self.rows[candidate]) as usize) < self.params.min_duration
+            {
+                continue;
+            }
+            let (lower, upper) = self.shared.split_at_mut(depth + 1);
+            let new_shared = &mut upper[0];
+            lower[depth].and_into(&self.rows[candidate], new_shared);
+            // Backward pruning: if an object with a smaller id (not in the
+            // set, not the candidate) could be added without shrinking the
+            // shared set, this branch is covered by the branch including it.
+            let covered = self.active[..cpos].iter().any(|&earlier| {
+                !self.in_current[earlier] && new_shared.is_subset_of(&self.rows[earlier])
+            });
+            if covered {
+                continue;
+            }
+            self.current.push(candidate);
+            self.in_current[candidate] = true;
+            self.grow(cpos + 1, depth + 1);
+            self.in_current[candidate] = false;
+            self.current.pop();
+        }
     }
 }
 
@@ -327,5 +400,127 @@ mod tests {
     fn empty_database_has_no_swarms() {
         let db = TrajectoryDatabase::new();
         assert!(discover_closed_swarms(&db, &params(2, 2)).is_empty());
+    }
+}
+
+#[cfg(test)]
+// Deterministic seeded-random property checks (the container builds offline,
+// so these use the vendored `rand` shim instead of `proptest`).
+mod proptests {
+    use super::*;
+    use gpdt_clustering::{SnapshotCluster, SnapshotClusterSet};
+    use gpdt_geo::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn params(mino: usize, mint: usize) -> SwarmParams {
+        SwarmParams::new(mino, mint, ClusteringParams::new(50.0, 2))
+    }
+
+    /// Random cluster membership over a few objects and ticks: each tick
+    /// assigns every object to one of `n_clusters` clusters or to noise.
+    fn random_cdb(rng: &mut StdRng, n_objects: u32, n_ticks: u32) -> ClusterDatabase {
+        let sets: Vec<SnapshotClusterSet> = (0..n_ticks)
+            .map(|t| {
+                let n_clusters = rng.gen_range(1usize..4);
+                let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
+                for o in 0..n_objects {
+                    let slot = rng.gen_range(0..n_clusters + 1);
+                    if slot < n_clusters {
+                        members[slot].push(o);
+                    }
+                }
+                SnapshotClusterSet {
+                    time: t,
+                    clusters: members
+                        .into_iter()
+                        .filter(|m| !m.is_empty())
+                        .map(|m| {
+                            SnapshotCluster::new(
+                                t,
+                                m.iter().map(|&o| ObjectId::new(o)).collect(),
+                                m.iter().map(|&o| Point::new(o as f64, 0.0)).collect(),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        ClusterDatabase::from_sets(sets)
+    }
+
+    /// Brute-force oracle: enumerate every object subset, compute its
+    /// maximal shared timestamp set and keep the object-closed qualifying
+    /// ones (time-closedness is automatic — the time set is maximal).
+    fn oracle(cdb: &ClusterDatabase, params: &SwarmParams) -> BTreeSet<(Vec<u32>, Vec<u32>)> {
+        let mut label: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut objects: BTreeSet<u32> = BTreeSet::new();
+        for set in cdb.iter() {
+            for (idx, cluster) in set.clusters.iter().enumerate() {
+                for m in cluster.members() {
+                    label.insert((m.raw(), set.time), idx as u32 + 1);
+                    objects.insert(m.raw());
+                }
+            }
+        }
+        let objects: Vec<u32> = objects.into_iter().collect();
+        let ticks: Vec<u32> = cdb.time_domain().map_or(Vec::new(), |d| d.iter().collect());
+        let shared_times = |subset: &[u32]| -> Vec<u32> {
+            ticks
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    let first = label.get(&(subset[0], t));
+                    first.is_some() && subset[1..].iter().all(|&o| label.get(&(o, t)) == first)
+                })
+                .collect()
+        };
+        let mut out = BTreeSet::new();
+        for mask in 1u32..(1 << objects.len()) {
+            let subset: Vec<u32> = objects
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &o)| o)
+                .collect();
+            if subset.len() < params.min_objects {
+                continue;
+            }
+            let times = shared_times(&subset);
+            if times.len() < params.min_duration {
+                continue;
+            }
+            let object_closed = !objects.iter().any(|&other| {
+                !subset.contains(&other) && {
+                    let mut bigger = subset.clone();
+                    bigger.push(other);
+                    shared_times(&bigger) == times
+                }
+            });
+            if object_closed {
+                out.insert((subset, times));
+            }
+        }
+        out
+    }
+
+    /// The bitset ObjectGrowth miner finds exactly the closed swarms of the
+    /// brute-force definition.
+    #[test]
+    fn miner_matches_bruteforce_oracle() {
+        let mut rng = StdRng::seed_from_u64(0x5a4);
+        for round in 0..120 {
+            let (n_objects, n_ticks) = (rng.gen_range(2u32..8), rng.gen_range(1u32..7));
+            let cdb = random_cdb(&mut rng, n_objects, n_ticks);
+            let (mino, mint) = (rng.gen_range(2usize..4), rng.gen_range(1usize..4));
+            let p = params(mino, mint);
+            let mined: BTreeSet<(Vec<u32>, Vec<u32>)> =
+                discover_closed_swarms_from_clusters(&cdb, &p)
+                    .into_iter()
+                    .map(|g| (g.objects.iter().map(|o| o.raw()).collect(), g.times.clone()))
+                    .collect();
+            assert_eq!(mined, oracle(&cdb, &p), "round {round}");
+        }
     }
 }

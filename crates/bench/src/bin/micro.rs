@@ -1,0 +1,194 @@
+//! Microbenchmarks of the hot-path kernels, with before/after ablations.
+//!
+//! Covers the three paths this repository optimises below the engine level:
+//!
+//! * **DBSCAN** — the arena-backed CSR-grid implementation
+//!   ([`gpdt_clustering::dbscan_with`] with a reused scratch) against the
+//!   per-snapshot `HashMap`-grid ablation baseline and the brute-force
+//!   oracle.
+//! * **`hausdorff_within`** — the grid-bucketed threshold test against the
+//!   brute-force pair scan, on cluster pairs near the decision boundary.
+//! * **`TickSearcher` construction** — per-tick index build under every
+//!   range-search strategy, with the reusable [`SearcherScratch`].
+//!
+//! Run with `cargo run -q --release -p gpdt-bench --bin micro`; set
+//! `CRITERION_SHIM_ITERS` to raise the per-benchmark iteration count.
+//! Results are printed and serialised to `BENCH_micro.json` (honouring
+//! `GPDT_BENCH_DIR`), with one speedup row per before/after pair.
+
+use criterion::{black_box, Criterion};
+use gpdt_bench::report::{BenchReport, Table};
+use gpdt_clustering::dbscan::dbscan_hashgrid;
+use gpdt_clustering::{
+    dbscan_with, ClusteringParams, DbscanScratch, SnapshotCluster, SnapshotClusterSet,
+};
+use gpdt_core::{RangeSearchStrategy, SearcherScratch, TickSearcher};
+use gpdt_geo::{hausdorff_within_bruteforce, hausdorff_within_bucketed, Point};
+use gpdt_trajectory::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A field of dense blobs, the shape DBSCAN sees in one snapshot.
+fn blob_field(rng: &mut StdRng, blobs: usize, per_blob: usize, spread: f64) -> Vec<Point> {
+    let mut points = Vec::with_capacity(blobs * per_blob);
+    for _ in 0..blobs {
+        let cx = rng.gen_range(-10_000.0..10_000.0);
+        let cy = rng.gen_range(-10_000.0..10_000.0);
+        for _ in 0..per_blob {
+            points.push(Point::new(
+                cx + rng.gen_range(-spread..spread),
+                cy + rng.gen_range(-spread..spread),
+            ));
+        }
+    }
+    points
+}
+
+/// One blob of `n` points around a centre, for the Hausdorff benches.
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                cx + rng.gen_range(-spread..spread),
+                cy + rng.gen_range(-spread..spread),
+            )
+        })
+        .collect()
+}
+
+fn bench_dbscan(c: &mut Criterion, rng: &mut StdRng) {
+    let params = ClusteringParams::new(200.0, 5);
+    let mut scratch = DbscanScratch::new();
+    let mut group = c.benchmark_group("dbscan");
+    for &(blobs, per_blob) in &[(12usize, 40usize), (60, 60)] {
+        let points = blob_field(rng, blobs, per_blob, 300.0);
+        let n = points.len();
+        group.bench_function(format!("csr_arena/{n}"), |b| {
+            b.iter(|| dbscan_with(black_box(&points), &params, &mut scratch))
+        });
+        group.bench_function(format!("hashgrid/{n}"), |b| {
+            b.iter(|| dbscan_hashgrid(black_box(&points), &params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hausdorff(c: &mut Criterion, rng: &mut StdRng) {
+    let delta = 300.0;
+    // The targeted path: large *elongated* clusters (traffic along a road),
+    // where each point's δ-neighbours are a tiny fraction of the other set
+    // and the pair scan goes quadratic.  The snake length grows with n at
+    // fixed point spacing (δ/2, so dH ≤ δ holds and neither side exits
+    // early); points are shuffled so the scan cannot ride insertion-order
+    // locality.
+    let mut snake = |n: usize, y0: f64| -> Vec<Point> {
+        let spacing = delta / 2.0;
+        let mut pts: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    i as f64 * spacing + rng.gen_range(-40.0..40.0),
+                    y0 + rng.gen_range(-40.0..40.0),
+                )
+            })
+            .collect();
+        // Fisher–Yates shuffle.
+        for i in (1..pts.len()).rev() {
+            pts.swap(i, rng.gen_range(0..i + 1));
+        }
+        pts
+    };
+    let mut group = c.benchmark_group("hausdorff_within");
+    for &n in &[512usize, 2048] {
+        let p = snake(n, 0.0);
+        let q = snake(n, 100.0);
+        group.bench_function(format!("bucketed/{n}"), |b| {
+            b.iter(|| hausdorff_within_bucketed(black_box(&p), black_box(&q), delta))
+        });
+        group.bench_function(format!("bruteforce/{n}"), |b| {
+            b.iter(|| hausdorff_within_bruteforce(black_box(&p), black_box(&q), delta))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_searcher(c: &mut Criterion, rng: &mut StdRng) {
+    let delta = 300.0;
+    let clusters: Vec<SnapshotCluster> = (0..48)
+        .map(|i| {
+            let (cx, cy) = (
+                rng.gen_range(-8_000.0..8_000.0),
+                rng.gen_range(-8_000.0..8_000.0),
+            );
+            let pts = blob(rng, cx, cy, 30, 200.0);
+            let members = (0..pts.len() as u32)
+                .map(|k| ObjectId::new(i * 1_000 + k))
+                .collect();
+            SnapshotCluster::new(0, members, pts)
+        })
+        .collect();
+    let set = SnapshotClusterSet { time: 0, clusters };
+    let mut scratch = SearcherScratch::new();
+    let mut group = c.benchmark_group("tick_searcher_build");
+    for strategy in RangeSearchStrategy::ALL {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| TickSearcher::build_with(strategy, black_box(&set), delta, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+/// Mean time of the report entry whose name starts with `prefix`, in ns.
+fn mean_ns(c: &Criterion, prefix: &str) -> Option<f64> {
+    c.reports()
+        .iter()
+        .find(|(name, _)| name.starts_with(prefix))
+        .map(|(_, d)| d.as_nanos() as f64)
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut rng = StdRng::seed_from_u64(2013);
+    bench_dbscan(&mut criterion, &mut rng);
+    bench_hausdorff(&mut criterion, &mut rng);
+    bench_tick_searcher(&mut criterion, &mut rng);
+
+    let mut report = BenchReport::new("micro");
+    let mut results = Table::new("Microbenchmarks — mean ns per iteration", &["bench", "ns"]);
+    for (name, mean) in criterion.reports() {
+        results.add_row(vec![name.clone(), format!("{}", mean.as_nanos())]);
+    }
+    report.print_and_add(results);
+
+    let mut speedups = Table::new(
+        "Targeted-path speedups (baseline / optimised)",
+        &["path", "speedup"],
+    );
+    for (path, fast, slow) in [
+        (
+            "dbscan (small)",
+            "dbscan/csr_arena/480",
+            "dbscan/hashgrid/480",
+        ),
+        (
+            "dbscan (large)",
+            "dbscan/csr_arena/3600",
+            "dbscan/hashgrid/3600",
+        ),
+        (
+            "hausdorff_within (512)",
+            "hausdorff_within/bucketed/512",
+            "hausdorff_within/bruteforce/512",
+        ),
+        (
+            "hausdorff_within (2048)",
+            "hausdorff_within/bucketed/2048",
+            "hausdorff_within/bruteforce/2048",
+        ),
+    ] {
+        if let (Some(f), Some(s)) = (mean_ns(&criterion, fast), mean_ns(&criterion, slow)) {
+            speedups.add_row(vec![path.to_string(), format!("{:.2}x", s / f)]);
+        }
+    }
+    report.print_and_add(speedups);
+    report.write_logged();
+}

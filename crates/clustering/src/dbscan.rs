@@ -7,15 +7,24 @@
 //! density-connected points; border points are attached to the first cluster
 //! that reaches them; everything else is noise.
 //!
-//! The ε-neighbourhood query is served by a uniform hash grid with cell side
+//! The ε-neighbourhood query is served by a uniform grid with cell side
 //! `eps`, so a query only inspects the 3×3 block of cells around the query
-//! point instead of the whole snapshot.
+//! point instead of the whole snapshot.  The grid is stored as a flat
+//! sorted-bucket (CSR-style) structure inside a reusable [`DbscanScratch`]
+//! arena: point indices are sorted by cell key into one contiguous buffer
+//! with per-cell offset ranges, and cell lookup is a binary search over the
+//! sorted unique keys.  Callers that cluster many snapshots (the cluster
+//! database builders, the streaming clusterer) keep one scratch alive and
+//! pass it to [`dbscan_with`], making the per-snapshot hot path free of heap
+//! allocation apart from the output itself.
 
-use std::collections::HashMap;
-
+use gpdt_geo::bvs::BitVector;
 use gpdt_geo::Point;
 
 use crate::params::ClusteringParams;
+
+const UNVISITED: u32 = u32::MAX;
+const NOISE: u32 = u32::MAX - 1;
 
 /// Result of running DBSCAN on a set of points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,58 +34,150 @@ pub struct DbscanResult {
     pub clusters: Vec<Vec<usize>>,
     /// Indices of points assigned to no cluster.
     pub noise: Vec<usize>,
+    /// Per-point cluster label (`NOISE` sentinel for noise), kept so that
+    /// [`Self::label_of`] answers in O(1).
+    labels: Vec<u32>,
 }
 
 impl DbscanResult {
-    /// Cluster label of point `idx`: `Some(cluster_index)` or `None` for
-    /// noise.
-    pub fn label_of(&self, idx: usize) -> Option<usize> {
-        self.clusters
-            .iter()
-            .position(|members| members.binary_search(&idx).is_ok())
-    }
-}
-
-/// A hash-grid over points with cell side `eps`, answering ε-range queries.
-struct NeighborGrid<'a> {
-    points: &'a [Point],
-    eps: f64,
-    cells: HashMap<(i64, i64), Vec<usize>>,
-}
-
-impl<'a> NeighborGrid<'a> {
-    fn build(points: &'a [Point], eps: f64) -> Self {
-        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (idx, p) in points.iter().enumerate() {
-            cells.entry(Self::key(p, eps)).or_default().push(idx);
+    fn empty() -> Self {
+        DbscanResult {
+            clusters: Vec::new(),
+            noise: Vec::new(),
+            labels: Vec::new(),
         }
-        NeighborGrid { points, eps, cells }
     }
 
-    #[inline]
-    fn key(p: &Point, eps: f64) -> (i64, i64) {
-        ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+    fn from_labels(clusters: Vec<Vec<usize>>, labels: &[u32]) -> Self {
+        let noise = labels
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &l)| (l == NOISE).then_some(idx))
+            .collect();
+        DbscanResult {
+            clusters,
+            noise,
+            labels: labels.to_vec(),
+        }
     }
 
-    /// Indices of all points within `eps` of `points[idx]`, including `idx`
-    /// itself.
-    fn neighbors_of(&self, idx: usize) -> Vec<usize> {
-        let p = &self.points[idx];
-        let (cx, cy) = Self::key(p, self.eps);
-        let eps_sq = self.eps * self.eps;
-        let mut out = Vec::new();
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
-                    for &other in bucket {
-                        if self.points[other].distance_sq(p) <= eps_sq {
-                            out.push(other);
-                        }
-                    }
+    /// Cluster label of point `idx`: `Some(cluster_index)` or `None` for
+    /// noise.  O(1) — labels are precomputed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not an index into the clustered point slice.
+    pub fn label_of(&self, idx: usize) -> Option<usize> {
+        match self.labels[idx] {
+            NOISE => None,
+            l => Some(l as usize),
+        }
+    }
+}
+
+#[inline]
+fn cell_key(p: &Point, eps: f64) -> (i64, i64) {
+    ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+}
+
+/// Reusable scratch arena for [`dbscan_with`]: the CSR grid buffers and the
+/// per-point working state.  Create one (cheap, all-empty) and reuse it
+/// across snapshots; every buffer is resized in place, so steady-state
+/// clustering performs no heap allocation beyond the returned result.
+#[derive(Debug, Clone, Default)]
+pub struct DbscanScratch {
+    /// `(cell key, point index)` pairs, sorted; materialised so the sort
+    /// compares contiguous elements instead of chasing per-point key
+    /// lookups.
+    pairs: Vec<((i64, i64), u32)>,
+    /// `(point, index)` pairs sorted by (cell key, index): the CSR bucket
+    /// payload, with coordinates inline so the ε-scan reads one contiguous
+    /// run instead of chasing indices.
+    bucketed: Vec<(Point, u32)>,
+    /// Sorted unique cell keys.
+    cells: Vec<(i64, i64)>,
+    /// CSR offsets into `bucketed`; `starts[c]..starts[c + 1]` is cell `c`'s
+    /// bucket (one trailing sentinel).
+    starts: Vec<u32>,
+    /// Cell index (into `cells`) of each point.
+    cell_of_point: Vec<u32>,
+    /// Per cell: the three contiguous `bucketed` ranges covering its 3×3
+    /// neighbourhood (cells are sorted by (col, row), so for each of the
+    /// three columns the rows `r-1..=r+1` form one contiguous run).  The
+    /// per-point ε-query walks these precomputed ranges without any lookup.
+    neighbor_ranges: Vec<[(u32, u32); 3]>,
+    /// Per-point cluster label during the sweep.
+    labels: Vec<u32>,
+    /// BFS expansion frontier of the cluster under construction.
+    frontier: Vec<u32>,
+    /// ε-neighbourhood query output buffer.
+    neighbors: Vec<u32>,
+    /// Points already pushed onto some cluster's frontier (enqueueing a
+    /// point twice is a no-op, so the bit lets us skip the duplicate push).
+    enqueued: BitVector,
+}
+
+impl DbscanScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        DbscanScratch::default()
+    }
+
+    /// Rebuilds the CSR grid over `points` with cell side `eps`.
+    fn build_grid(&mut self, points: &[Point], eps: f64) {
+        // Sorting (key, index) pairs keeps each bucket in increasing point
+        // order, matching the insertion order of a per-cell push loop.
+        self.pairs.clear();
+        self.pairs.extend(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (cell_key(p, eps), i as u32)),
+        );
+        self.pairs.sort_unstable();
+        self.bucketed.clear();
+        self.cells.clear();
+        self.starts.clear();
+        self.cell_of_point.clear();
+        self.cell_of_point.resize(points.len(), 0);
+        for (pos, &(key, i)) in self.pairs.iter().enumerate() {
+            if self.cells.last() != Some(&key) {
+                self.cells.push(key);
+                self.starts.push(pos as u32);
+            }
+            self.bucketed.push((points[i as usize], i));
+            self.cell_of_point[i as usize] = (self.cells.len() - 1) as u32;
+        }
+        self.starts.push(points.len() as u32);
+
+        // Precompute each cell's three 3×3-block ranges: three binary
+        // searches per *cell* instead of nine per *point*.
+        self.neighbor_ranges.clear();
+        self.neighbor_ranges.reserve(self.cells.len());
+        for &(col, row) in &self.cells {
+            let mut ranges = [(0u32, 0u32); 3];
+            for (k, dc) in (-1i64..=1).enumerate() {
+                let lo = self.cells.partition_point(|&c| c < (col + dc, row - 1));
+                let hi = self.cells.partition_point(|&c| c <= (col + dc, row + 1));
+                ranges[k] = (self.starts[lo], self.starts[hi]);
+            }
+            self.neighbor_ranges.push(ranges);
+        }
+    }
+
+    /// Writes the indices of all points within `eps` of `points[idx]`
+    /// (including `idx` itself) into the `neighbors` buffer.
+    fn find_neighbors(&mut self, points: &[Point], idx: usize, eps: f64) {
+        let p = points[idx];
+        let eps_sq = eps * eps;
+        self.neighbors.clear();
+        for &(lo, hi) in &self.neighbor_ranges[self.cell_of_point[idx] as usize] {
+            for &(q, other) in &self.bucketed[lo as usize..hi as usize] {
+                if q.distance_sq(&p) <= eps_sq {
+                    self.neighbors.push(other);
                 }
             }
         }
-        out
     }
 }
 
@@ -84,82 +185,131 @@ impl<'a> NeighborGrid<'a> {
 ///
 /// The result's clusters are reported in order of discovery (by lowest seed
 /// index) with their member index lists sorted.
+///
+/// Allocates a fresh scratch arena per call; snapshot-per-snapshot callers
+/// should hold a [`DbscanScratch`] and use [`dbscan_with`] instead.
 pub fn dbscan(points: &[Point], params: &ClusteringParams) -> DbscanResult {
-    const UNVISITED: u32 = u32::MAX;
-    const NOISE: u32 = u32::MAX - 1;
+    dbscan_with(points, params, &mut DbscanScratch::new())
+}
 
+/// Runs DBSCAN over `points`, reusing `scratch` for every intermediate
+/// buffer.  Produces exactly the same result as [`dbscan`].
+pub fn dbscan_with(
+    points: &[Point],
+    params: &ClusteringParams,
+    scratch: &mut DbscanScratch,
+) -> DbscanResult {
     if points.is_empty() {
-        return DbscanResult {
-            clusters: Vec::new(),
-            noise: Vec::new(),
-        };
+        return DbscanResult::empty();
     }
 
-    let grid = NeighborGrid::build(points, params.eps);
-    let mut labels = vec![UNVISITED; points.len()];
+    scratch.build_grid(points, params.eps);
+    scratch.labels.clear();
+    scratch.labels.resize(points.len(), UNVISITED);
+    scratch.enqueued.reset(points.len());
     let mut clusters: Vec<Vec<usize>> = Vec::new();
 
     for start in 0..points.len() {
-        if labels[start] != UNVISITED {
+        if scratch.labels[start] != UNVISITED {
             continue;
         }
-        let neighbors = grid.neighbors_of(start);
-        if neighbors.len() < params.min_pts {
-            labels[start] = NOISE;
+        scratch.find_neighbors(points, start, params.eps);
+        if scratch.neighbors.len() < params.min_pts {
+            scratch.labels[start] = NOISE;
             continue;
         }
         // `start` is a core point: begin a new cluster and expand it.
         let cluster_id = clusters.len() as u32;
         clusters.push(Vec::new());
-        labels[start] = cluster_id;
+        scratch.labels[start] = cluster_id;
         clusters[cluster_id as usize].push(start);
 
-        let mut frontier: Vec<usize> = neighbors;
+        scratch.frontier.clear();
+        for i in 0..scratch.neighbors.len() {
+            let q = scratch.neighbors[i];
+            if !scratch.enqueued.get(q as usize) {
+                scratch.enqueued.set(q as usize, true);
+                scratch.frontier.push(q);
+            }
+        }
         let mut cursor = 0;
-        while cursor < frontier.len() {
-            let q = frontier[cursor];
+        while cursor < scratch.frontier.len() {
+            let q = scratch.frontier[cursor] as usize;
             cursor += 1;
-            if labels[q] == NOISE {
+            if scratch.labels[q] == NOISE {
                 // Border point previously marked noise: claim it.
-                labels[q] = cluster_id;
+                scratch.labels[q] = cluster_id;
                 clusters[cluster_id as usize].push(q);
                 continue;
             }
-            if labels[q] != UNVISITED {
+            if scratch.labels[q] != UNVISITED {
                 continue;
             }
-            labels[q] = cluster_id;
+            scratch.labels[q] = cluster_id;
             clusters[cluster_id as usize].push(q);
-            let q_neighbors = grid.neighbors_of(q);
-            if q_neighbors.len() >= params.min_pts {
+            scratch.find_neighbors(points, q, params.eps);
+            if scratch.neighbors.len() >= params.min_pts {
                 // `q` is itself a core point: its neighbourhood joins the
-                // expansion frontier.
-                frontier.extend(q_neighbors);
+                // expansion frontier (each point at most once — a duplicate
+                // enqueue would be skipped by the label check anyway).
+                for i in 0..scratch.neighbors.len() {
+                    let r = scratch.neighbors[i];
+                    if !scratch.enqueued.get(r as usize) {
+                        scratch.enqueued.set(r as usize, true);
+                        scratch.frontier.push(r);
+                    }
+                }
             }
         }
     }
 
     for members in &mut clusters {
         members.sort_unstable();
-        members.dedup();
     }
-    let noise = labels
-        .iter()
-        .enumerate()
-        .filter_map(|(idx, &l)| (l == NOISE).then_some(idx))
-        .collect();
-    DbscanResult { clusters, noise }
+    DbscanResult::from_labels(clusters, &scratch.labels)
+}
+
+/// The previous hash-grid implementation, kept as the ablation baseline for
+/// the `micro` benchmark (CSR arena vs per-snapshot `HashMap` grid) and as a
+/// second oracle for the equivalence tests.
+#[doc(hidden)]
+pub fn dbscan_hashgrid(points: &[Point], params: &ClusteringParams) -> DbscanResult {
+    use std::collections::HashMap;
+
+    if points.is_empty() {
+        return DbscanResult::empty();
+    }
+
+    let eps = params.eps;
+    let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        cells.entry(cell_key(p, eps)).or_default().push(idx);
+    }
+    let neighbors_of = |idx: usize| -> Vec<usize> {
+        let p = &points[idx];
+        let (cx, cy) = cell_key(p, eps);
+        let eps_sq = eps * eps;
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = cells.get(&(cx + dx, cy + dy)) {
+                    for &other in bucket {
+                        if points[other].distance_sq(p) <= eps_sq {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    };
+    run_with_neighbors(points, params, neighbors_of)
 }
 
 /// Brute-force DBSCAN used as a test oracle: identical semantics, O(n²)
 /// neighbour search.
 #[doc(hidden)]
 pub fn dbscan_bruteforce(points: &[Point], params: &ClusteringParams) -> DbscanResult {
-    // Same algorithm with a linear-scan neighbour query; kept separate so the
-    // grid-accelerated version can be validated against it.
-    const UNVISITED: u32 = u32::MAX;
-    const NOISE: u32 = u32::MAX - 1;
-
     let neighbors_of = |idx: usize| -> Vec<usize> {
         let eps_sq = params.eps * params.eps;
         points
@@ -168,7 +318,16 @@ pub fn dbscan_bruteforce(points: &[Point], params: &ClusteringParams) -> DbscanR
             .filter_map(|(j, q)| (points[idx].distance_sq(q) <= eps_sq).then_some(j))
             .collect()
     };
+    run_with_neighbors(points, params, neighbors_of)
+}
 
+/// The reference DBSCAN sweep shared by the two oracle implementations,
+/// parameterised by an allocating neighbour query.
+fn run_with_neighbors(
+    points: &[Point],
+    params: &ClusteringParams,
+    neighbors_of: impl Fn(usize) -> Vec<usize>,
+) -> DbscanResult {
     let mut labels = vec![UNVISITED; points.len()];
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     for start in 0..points.len() {
@@ -209,12 +368,7 @@ pub fn dbscan_bruteforce(points: &[Point], params: &ClusteringParams) -> DbscanR
         members.sort_unstable();
         members.dedup();
     }
-    let noise = labels
-        .iter()
-        .enumerate()
-        .filter_map(|(idx, &l)| (l == NOISE).then_some(idx))
-        .collect();
-    DbscanResult { clusters, noise }
+    DbscanResult::from_labels(clusters, &labels)
 }
 
 #[cfg(test)]
@@ -327,6 +481,22 @@ mod tests {
     }
 
     #[test]
+    fn labels_agree_with_cluster_membership() {
+        let p: Vec<Point> = (0..60)
+            .map(|i| Point::new((i % 9) as f64 * 2.5, (i / 9) as f64 * 2.5))
+            .collect();
+        let r = dbscan(&p, &ClusteringParams::new(3.0, 3));
+        for (ci, members) in r.clusters.iter().enumerate() {
+            for &m in members {
+                assert_eq!(r.label_of(m), Some(ci));
+            }
+        }
+        for &m in &r.noise {
+            assert_eq!(r.label_of(m), None);
+        }
+    }
+
+    #[test]
     fn grid_matches_bruteforce_on_structured_scene() {
         let mut coords = Vec::new();
         for i in 0..20 {
@@ -376,6 +546,23 @@ mod proptests {
             let fast = dbscan(&points, &params);
             let slow = dbscan_bruteforce(&points, &params);
             assert_eq!(fast, slow);
+        }
+    }
+
+    /// A scratch arena reused across many differently-sized snapshots gives
+    /// exactly the same result as a fresh run, the hash-grid ablation
+    /// baseline and the brute-force oracle.
+    #[test]
+    fn reused_scratch_equals_fresh_and_oracles() {
+        let mut rng = StdRng::seed_from_u64(0xd5);
+        let mut scratch = DbscanScratch::new();
+        for _ in 0..128 {
+            let points = random_points(&mut rng);
+            let params = random_params(&mut rng);
+            let reused = dbscan_with(&points, &params, &mut scratch);
+            assert_eq!(reused, dbscan(&points, &params));
+            assert_eq!(reused, dbscan_hashgrid(&points, &params));
+            assert_eq!(reused, dbscan_bruteforce(&points, &params));
         }
     }
 

@@ -22,7 +22,7 @@ pub mod prefilter;
 pub mod snapshot;
 pub mod stream;
 
-pub use dbscan::{dbscan, DbscanResult};
+pub use dbscan::{dbscan, dbscan_with, DbscanResult, DbscanScratch};
 pub use params::ClusteringParams;
 pub use prefilter::segment_prefilter;
 pub use snapshot::{ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet};

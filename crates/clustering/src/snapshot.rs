@@ -3,7 +3,7 @@
 use gpdt_geo::{hausdorff_distance, hausdorff_within, Mbr, Point};
 use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp, TrajectoryDatabase};
 
-use crate::dbscan::dbscan;
+use crate::dbscan::{dbscan_with, DbscanScratch};
 use crate::params::ClusteringParams;
 
 /// A snapshot cluster (Definition 1): a maximal group of objects whose
@@ -14,6 +14,7 @@ pub struct SnapshotCluster {
     members: Vec<ObjectId>,
     points: Vec<Point>,
     mbr: Mbr,
+    centroid: Point,
 }
 
 impl SnapshotCluster {
@@ -34,11 +35,13 @@ impl SnapshotCluster {
         let members: Vec<ObjectId> = pairs.iter().map(|(id, _)| *id).collect();
         let points: Vec<Point> = pairs.iter().map(|(_, p)| *p).collect();
         let mbr = Mbr::from_points(&points).expect("non-empty");
+        let centroid = Point::centroid(&points).expect("non-empty");
         SnapshotCluster {
             time,
             members,
             points,
             mbr,
+            centroid,
         }
     }
 
@@ -73,9 +76,9 @@ impl SnapshotCluster {
         &self.mbr
     }
 
-    /// Centroid of the member positions.
+    /// Centroid of the member positions (cached at construction).
     pub fn centroid(&self) -> Point {
-        Point::centroid(&self.points).expect("non-empty")
+        self.centroid
     }
 
     /// Returns `true` if the object is a member.
@@ -89,7 +92,14 @@ impl SnapshotCluster {
     }
 
     /// Threshold test `dH(self, other) ≤ delta` with early exit.
+    ///
+    /// The cached MBRs give a free lower bound first (Lemma 2:
+    /// `dmin(MBR) ≤ dH`), so far-apart clusters are rejected without touching
+    /// any point.
     pub fn within_hausdorff(&self, other: &SnapshotCluster, delta: f64) -> bool {
+        if self.mbr.min_distance(other.mbr()) > delta {
+            return false;
+        }
         hausdorff_within(&self.points, &other.points, delta)
     }
 }
@@ -172,9 +182,21 @@ impl ClusterDatabase {
         params: &ClusteringParams,
         interval: TimeInterval,
     ) -> Self {
+        Self::build_interval_with(db, params, interval, &mut DbscanScratch::new())
+    }
+
+    /// Like [`ClusterDatabase::build_interval`] but clusters through a
+    /// caller-provided scratch arena, so repeated builds (e.g. the streaming
+    /// clusterer's tick-by-tick batches) reuse their buffers across calls.
+    pub fn build_interval_with(
+        db: &TrajectoryDatabase,
+        params: &ClusteringParams,
+        interval: TimeInterval,
+        scratch: &mut DbscanScratch,
+    ) -> Self {
         let sets = interval
             .iter()
-            .map(|t| Self::cluster_snapshot(db, params, t))
+            .map(|t| Self::cluster_snapshot(db, params, t, scratch))
             .collect();
         ClusterDatabase { sets }
     }
@@ -197,8 +219,10 @@ impl ClusterDatabase {
         std::thread::scope(|scope| {
             for (tick_chunk, out_chunk) in ticks.chunks(chunk).zip(sets.chunks_mut(chunk)) {
                 scope.spawn(move || {
+                    // One scratch arena per worker, reused across its ticks.
+                    let mut scratch = DbscanScratch::new();
                     for (t, slot) in tick_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(Self::cluster_snapshot(db, params, *t));
+                        *slot = Some(Self::cluster_snapshot(db, params, *t, &mut scratch));
                     }
                 });
             }
@@ -212,10 +236,11 @@ impl ClusterDatabase {
         db: &TrajectoryDatabase,
         params: &ClusteringParams,
         t: Timestamp,
+        scratch: &mut DbscanScratch,
     ) -> SnapshotClusterSet {
         let snapshot = db.snapshot(t);
         let points: Vec<Point> = snapshot.positions.iter().map(|(_, p)| *p).collect();
-        let result = dbscan(&points, params);
+        let result = dbscan_with(&points, params, scratch);
         let clusters = result
             .clusters
             .into_iter()

@@ -10,6 +10,7 @@
 
 use gpdt_trajectory::{TimeInterval, Timestamp, TrajectoryDatabase};
 
+use crate::dbscan::DbscanScratch;
 use crate::params::ClusteringParams;
 use crate::snapshot::ClusterDatabase;
 
@@ -25,6 +26,10 @@ pub struct StreamingClusterer {
     params: ClusteringParams,
     threads: usize,
     next: Option<Timestamp>,
+    /// DBSCAN scratch arena reused across `advance` calls on the
+    /// single-threaded path, so tick-by-tick streaming stays allocation-free
+    /// in steady state.
+    scratch: DbscanScratch,
 }
 
 impl StreamingClusterer {
@@ -38,6 +43,7 @@ impl StreamingClusterer {
             params,
             threads,
             next: None,
+            scratch: DbscanScratch::new(),
         }
     }
 
@@ -88,12 +94,15 @@ impl StreamingClusterer {
             return ClusterDatabase::new();
         }
         self.next = Some(end + 1);
-        ClusterDatabase::build_parallel(
-            db,
-            &self.params,
-            TimeInterval::new(start, end),
-            self.threads,
-        )
+        let interval = TimeInterval::new(start, end);
+        // Small batches (the tick-by-tick streaming steady state) are not
+        // worth a thread spawn; run them through the long-lived scratch
+        // arena instead.  Results never depend on the path taken.
+        if self.threads == 1 || interval.len() < 2 {
+            ClusterDatabase::build_interval_with(db, &self.params, interval, &mut self.scratch)
+        } else {
+            ClusterDatabase::build_parallel(db, &self.params, interval, self.threads)
+        }
     }
 }
 

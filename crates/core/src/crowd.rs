@@ -3,9 +3,9 @@
 use gpdt_clustering::{ClusterDatabase, ClusterId};
 use gpdt_trajectory::{TimeInterval, Timestamp};
 
-use crate::par::{default_threads, par_map};
+use crate::par::{default_threads, par_map_with};
 use crate::params::CrowdParams;
-use crate::range_search::{RangeSearchStrategy, TickSearcher};
+use crate::range_search::{RangeSearchStrategy, SearcherScratch, TickSearcher};
 
 /// A crowd (Definition 2): a sequence of snapshot clusters at consecutive
 /// timestamps whose consecutive Hausdorff distances stay below `δ`, each with
@@ -90,14 +90,24 @@ impl Crowd {
     ///
     /// Panics if `next.time` is not exactly one tick after the current end.
     pub fn extended(&self, next: ClusterId) -> Crowd {
+        self.clone().into_extended(next)
+    }
+
+    /// Consumes the crowd and extends it by one more cluster, reusing its
+    /// id-sequence allocation (the discovery sweep's common single-extension
+    /// case never copies the sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next.time` is not exactly one tick after the current end.
+    pub fn into_extended(mut self, next: ClusterId) -> Crowd {
         assert_eq!(
             next.time,
             self.end_time() + 1,
             "extension cluster must be at the next timestamp"
         );
-        let mut clusters = self.clusters.clone();
-        clusters.push(next);
-        Crowd { clusters }
+        self.clusters.push(next);
+        self
     }
 
     /// The contiguous sub-crowd covering positions `[start, end)`.
@@ -254,16 +264,30 @@ impl CrowdDiscovery {
         // Build the per-tick search structures in parallel, a bounded window
         // at a time: each index is independent of the others and of the sweep
         // state, but holding one for every tick of a large domain at once
-        // would double peak memory, so the look-ahead is capped.
+        // would double peak memory, so the look-ahead is capped.  Each worker
+        // keeps one `SearcherScratch` for its whole chunk, so repeated index
+        // construction reuses its buffers across ticks.
         let ticks: Vec<Timestamp> = (start_time.max(domain.start)..=domain.end).collect();
         let window = (self.threads * 8).max(32);
+        // Reused sweep buffers: the range-search output, the qualifying
+        // extension ids of the current candidate and the per-tick absorbed
+        // flags.
+        let mut near: Vec<usize> = Vec::new();
+        let mut qualifying: Vec<usize> = Vec::new();
+        let mut absorbed: Vec<bool> = Vec::new();
+        let mut next_candidates: Vec<Crowd> = Vec::new();
         for tick_window in ticks.chunks(window) {
-            let searchers: Vec<TickSearcher<'_>> = par_map(tick_window, self.threads, |&t| {
-                let set = cdb
-                    .set_at(t)
-                    .expect("contiguous cluster database covers every tick of its domain");
-                TickSearcher::build(self.strategy, set, self.params.delta)
-            });
+            let searchers: Vec<TickSearcher<'_>> = par_map_with(
+                tick_window,
+                self.threads,
+                SearcherScratch::new,
+                |scratch, &t| {
+                    let set = cdb
+                        .set_at(t)
+                        .expect("contiguous cluster database covers every tick of its domain");
+                    TickSearcher::build_with(self.strategy, set, self.params.delta, scratch)
+                },
+            );
 
             for searcher in &searchers {
                 let set = searcher.cluster_set();
@@ -272,27 +296,41 @@ impl CrowdDiscovery {
                 // Indices of clusters at `t` that extended at least one
                 // candidate; they must not seed new candidates (they are
                 // already covered by a longer sequence).
-                let mut absorbed = vec![false; set.clusters.len()];
-                let mut next_candidates: Vec<Crowd> = Vec::new();
+                absorbed.clear();
+                absorbed.resize(set.clusters.len(), false);
+                next_candidates.clear();
 
                 for candidate in candidates.drain(..) {
                     let last = cdb
                         .cluster(candidate.last())
                         .expect("candidate clusters exist in the database");
-                    let near = searcher.search(last);
-                    let mut extended = false;
-                    for idx in near {
+                    searcher.search_into(last, &mut near);
+                    qualifying.clear();
+                    for &idx in &near {
                         if set.clusters[idx].len() < self.params.mc {
                             continue;
                         }
                         absorbed[idx] = true;
-                        extended = true;
-                        next_candidates.push(candidate.extended(ClusterId::new(t, idx)));
+                        qualifying.push(idx);
                     }
-                    if !extended && candidate.lifetime() >= self.params.kc {
-                        // Lemma 1: a crowd that cannot be extended by any
-                        // qualifying cluster at the next timestamp is closed.
-                        closed.push(candidate);
+                    match qualifying.split_last() {
+                        None => {
+                            if candidate.lifetime() >= self.params.kc {
+                                // Lemma 1: a crowd that cannot be extended by
+                                // any qualifying cluster at the next
+                                // timestamp is closed.
+                                closed.push(candidate);
+                            }
+                        }
+                        Some((&last_idx, rest)) => {
+                            for &idx in rest {
+                                next_candidates.push(candidate.extended(ClusterId::new(t, idx)));
+                            }
+                            // The final extension consumes the candidate,
+                            // reusing its id-sequence allocation.
+                            next_candidates
+                                .push(candidate.into_extended(ClusterId::new(t, last_idx)));
+                        }
                     }
                 }
 
@@ -303,7 +341,7 @@ impl CrowdDiscovery {
                         next_candidates.push(Crowd::single(ClusterId::new(t, idx)));
                     }
                 }
-                candidates = next_candidates;
+                std::mem::swap(&mut candidates, &mut next_candidates);
             }
         }
 

@@ -11,7 +11,8 @@
 //!   Algorithm 1: brute force, R-tree with `dmin` (SR), R-tree with `dside`
 //!   (IR) and the grid index (GRID).
 //! * [`bvs`] — bit-vector signatures and the word-parallel population-count
-//!   kernel used by TAD\*.
+//!   kernel used by TAD\* (re-exported from `gpdt-geo`, where the type lives
+//!   so lower layers can share it).
 //! * [`gathering`] — the [`Gathering`] pattern, participator computation and
 //!   the three detection algorithms (brute force, TAD, TAD\*).
 //! * [`engine`] — the streaming [`GatheringEngine`], the single
@@ -52,7 +53,6 @@
 //! assert_eq!(result.gatherings.len(), 1);
 //! ```
 
-pub mod bvs;
 pub mod crowd;
 pub mod engine;
 pub mod gathering;
@@ -62,16 +62,17 @@ pub mod params;
 pub mod pipeline;
 pub mod range_search;
 
-pub use bvs::BitVector;
 pub use crowd::{discover_closed_crowds, Crowd, CrowdDiscovery, CrowdDiscoveryResult};
 pub use engine::{CrowdRecord, EngineUpdate, GatheringEngine};
 pub use gathering::{detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant};
+pub use gpdt_geo::bvs;
+pub use gpdt_geo::bvs::BitVector;
 pub use incremental::{IncrementalDiscovery, IncrementalUpdate};
 pub use params::{
     ConfigError, CrowdParams, GatheringConfig, GatheringConfigBuilder, GatheringParams,
 };
 pub use pipeline::{DiscoveryResult, GatheringPipeline};
-pub use range_search::RangeSearchStrategy;
+pub use range_search::{RangeSearchStrategy, SearcherScratch, TickSearcher};
 
 // Re-export the parameter type of the clustering phase so downstream users
 // only need this crate for configuration.

@@ -26,9 +26,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), item| f(item))
+}
+
+/// Order-preserving parallel map with per-worker state:
+/// `out[i] = f(&mut state, &items[i])`, where each worker thread creates one
+/// `state` with `init` and reuses it across all items of its chunk.
+///
+/// This is the scratch-arena hook of the engine's fan-out stages: a worker
+/// building one search index per tick keeps a single reusable buffer set for
+/// its whole chunk instead of allocating per tick.  The state must never
+/// influence results (it is a cache/buffer), which keeps the output
+/// independent of the thread count.
+pub(crate) fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
@@ -36,8 +56,9 @@ where
     std::thread::scope(|scope| {
         for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(|| {
+                let mut state = init();
                 for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
+                    *slot = Some(f(&mut state, item));
                 }
             });
         }
@@ -67,5 +88,20 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stateful_map_preserves_order_and_reuses_state() {
+        let items: Vec<u64> = (0..57).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        for threads in [1, 2, 5, 100] {
+            // The per-worker state is a reused buffer; results must not
+            // depend on how it is shared across items.
+            let got = par_map_with(&items, threads, Vec::<u64>::new, |buf, &x| {
+                buf.push(x);
+                x + 1
+            });
+            assert_eq!(got, expected, "{threads} threads");
+        }
     }
 }

@@ -21,7 +21,7 @@
 
 use gpdt_clustering::{SnapshotCluster, SnapshotClusterSet};
 use gpdt_geo::GridGeometry;
-use gpdt_index::{rtree::Entry, GridClusterIndex, RTree};
+use gpdt_index::{rtree::Entry, GridBuildScratch, GridClusterIndex, RTree};
 
 /// The pruning scheme used by the crowd-discovery range search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -81,6 +81,23 @@ enum TickIndex {
     Grid { index: GridClusterIndex },
 }
 
+/// Reusable buffers for [`TickSearcher::build_with`]: the R-tree entry list
+/// and the grid index's build scratch.  One searcher is built per tick of the
+/// discovery sweep; a worker holding a `SearcherScratch` across its ticks
+/// rebuilds indexes without per-tick temporary allocations.
+#[derive(Default)]
+pub struct SearcherScratch {
+    entries: Vec<Entry>,
+    grid: GridBuildScratch,
+}
+
+impl SearcherScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        SearcherScratch::default()
+    }
+}
+
 /// A per-timestamp search structure over one snapshot-cluster set.
 pub struct TickSearcher<'a> {
     set: &'a SnapshotClusterSet,
@@ -92,17 +109,28 @@ impl<'a> TickSearcher<'a> {
     /// Builds the searcher for `set` under the chosen `strategy` and
     /// variation threshold `delta`.
     pub fn build(strategy: RangeSearchStrategy, set: &'a SnapshotClusterSet, delta: f64) -> Self {
+        Self::build_with(strategy, set, delta, &mut SearcherScratch::new())
+    }
+
+    /// Like [`TickSearcher::build`], reusing the caller's scratch buffers.
+    pub fn build_with(
+        strategy: RangeSearchStrategy,
+        set: &'a SnapshotClusterSet,
+        delta: f64,
+        scratch: &mut SearcherScratch,
+    ) -> Self {
         let index = match strategy {
             RangeSearchStrategy::BruteForce => TickIndex::Brute,
             RangeSearchStrategy::RTreeDmin | RangeSearchStrategy::RTreeDside => {
-                let entries: Vec<Entry> = set
-                    .clusters
-                    .iter()
-                    .enumerate()
-                    .map(|(id, c)| Entry { id, mbr: *c.mbr() })
-                    .collect();
+                scratch.entries.clear();
+                scratch.entries.extend(
+                    set.clusters
+                        .iter()
+                        .enumerate()
+                        .map(|(id, c)| Entry { id, mbr: *c.mbr() }),
+                );
                 TickIndex::RTree {
-                    tree: RTree::bulk_load(entries),
+                    tree: RTree::bulk_load_slice(&mut scratch.entries),
                     use_dside: strategy == RangeSearchStrategy::RTreeDside,
                 }
             }
@@ -111,7 +139,7 @@ impl<'a> TickSearcher<'a> {
                 let point_sets: Vec<&[gpdt_geo::Point]> =
                     set.clusters.iter().map(|c| c.points()).collect();
                 TickIndex::Grid {
-                    index: GridClusterIndex::build(geometry, &point_sets),
+                    index: GridClusterIndex::build_with(geometry, &point_sets, &mut scratch.grid),
                 }
             }
         };
@@ -126,23 +154,26 @@ impl<'a> TickSearcher<'a> {
     /// Indices (into the cluster set) of all clusters within Hausdorff
     /// distance `δ` of `query`.
     pub fn search(&self, query: &SnapshotCluster) -> Vec<usize> {
-        self.search_with_stats(query).0
+        let mut out = Vec::new();
+        self.search_into(query, &mut out);
+        out
     }
 
-    /// Like [`Self::search`] but also reports pruning statistics.
-    pub fn search_with_stats(&self, query: &SnapshotCluster) -> (Vec<usize>, SearchStats) {
-        let (results, candidates) = match &self.index {
+    /// Like [`Self::search`], writing the result into a reusable buffer and
+    /// returning the pruning statistics.
+    pub fn search_into(&self, query: &SnapshotCluster, out: &mut Vec<usize>) -> SearchStats {
+        out.clear();
+        let candidates = match &self.index {
             TickIndex::Brute => {
-                let candidates = self.set.clusters.len();
-                let results: Vec<usize> = self
-                    .set
-                    .clusters
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| query.within_hausdorff(c, self.delta))
-                    .map(|(i, _)| i)
-                    .collect();
-                (results, candidates)
+                out.extend(
+                    self.set
+                        .clusters
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| query.within_hausdorff(c, self.delta))
+                        .map(|(i, _)| i),
+                );
+                self.set.clusters.len()
             }
             TickIndex::RTree { tree, use_dside } => {
                 let ids = if *use_dside {
@@ -151,28 +182,36 @@ impl<'a> TickSearcher<'a> {
                     tree.range_by_min_distance(query.mbr(), self.delta)
                 };
                 let candidates = ids.len();
-                let results: Vec<usize> = ids
-                    .into_iter()
-                    .filter(|&i| query.within_hausdorff(&self.set.clusters[i], self.delta))
-                    .collect();
-                (results, candidates)
+                out.extend(
+                    ids.into_iter()
+                        .filter(|&i| query.within_hausdorff(&self.set.clusters[i], self.delta)),
+                );
+                candidates
             }
             TickIndex::Grid { index } => {
-                let query_cells = index.cell_list_of(query.points());
-                let candidate_ids = index.candidates(&query_cells);
+                // Bucket the query once; every candidate refinement reuses it.
+                let prepared = index.prepare_query(query.points());
+                let candidate_ids = index.candidates(prepared.cells());
                 let candidates = candidate_ids.len();
-                let results: Vec<usize> = candidate_ids
-                    .into_iter()
-                    .filter(|&i| index.within_delta(query.points(), &query_cells, i, self.delta))
-                    .collect();
-                (results, candidates)
+                out.extend(
+                    candidate_ids
+                        .into_iter()
+                        .filter(|&i| index.within_delta_prepared(&prepared, i, self.delta)),
+                );
+                candidates
             }
         };
-        let stats = SearchStats {
+        SearchStats {
             candidates,
-            results: results.len(),
-        };
-        (results, stats)
+            results: out.len(),
+        }
+    }
+
+    /// Like [`Self::search`] but also reports pruning statistics.
+    pub fn search_with_stats(&self, query: &SnapshotCluster) -> (Vec<usize>, SearchStats) {
+        let mut out = Vec::new();
+        let stats = self.search_into(query, &mut out);
+        (out, stats)
     }
 }
 

@@ -1,10 +1,17 @@
-//! Bit-vector signatures (BVS) for the TAD\* algorithm.
+//! Bit-vector signatures (BVS) and word-parallel set operations.
 //!
 //! §III-B.2 of the paper represents the occurrence of each object in a crowd
 //! as an `n`-bit vector (one bit per snapshot cluster).  Counting an object's
 //! occurrences then becomes a population count, and dividing a crowd into
 //! sub-crowds becomes a bitwise AND with a mask — the signatures themselves
 //! are built once and reused across all recursion levels of TAD\*.
+//!
+//! The same representation serves every timestamp-set computation in the
+//! workspace: the swarm miner's shared-timestamp sets are intersections
+//! ([`BitVector::and_into`]) and its pruning predicates subset tests
+//! ([`BitVector::is_subset_of`]), all word-parallel.  The type lives in this
+//! base crate so the clustering, baseline and core layers can share it;
+//! `gpdt-core` re-exports it under its historical `gpdt_core::bvs` path.
 //!
 //! [`BitVector`] is a little word-parallel bit vector.  Its population count
 //! is implemented with the paper's binary-tree-of-masks technique
@@ -33,7 +40,7 @@ pub fn popcount_tree(mut x: u64) -> u32 {
 }
 
 /// A fixed-length bit vector packed into 64-bit words.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitVector {
     words: Vec<u64>,
     len: usize,
@@ -116,6 +123,51 @@ impl BitVector {
             self.len
         );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Resizes the vector to `len` bits, all zero, reusing the existing
+    /// word storage.  This is the scratch-arena entry point: hot loops keep
+    /// one `BitVector` alive and `reset` it per iteration instead of
+    /// allocating a fresh one.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Replaces the contents of `self` with a copy of `other`, reusing the
+    /// existing word storage.
+    pub fn copy_from(&mut self, other: &BitVector) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Returns `true` if every set bit of `self` is also set in `other`
+    /// (`self & !other == 0`), word-parallel with early exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset_of(&self, other: &BitVector) -> bool {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Writes `self & other` into `out`, reusing `out`'s storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths of `self` and `other` differ.
+    pub fn and_into(&self, other: &BitVector, out: &mut BitVector) {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        out.words.clear();
+        out.words
+            .extend(self.words.iter().zip(&other.words).map(|(&a, &b)| a & b));
+        out.len = self.len;
     }
 
     /// Number of set bits, using the word-parallel tree popcount.
@@ -324,6 +376,47 @@ mod tests {
         let a = BitVector::zeros(10);
         let b = BitVector::zeros(11);
         let _ = a.and(&b);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears() {
+        let mut v = BitVector::ones(100);
+        v.reset(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 0);
+        v.set(69, true);
+        v.reset(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn copy_from_replicates_contents() {
+        let mut src = BitVector::zeros(90);
+        for i in [0, 63, 64, 89] {
+            src.set(i, true);
+        }
+        let mut dst = BitVector::ones(10);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn subset_and_and_into() {
+        let mut a = BitVector::zeros(150);
+        let mut b = BitVector::zeros(150);
+        for i in (0..150).step_by(6) {
+            a.set(i, true);
+        }
+        for i in (0..150).step_by(3) {
+            b.set(i, true);
+        }
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        let mut out = BitVector::zeros(1);
+        a.and_into(&b, &mut out);
+        assert_eq!(out, a.and(&b));
+        assert_eq!(out, a);
     }
 }
 

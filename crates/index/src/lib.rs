@@ -21,5 +21,5 @@
 pub mod grid;
 pub mod rtree;
 
-pub use grid::GridClusterIndex;
+pub use grid::{GridBuildScratch, GridClusterIndex, PreparedQuery};
 pub use rtree::RTree;

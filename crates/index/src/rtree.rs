@@ -95,6 +95,12 @@ impl RTree {
 
     /// Bulk-loads the tree with Sort-Tile-Recursive packing.
     pub fn bulk_load(mut entries: Vec<Entry>) -> Self {
+        Self::bulk_load_slice(&mut entries)
+    }
+
+    /// Like [`RTree::bulk_load`], packing from a mutable slice (sorted in
+    /// place) so callers can reuse one entry buffer across many builds.
+    pub fn bulk_load_slice(entries: &mut [Entry]) -> Self {
         let len = entries.len();
         if entries.is_empty() {
             return RTree::new();
@@ -113,8 +119,7 @@ impl RTree {
         let strip_size = len.div_ceil(strip_count);
 
         let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
-        for strip in entries.chunks(strip_size.max(1)) {
-            let mut strip: Vec<Entry> = strip.to_vec();
+        for strip in entries.chunks_mut(strip_size.max(1)) {
             strip.sort_by(|a, b| {
                 a.mbr
                     .center()

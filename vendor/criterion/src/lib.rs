@@ -60,18 +60,20 @@ impl Bencher {
     }
 }
 
-fn run_one(full_name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(full_name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) -> Option<Duration> {
     let mut bencher = Bencher { iters, mean: None };
     f(&mut bencher);
     match bencher.mean {
         Some(mean) => println!("bench {full_name:<48} {mean:>12.2?}/iter ({iters} iters)"),
         None => println!("bench {full_name:<48} (no measurement)"),
     }
+    bencher.mean
 }
 
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     iters: u64,
+    reports: Vec<(String, Duration)>,
 }
 
 impl Default for Criterion {
@@ -81,14 +83,27 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10);
-        Criterion { iters }
+        Criterion {
+            iters,
+            reports: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.iters, &mut f);
+        if let Some(mean) = run_one(name, self.iters, &mut f) {
+            self.reports.push((name.to_string(), mean));
+        }
         self
+    }
+
+    /// Measurements recorded so far: `(benchmark name, mean wall time per
+    /// iteration)`, in execution order.  An extension over the real
+    /// criterion API used by the `micro` binary to serialise its results as
+    /// a JSON report.
+    pub fn reports(&self) -> &[(String, Duration)] {
+        &self.reports
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -139,11 +154,10 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: F,
     ) -> &mut Self {
-        run_one(
-            &format!("{}/{}", self.name, id),
-            self.criterion.iters,
-            &mut f,
-        );
+        let full = format!("{}/{}", self.name, id);
+        if let Some(mean) = run_one(&full, self.criterion.iters, &mut f) {
+            self.criterion.reports.push((full, mean));
+        }
         self
     }
 
@@ -153,11 +167,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_one(
-            &format!("{}/{}", self.name, id),
-            self.criterion.iters,
-            &mut |b| f(b, input),
-        );
+        let full = format!("{}/{}", self.name, id);
+        if let Some(mean) = run_one(&full, self.criterion.iters, &mut |b| f(b, input)) {
+            self.criterion.reports.push((full, mean));
+        }
         self
     }
 
@@ -195,7 +208,10 @@ mod tests {
 
     #[test]
     fn group_runs_closures() {
-        let mut c = Criterion { iters: 3 };
+        let mut c = Criterion {
+            iters: 3,
+            reports: Vec::new(),
+        };
         let mut calls = 0u32;
         {
             let mut g = c.benchmark_group("t");
@@ -209,5 +225,8 @@ mod tests {
         }
         // One warmup + three timed iterations.
         assert_eq!(calls, 4);
+        // The measurement is recorded for report serialisation.
+        assert_eq!(c.reports().len(), 1);
+        assert_eq!(c.reports()[0].0, "t/f/1");
     }
 }
