@@ -1,0 +1,276 @@
+//! Store/query micro-benchmarks for the `gpdt-store` layer.
+//!
+//! Three tables, written to `BENCH_store.json`:
+//!
+//! * **log throughput** — appending synthetic pattern records to the segment
+//!   log, fsyncing, and replaying the segments on reopen;
+//! * **query latency** — region × time-window queries, window-only stabs,
+//!   per-object histories and top-k rankings against the indexed store,
+//!   with the equivalent full scan as the baseline;
+//! * **checkpoint/restore** — serialising and restoring a real
+//!   `GatheringEngine` mid-stream, with the checkpoint size.
+//!
+//! Sizes honour `GPDT_SCALE` like every other figure binary.  Run with
+//! `cargo run -p gpdt-bench --release --bin store`.
+
+use gpdt_bench::report::{measure, measure_with, secs, BenchReport, MeasureOpts, Table};
+use gpdt_bench::scenarios::{clustered_scenario, scaled};
+use gpdt_clustering::ClusterId;
+use gpdt_core::{Crowd, GatheringConfig, GatheringEngine};
+use gpdt_geo::Mbr;
+use gpdt_store::{
+    checkpoint_to_vec, restore_from_slice, PatternRecord, PatternStore, StoreOptions,
+    StoredGathering,
+};
+use gpdt_trajectory::{ObjectId, TimeInterval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn main() {
+    let mut report = BenchReport::new("store");
+    let records = synthetic_records(scaled(20_000));
+    log_throughput(&mut report, &records);
+    query_latency(&mut report, &records);
+    checkpoint_restore(&mut report);
+    report.write_logged();
+    println!(
+        "Expected shape: appends are sequential writes (hundreds of thousands of records/s), \
+         indexed queries stay microseconds while the scan baseline grows with the store, and \
+         restore cost is dominated by re-reading the cluster database."
+    );
+}
+
+/// A fresh unique directory under the system temp dir.
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpdt-store-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Synthesises `n` pattern records with clustered geometry: gatherings pop
+/// up around a few hundred venues over a long time axis, which gives the
+/// R-tree and interval index realistic selectivity.
+fn synthetic_records(n: usize) -> Vec<PatternRecord> {
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let venues: Vec<(f64, f64)> = (0..256)
+        .map(|_| {
+            (
+                rng.gen_range(-50_000.0..50_000.0),
+                rng.gen_range(-50_000.0..50_000.0),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let (vx, vy) = venues[rng.gen_range(0..venues.len())];
+            let x = vx + rng.gen_range(-400.0..400.0);
+            let y = vy + rng.gen_range(-400.0..400.0);
+            let w = rng.gen_range(50.0..600.0);
+            let h = rng.gen_range(50.0..600.0);
+            let start = rng.gen_range(0u32..100_000);
+            let len = rng.gen_range(15u32..120);
+            let crowd = Crowd::new(
+                (start..start + len)
+                    .map(|t| ClusterId::new(t, rng.gen_range(0usize..4)))
+                    .collect(),
+            );
+            let mut participators: Vec<ObjectId> = (0..rng.gen_range(10usize..40))
+                .map(|_| ObjectId::new(rng.gen_range(0u32..30_000)))
+                .collect();
+            participators.sort_unstable();
+            participators.dedup();
+            let interval = crowd.interval();
+            PatternRecord {
+                crowd,
+                mbr: Mbr::new(x, y, x + w, y + h),
+                gatherings: vec![StoredGathering {
+                    interval,
+                    mbr: Mbr::new(x, y, x + w * 0.8, y + h * 0.8),
+                    participators,
+                }],
+            }
+        })
+        .collect()
+}
+
+fn log_throughput(report: &mut BenchReport, records: &[PatternRecord]) {
+    let opts = MeasureOpts::from_env();
+    let mut table = Table::new(
+        format!("Segment log — {} records", records.len()),
+        &["operation", "runtime (s)", "records/s"],
+    );
+    let dir = bench_dir("log");
+
+    let (mut store, append_time) = measure(|| {
+        let mut store = PatternStore::open_with(
+            &dir,
+            StoreOptions {
+                max_segment_bytes: 4 * 1024 * 1024,
+            },
+        )
+        .expect("open bench store");
+        for record in records {
+            store.append(record.clone()).expect("append");
+        }
+        store
+    });
+    let per_sec = records.len() as f64 / append_time.as_secs_f64();
+    table.add_row(vec![
+        "append".into(),
+        secs(append_time),
+        format!("{per_sec:.0}"),
+    ]);
+
+    let ((), sync_time) = measure(|| store.sync().expect("sync"));
+    table.add_row(vec!["fsync".into(), secs(sync_time), "-".into()]);
+    let segments = store.segment_count();
+    drop(store);
+
+    let (reopened, replay_time) = measure_with(opts, || {
+        PatternStore::open(&dir).expect("reopen bench store")
+    });
+    assert_eq!(reopened.len(), records.len());
+    let per_sec = records.len() as f64 / replay_time.as_secs_f64();
+    table.add_row(vec![
+        format!("reopen/replay ({segments} segments)"),
+        secs(replay_time),
+        format!("{per_sec:.0}"),
+    ]);
+    report.print_and_add(table);
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn query_latency(report: &mut BenchReport, records: &[PatternRecord]) {
+    let opts = MeasureOpts::from_env();
+    let dir = bench_dir("query");
+    let mut store = PatternStore::open(&dir).expect("open bench store");
+    for record in records {
+        store.append(record.clone()).expect("append");
+    }
+    let queries = scaled(400).max(16);
+    let mut rng = StdRng::seed_from_u64(0x9E4C);
+    let boxes: Vec<(Mbr, TimeInterval)> = (0..queries)
+        .map(|_| {
+            let x = rng.gen_range(-50_000.0..50_000.0);
+            let y = rng.gen_range(-50_000.0..50_000.0);
+            let t = rng.gen_range(0u32..100_000);
+            (
+                Mbr::new(
+                    x,
+                    y,
+                    x + rng.gen_range(200.0..5_000.0),
+                    y + rng.gen_range(200.0..5_000.0),
+                ),
+                TimeInterval::new(t, t + rng.gen_range(10u32..2_000)),
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(
+        format!(
+            "Query latency — {} records, {queries} queries (avg µs/query)",
+            records.len()
+        ),
+        &["query", "indexed", "full scan"],
+    );
+    let micros = |total: std::time::Duration| -> String {
+        format!("{:.1}", total.as_secs_f64() * 1e6 / queries as f64)
+    };
+
+    let (indexed_hits, indexed) = measure_with(opts, || {
+        boxes
+            .iter()
+            .map(|(region, window)| store.query_gatherings(region, *window).len())
+            .sum::<usize>()
+    });
+    let (scan_hits, scanned) = measure_with(opts, || {
+        boxes
+            .iter()
+            .map(|(region, window)| {
+                store
+                    .records()
+                    .iter()
+                    .flat_map(|r| r.gatherings.iter())
+                    .filter(|g| {
+                        g.mbr.intersects(region)
+                            && g.interval.start <= window.end
+                            && g.interval.end >= window.start
+                    })
+                    .count()
+            })
+            .sum::<usize>()
+    });
+    assert_eq!(indexed_hits, scan_hits, "index must agree with the scan");
+    table.add_row(vec![
+        format!("region × window ({indexed_hits} hits)"),
+        micros(indexed),
+        micros(scanned),
+    ]);
+
+    let (_, window_time) = measure_with(opts, || {
+        boxes
+            .iter()
+            .map(|(_, window)| store.crowds_in_window(*window).len())
+            .sum::<usize>()
+    });
+    table.add_row(vec!["window only".into(), micros(window_time), "-".into()]);
+
+    let objects: Vec<ObjectId> = (0..queries as u32).map(|i| ObjectId::new(i * 37)).collect();
+    let (_, history_time) = measure_with(opts, || {
+        objects
+            .iter()
+            .map(|&o| store.object_history(o).len())
+            .sum::<usize>()
+    });
+    table.add_row(vec![
+        "object history".into(),
+        micros(history_time),
+        "-".into(),
+    ]);
+
+    let (_, topk_time) = measure_with(opts, || store.top_k_gatherings(10).len());
+    table.add_row(vec![
+        "top-10 by participators".into(),
+        format!("{:.1}", topk_time.as_secs_f64() * 1e6),
+        "-".into(),
+    ]);
+    report.print_and_add(table);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn checkpoint_restore(report: &mut BenchReport) {
+    let opts = MeasureOpts::from_env();
+    let taxis = scaled(600);
+    let minutes = 180u32;
+    let clustered = clustered_scenario(11, taxis, minutes);
+    let config = GatheringConfig::builder()
+        .clustering(clustered.clustering)
+        .crowd(gpdt_core::CrowdParams::new(15, 20, 300.0))
+        .gathering(gpdt_core::GatheringParams::new(10, 15))
+        .build()
+        .expect("valid parameters");
+    let mut engine = GatheringEngine::new(config);
+    engine.ingest_clusters(clustered.clusters.clone());
+
+    let (bytes, checkpoint_time) = measure_with(opts, || checkpoint_to_vec(&engine));
+    let (restored, restore_time) = measure_with(opts, || {
+        restore_from_slice(&bytes).expect("restore benchmark engine")
+    });
+    assert_eq!(restored.closed_crowds(), engine.closed_crowds());
+
+    let mut table = Table::new(
+        format!("Engine checkpoint — {taxis} taxis × {minutes} minutes"),
+        &["operation", "runtime (s)", "size (MiB)"],
+    );
+    let mib = bytes.len() as f64 / (1024.0 * 1024.0);
+    table.add_row(vec![
+        "checkpoint".into(),
+        secs(checkpoint_time),
+        format!("{mib:.2}"),
+    ]);
+    table.add_row(vec!["restore".into(), secs(restore_time), "-".into()]);
+    report.print_and_add(table);
+}

@@ -177,6 +177,69 @@ impl GatheringEngine {
         &self.cdb
     }
 
+    /// The finalized crowd records, in discovery order: closed crowds (with
+    /// their gatherings) whose last cluster is strictly before the frontier
+    /// time, so they can never change again.
+    ///
+    /// This is the stable part of the engine state: entries are only ever
+    /// appended, never mutated, which makes the slice the natural feed for a
+    /// durable pattern store (see the `gpdt-store` crate).
+    pub fn finalized_records(&self) -> &[CrowdRecord] {
+        &self.finalized
+    }
+
+    /// The extension frontier (the paper's `CS`): every cluster sequence
+    /// ending at the last ingested timestamp, paired with its cached
+    /// gatherings (empty for sequences still shorter than `kc`).
+    ///
+    /// Together with [`Self::finalized_records`], the configuration and the
+    /// cluster database this is the complete discovery state; `gpdt-store`
+    /// serialises it so a stream can resume after a crash.
+    pub fn frontier(&self) -> &[(Crowd, Vec<Gathering>)] {
+        &self.frontier
+    }
+
+    /// Reassembles an engine from externally persisted state (the restore
+    /// half of the `gpdt-store` checkpoint hooks).
+    ///
+    /// The caller must pass back exactly what the accessors of a previous
+    /// engine exposed: the configuration, algorithm choices, accumulated
+    /// cluster database, finalized records and frontier.  The streaming
+    /// clusterer is reconstructed from the configuration with its cursor
+    /// aligned to the end of `cdb` (its scratch state is a cache and never
+    /// affects results).  Thread count resets to the machine default; chain
+    /// [`Self::with_threads`] to override.
+    pub fn from_parts(
+        config: GatheringConfig,
+        strategy: RangeSearchStrategy,
+        variant: TadVariant,
+        cdb: ClusterDatabase,
+        finalized: Vec<CrowdRecord>,
+        frontier: Vec<(Crowd, Vec<Gathering>)>,
+    ) -> Self {
+        let threads = default_threads();
+        let mut clusterer = StreamingClusterer::new(config.clustering).with_threads(threads);
+        if let Some(domain) = cdb.time_domain() {
+            clusterer.seek(domain.end + 1);
+        }
+        debug_assert!(
+            frontier
+                .iter()
+                .all(|(c, _)| Some(c.end_time()) == cdb.time_domain().map(|d| d.end)),
+            "frontier sequences must end at the last ingested timestamp"
+        );
+        GatheringEngine {
+            config,
+            strategy,
+            variant,
+            threads,
+            clusterer,
+            cdb,
+            finalized,
+            frontier,
+        }
+    }
+
     /// The time interval ingested so far, or `None` before the first batch.
     pub fn time_domain(&self) -> Option<TimeInterval> {
         self.cdb.time_domain()

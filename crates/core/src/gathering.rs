@@ -70,6 +70,21 @@ pub struct Gathering {
 }
 
 impl Gathering {
+    /// Reassembles a gathering from its parts (the deserialisation path of
+    /// the `gpdt-store` codec); `participators` is sorted if it is not
+    /// already.
+    ///
+    /// The caller is responsible for the parts actually describing a
+    /// gathering of some cluster database — this constructor performs no
+    /// semantic validation beyond the `Crowd` invariants.
+    pub fn from_parts(crowd: Crowd, mut participators: Vec<ObjectId>) -> Self {
+        participators.sort_unstable();
+        Gathering {
+            crowd,
+            participators,
+        }
+    }
+
     /// The sub-crowd forming the gathering.
     pub fn crowd(&self) -> &Crowd {
         &self.crowd

@@ -1,0 +1,330 @@
+//! Engine checkpoints: serialise a [`GatheringEngine`] so a stream can
+//! resume after a crash at any tick boundary.
+//!
+//! A checkpoint captures the complete discovery state exposed by the engine's
+//! accessors — configuration, algorithm choices, the accumulated snapshot
+//! cluster database, the finalized crowd records and the Lemma 4 frontier.
+//! The streaming clusterer's state is fully derived (its parameters live in
+//! the configuration and its cursor is re-aligned to the end of the cluster
+//! database before every trajectory ingest), so it is reconstructed rather
+//! than stored; its scratch arena is a cache and never affects results.
+//!
+//! [`restore`](EngineCheckpoint::restore) therefore yields an engine whose
+//! observable behaviour — every future [`ingest`] and every accessor — is
+//! identical to the checkpointed one's, which is verified by the randomized
+//! `checkpoint_restore` equivalence test at the workspace root.
+//!
+//! [`ingest`]: GatheringEngine::ingest_clusters
+//!
+//! ```
+//! use gpdt_core::{GatheringConfig, GatheringEngine};
+//! use gpdt_store::EngineCheckpoint;
+//! use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+//!
+//! let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+//!     Trajectory::from_points(
+//!         ObjectId::new(i),
+//!         (0..8u32).map(|t| (t, (i as f64 * 10.0, t as f64))).collect::<Vec<_>>(),
+//!     )
+//! }));
+//! let config = GatheringConfig::builder()
+//!     .clustering(gpdt_core::ClusteringParams::new(60.0, 3))
+//!     .crowd(gpdt_core::CrowdParams::new(4, 4, 100.0))
+//!     .gathering(gpdt_core::GatheringParams::new(3, 3))
+//!     .build()
+//!     .unwrap();
+//!
+//! // Stream half the history, checkpoint, "crash", restore, stream the rest.
+//! let mut engine = GatheringEngine::new(config);
+//! engine.ingest_trajectories_until(&db, 3);
+//! let mut bytes = Vec::new();
+//! engine.checkpoint(&mut bytes).unwrap();
+//! drop(engine);
+//!
+//! let mut resumed = GatheringEngine::restore(&mut bytes.as_slice()).unwrap();
+//! resumed.ingest_trajectories(&db);
+//!
+//! let mut uninterrupted = GatheringEngine::new(config);
+//! uninterrupted.ingest_trajectories(&db);
+//! assert_eq!(resumed.gatherings(), uninterrupted.gatherings());
+//! ```
+
+use std::io::{self, Read, Write};
+
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::{
+    Crowd, CrowdRecord, Gathering, GatheringConfig, GatheringEngine, RangeSearchStrategy,
+    TadVariant,
+};
+
+use crate::codec::{read_header, write_header, Decode, DecodeError, Encode};
+
+/// Magic string at the start of every checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"GPDTCKP\0";
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Checkpoint/restore hooks for the discovery engine.
+///
+/// Implemented for [`GatheringEngine`]; callers write to / read from any
+/// [`Write`]/[`Read`] — a file for durability, a `Vec<u8>` for tests or for
+/// shipping state between processes.
+pub trait EngineCheckpoint: Sized {
+    /// Serialises the complete discovery state to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the writer.
+    fn checkpoint<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()>;
+
+    /// Reconstructs an engine from a checkpoint produced by
+    /// [`checkpoint`](Self::checkpoint).
+    ///
+    /// The thread count is reset to the machine default (it is a property of
+    /// the host, not of the discovery state); chain
+    /// [`GatheringEngine::with_threads`] to override.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the input is truncated, from an
+    /// unsupported format version, or internally inconsistent (e.g. a crowd
+    /// referencing a cluster missing from the stored database).
+    fn restore<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError>;
+}
+
+impl EngineCheckpoint for GatheringEngine {
+    fn checkpoint<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+        self.config().encode(w)?;
+        self.strategy().encode(w)?;
+        self.variant().encode(w)?;
+        self.cluster_database().encode(w)?;
+        self.finalized_records().encode(w)?;
+        self.frontier().encode(w)
+    }
+
+    fn restore<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        read_header(r, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+        let config = GatheringConfig::decode(r)?;
+        let strategy = RangeSearchStrategy::decode(r)?;
+        let variant = TadVariant::decode(r)?;
+        let cdb = ClusterDatabase::decode(r)?;
+        let finalized: Vec<CrowdRecord> = Vec::decode(r)?;
+        let frontier: Vec<(Crowd, Vec<Gathering>)> = Vec::decode(r)?;
+
+        // Cross-checks: the pieces decoded fine individually, but a crowd
+        // referencing a missing cluster or a frontier entry not ending at the
+        // frontier time would make the engine panic later; reject now.
+        let end = cdb.time_domain().map(|d| d.end);
+        let crowd_ok = |crowd: &Crowd| {
+            crowd
+                .cluster_ids()
+                .iter()
+                .all(|&id| cdb.cluster(id).is_some())
+        };
+        for record in &finalized {
+            if !crowd_ok(&record.crowd) || record.gatherings.iter().any(|g| !crowd_ok(g.crowd())) {
+                return Err(DecodeError::Corrupt(
+                    "finalized crowd references a cluster missing from the database",
+                ));
+            }
+        }
+        for (crowd, gatherings) in &frontier {
+            if !crowd_ok(crowd) || gatherings.iter().any(|g| !crowd_ok(g.crowd())) {
+                return Err(DecodeError::Corrupt(
+                    "frontier crowd references a cluster missing from the database",
+                ));
+            }
+            if Some(crowd.end_time()) != end {
+                return Err(DecodeError::Corrupt(
+                    "frontier crowd does not end at the last ingested timestamp",
+                ));
+            }
+        }
+        Ok(GatheringEngine::from_parts(
+            config, strategy, variant, cdb, finalized, frontier,
+        ))
+    }
+}
+
+/// Convenience wrapper: checkpoints an engine into a fresh byte vector.
+pub fn checkpoint_to_vec(engine: &GatheringEngine) -> Vec<u8> {
+    let mut out = Vec::new();
+    engine
+        .checkpoint(&mut out)
+        .expect("writing to a Vec never fails");
+    out
+}
+
+/// Convenience wrapper: restores an engine from a byte slice, requiring the
+/// slice to be consumed exactly.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input or trailing bytes.
+pub fn restore_from_slice(mut bytes: &[u8]) -> Result<GatheringEngine, DecodeError> {
+    let engine = GatheringEngine::restore(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(DecodeError::Corrupt("trailing bytes after checkpoint"));
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_core::{ClusteringParams, CrowdParams, GatheringParams};
+    use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+
+    fn config() -> GatheringConfig {
+        GatheringConfig::builder()
+            .clustering(ClusteringParams::new(60.0, 3))
+            .crowd(CrowdParams::new(3, 4, 100.0))
+            .gathering(GatheringParams::new(3, 3))
+            .build()
+            .unwrap()
+    }
+
+    fn lingering_db(objects: u32, duration: u32) -> TrajectoryDatabase {
+        TrajectoryDatabase::from_trajectories((0..objects).map(|i| {
+            Trajectory::from_points(
+                ObjectId::new(i),
+                (0..duration)
+                    .map(|t| (t, (i as f64 * 10.0, t as f64 * 2.0)))
+                    .collect::<Vec<_>>(),
+            )
+        }))
+    }
+
+    #[test]
+    fn empty_engine_roundtrips() {
+        let engine = GatheringEngine::new(config())
+            .with_strategy(RangeSearchStrategy::RTreeDside)
+            .with_variant(TadVariant::Tad);
+        let bytes = checkpoint_to_vec(&engine);
+        let back = restore_from_slice(&bytes).unwrap();
+        assert_eq!(back.config(), engine.config());
+        assert_eq!(back.strategy(), RangeSearchStrategy::RTreeDside);
+        assert_eq!(back.variant(), TadVariant::Tad);
+        assert!(back.time_domain().is_none());
+        assert!(back.closed_crowds().is_empty());
+    }
+
+    #[test]
+    fn mid_stream_state_roundtrips_exactly() {
+        let db = lingering_db(5, 12);
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories_until(&db, 7);
+
+        let bytes = checkpoint_to_vec(&engine);
+        let back = restore_from_slice(&bytes).unwrap();
+        assert_eq!(back.time_domain(), engine.time_domain());
+        assert_eq!(
+            back.finalized_records().len(),
+            engine.finalized_records().len()
+        );
+        assert_eq!(back.frontier().len(), engine.frontier().len());
+        assert_eq!(back.closed_crowds(), engine.closed_crowds());
+        assert_eq!(back.gatherings(), engine.gatherings());
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let db = lingering_db(4, 6);
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories(&db);
+        let bytes = checkpoint_to_vec(&engine);
+        for cut in 0..bytes.len() {
+            assert!(
+                restore_from_slice(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let engine = GatheringEngine::new(config());
+        let bytes = checkpoint_to_vec(&engine);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            restore_from_slice(&wrong_magic),
+            Err(DecodeError::BadMagic { .. })
+        ));
+
+        let mut wrong_version = bytes.clone();
+        // The version is the u16 right after the 8-byte magic.
+        wrong_version[8] = 0xFF;
+        wrong_version[9] = 0xFF;
+        assert!(matches!(
+            restore_from_slice(&wrong_version),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
+
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            restore_from_slice(&trailing),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn inconsistent_state_is_rejected() {
+        let db = lingering_db(5, 8);
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories(&db);
+
+        // Hand-craft a checkpoint whose frontier crowd ends too early: encode
+        // the same engine but with a frontier shifted out of its database.
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION).unwrap();
+        engine.config().encode(&mut bytes).unwrap();
+        engine.strategy().encode(&mut bytes).unwrap();
+        engine.variant().encode(&mut bytes).unwrap();
+        engine.cluster_database().encode(&mut bytes).unwrap();
+        engine.finalized_records().encode(&mut bytes).unwrap();
+        let bogus_frontier: Vec<(Crowd, Vec<Gathering>)> = vec![(
+            Crowd::new(vec![gpdt_clustering::ClusterId::new(0, 0)]),
+            Vec::new(),
+        )];
+        bogus_frontier.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            restore_from_slice(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn gathering_referencing_a_missing_cluster_is_rejected() {
+        let db = lingering_db(5, 8);
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories(&db);
+        assert!(!engine.frontier().is_empty());
+
+        // Re-encode the engine with a frontier gathering whose crowd points
+        // at a cluster index that does not exist: the record's own crowd is
+        // fine, so only the per-gathering cross-check can catch it.
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION).unwrap();
+        engine.config().encode(&mut bytes).unwrap();
+        engine.strategy().encode(&mut bytes).unwrap();
+        engine.variant().encode(&mut bytes).unwrap();
+        engine.cluster_database().encode(&mut bytes).unwrap();
+        engine.finalized_records().encode(&mut bytes).unwrap();
+        let (crowd, _) = engine.frontier()[0].clone();
+        let bogus_gathering = Gathering::from_parts(
+            Crowd::new(vec![gpdt_clustering::ClusterId::new(crowd.end_time(), 999)]),
+            Vec::new(),
+        );
+        let frontier: Vec<(Crowd, Vec<Gathering>)> = vec![(crowd, vec![bogus_gathering])];
+        frontier.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            restore_from_slice(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,486 @@
+//! A hand-rolled, versioned binary codec.
+//!
+//! The build container has no crates.io access, so — following the
+//! vendored-shim convention of this workspace — serialisation is implemented
+//! from scratch instead of pulling in `serde`/`bincode`.  The format is
+//! deliberately boring:
+//!
+//! * all integers are **little-endian fixed width** (`u64` for lengths and
+//!   `usize` values, so the format is identical across platforms);
+//! * `f64` is stored as its IEEE-754 bit pattern;
+//! * sequences are a `u64` element count followed by the elements;
+//! * every *file* (checkpoint, store segment) starts with an 8-byte magic
+//!   string and a `u16` format version, checked on read so stale readers fail
+//!   loudly instead of misinterpreting bytes.
+//!
+//! [`Encode`] writes a value, [`Decode`] reads one back.  Decoding never
+//! panics on malformed input: every length, tag and invariant is validated
+//! and violations surface as a [`DecodeError`].  Domain-type implementations
+//! live in [`crate::model`].
+
+use std::io::{self, Read, Write};
+
+/// Version of the value-encoding rules themselves (bumped when the layout of
+/// any encoded type changes incompatibly).
+pub const CODEC_VERSION: u16 = 1;
+
+/// Error produced when decoding malformed, truncated or incompatible input.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// An underlying I/O error (other than a clean end-of-file).
+    Io(io::Error),
+    /// The input ended in the middle of a value.
+    UnexpectedEof,
+    /// The file does not start with the expected magic string.
+    BadMagic {
+        /// The magic string the reader expected.
+        expected: [u8; 8],
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is newer than this reader supports (or
+    /// zero, which no writer ever produces).
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u16,
+        /// The newest version this reader understands.
+        supported: u16,
+    },
+    /// A record's stored checksum does not match its payload.
+    ChecksumMismatch,
+    /// The bytes were structurally readable but violate an invariant of the
+    /// decoded type (e.g. an empty crowd or a reversed time interval).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(err) => write!(f, "i/o error while decoding: {err}"),
+            DecodeError::UnexpectedEof => write!(f, "input ended in the middle of a value"),
+            DecodeError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            DecodeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this reader supports up to {supported})"
+            ),
+            DecodeError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(err: io::Error) -> Self {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            DecodeError::UnexpectedEof
+        } else {
+            DecodeError::Io(err)
+        }
+    }
+}
+
+/// A value that can be written to the binary format.
+pub trait Encode {
+    /// Writes the value to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error of the writer; encoding itself is
+    /// infallible.
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()>;
+}
+
+/// A value that can be read back from the binary format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the input is truncated, structurally
+    /// invalid or violates an invariant of the type.
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError>;
+}
+
+/// Encodes a value into a fresh byte vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value
+        .encode(&mut out)
+        .expect("writing to a Vec never fails");
+    out
+}
+
+/// Decodes a value from a byte slice, requiring the slice to be consumed
+/// exactly.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input or trailing bytes.
+pub fn decode_from_slice<T: Decode>(mut bytes: &[u8]) -> Result<T, DecodeError> {
+    let value = T::decode(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(DecodeError::Corrupt("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+/// Reads exactly `N` bytes, mapping a clean EOF to
+/// [`DecodeError::UnexpectedEof`].
+fn read_array<const N: usize, R: Read + ?Sized>(r: &mut R) -> Result<[u8; N], DecodeError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a file header: an 8-byte magic string followed by a `u16` version.
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn write_header<W: Write + ?Sized>(w: &mut W, magic: &[u8; 8], version: u16) -> io::Result<()> {
+    w.write_all(magic)?;
+    version.encode(w)
+}
+
+/// Reads and checks a file header written by [`write_header`]; returns the
+/// version found (which is `1..=supported`).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadMagic`] or [`DecodeError::UnsupportedVersion`]
+/// if the header does not match, besides the usual truncation errors.
+pub fn read_header<R: Read + ?Sized>(
+    r: &mut R,
+    magic: &[u8; 8],
+    supported: u16,
+) -> Result<u16, DecodeError> {
+    let found: [u8; 8] = read_array(r)?;
+    if &found != magic {
+        return Err(DecodeError::BadMagic {
+            expected: *magic,
+            found,
+        });
+    }
+    let version = u16::decode(r)?;
+    if version == 0 || version > supported {
+        return Err(DecodeError::UnsupportedVersion {
+            found: version,
+            supported,
+        });
+    }
+    Ok(version)
+}
+
+/// FNV-1a 64-bit hash, used as the per-record checksum of the segment log.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+macro_rules! int_codec {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+                w.write_all(&self.to_le_bytes())
+            }
+        }
+        impl Decode for $ty {
+            fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+                Ok(<$ty>::from_le_bytes(read_array(r)?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        (*self as u64).encode(w)
+    }
+}
+
+impl Decode for usize {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        usize::try_from(u64::decode(r)?)
+            .map_err(|_| DecodeError::Corrupt("usize value exceeds this platform's pointer width"))
+    }
+}
+
+impl Encode for f64 {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.to_bits().encode(w)
+    }
+}
+
+impl Decode for f64 {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for bool {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        u8::from(*self).encode(w)
+    }
+}
+
+impl Decode for bool {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Corrupt("boolean byte is neither 0 nor 1")),
+        }
+    }
+}
+
+impl Encode for str {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.len().encode(w)?;
+        w.write_all(self.as_bytes())
+    }
+}
+
+impl Encode for String {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.as_str().encode(w)
+    }
+}
+
+impl Decode for String {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let bytes: Vec<u8> = Vec::decode(r)?;
+        String::from_utf8(bytes).map_err(|_| DecodeError::Corrupt("string is not valid UTF-8"))
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.len().encode(w)?;
+        for item in self {
+            item.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.as_slice().encode(w)
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let len = usize::decode(r)?;
+        // A corrupt length must not trigger a huge up-front allocation: grow
+        // from a bounded initial capacity and let truncation errors surface
+        // while reading the elements.
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            None => false.encode(w),
+            Some(value) => {
+                true.encode(w)?;
+                value.encode(w)
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        if bool::decode(r)? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.0.encode(w)?;
+        self.1.encode(w)
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let a = A::decode(r)?;
+        let b = B::decode(r)?;
+        Ok((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode_to_vec(value);
+        let back: T = decode_from_slice(&bytes).expect("roundtrip decodes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for _ in 0..256 {
+            roundtrip(&rng.gen_range(0u64..u64::MAX));
+            roundtrip(&(rng.gen_range(0u64..u64::MAX) as u32));
+            roundtrip(&(rng.gen_range(0u64..u64::MAX) as u16));
+            roundtrip(&(rng.gen_range(0u64..u64::MAX) as u8));
+            roundtrip(&rng.gen_range(-1e12..1e12));
+            roundtrip(&(rng.gen_range(0u32..2) == 1));
+            roundtrip(&rng.gen_range(0usize..1_000_000));
+        }
+        roundtrip(&f64::INFINITY);
+        roundtrip(&0.0f64);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(&Vec::<u32>::new());
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&None::<u64>);
+        roundtrip(&Some(17u64));
+        roundtrip(&(3u32, vec![1u8, 2]));
+        roundtrip(&String::from("gatherings ✓"));
+        roundtrip(&String::new());
+    }
+
+    #[test]
+    fn every_truncation_of_a_value_fails_cleanly() {
+        let value = (vec![1u32, 2, 3], Some(String::from("tail")));
+        let bytes = encode_to_vec(&value);
+        for cut in 0..bytes.len() {
+            let err = decode_from_slice::<(Vec<u32>, Option<String>)>(&bytes[..cut])
+                .expect_err("truncated input must not decode");
+            assert!(
+                matches!(err, DecodeError::UnexpectedEof | DecodeError::Corrupt(_)),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&7u32);
+        bytes.push(0);
+        let err = decode_from_slice::<u32>(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_corrupt() {
+        let err = decode_from_slice::<bool>(&[2]).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)));
+        let mut bytes = encode_to_vec(&3usize);
+        bytes.extend_from_slice(&[0xff, 0xfe, 0xfd]);
+        let err = decode_from_slice::<String>(&bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn header_checks_magic_and_version() {
+        const MAGIC: [u8; 8] = *b"GPDTTEST";
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &MAGIC, 1).unwrap();
+        assert_eq!(read_header(&mut bytes.as_slice(), &MAGIC, 1).unwrap(), 1);
+
+        // Wrong magic.
+        let err = read_header(&mut bytes.as_slice(), b"GPDTELSE", 1).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic { .. }));
+
+        // Newer version than supported.
+        let mut newer = Vec::new();
+        write_header(&mut newer, &MAGIC, 2).unwrap();
+        let err = read_header(&mut newer.as_slice(), &MAGIC, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::UnsupportedVersion {
+                found: 2,
+                supported: 1
+            }
+        ));
+
+        // Version zero is never written and always rejected.
+        let mut zero = Vec::new();
+        write_header(&mut zero, &MAGIC, 0).unwrap();
+        let err = read_header(&mut zero.as_slice(), &MAGIC, 1).unwrap_err();
+        assert!(matches!(err, DecodeError::UnsupportedVersion { .. }));
+    }
+
+    #[test]
+    fn huge_length_prefix_fails_without_allocating() {
+        // A corrupt sequence length of u64::MAX must fail with EOF, not abort
+        // trying to reserve the capacity.
+        let bytes = encode_to_vec(&u64::MAX);
+        let err = decode_from_slice::<Vec<u8>>(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::UnexpectedEof | DecodeError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<DecodeError> = vec![
+            DecodeError::Io(io::Error::other("boom")),
+            DecodeError::UnexpectedEof,
+            DecodeError::BadMagic {
+                expected: *b"GPDTSEG\0",
+                found: *b"12345678",
+            },
+            DecodeError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            DecodeError::ChecksumMismatch,
+            DecodeError::Corrupt("example"),
+        ];
+        for case in cases {
+            assert!(!case.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Durability and queries for gathering-pattern discovery.
+//!
+//! The discovery engine of `gpdt-core` is memory-only: a crash loses the
+//! Lemma 4 frontier and every finalized crowd, and once discovery has moved
+//! on there is no way to ask *"which gatherings were active in region `R`
+//! during `[t1, t2]`?"*.  This crate adds the missing persistence layer, in
+//! three pieces:
+//!
+//! * [`codec`] + [`model`] — a hand-rolled, versioned binary codec (the build
+//!   container has no crates.io access, so no `serde`): [`Encode`]/[`Decode`]
+//!   implementations for trajectories, snapshot clusters, crowds, gatherings
+//!   and every parameter type, with strict validation so malformed files fail
+//!   with a [`DecodeError`] instead of a panic.
+//! * [`checkpoint`] — [`EngineCheckpoint`], serialising the **full**
+//!   [`GatheringEngine`](gpdt_core::GatheringEngine) state (configuration,
+//!   cluster database, finalized records, frontier) so a stream can resume
+//!   after a crash at any tick boundary with output identical to an
+//!   uninterrupted run.
+//! * [`store`] — the durable [`PatternStore`]: an append-only segment log of
+//!   finalized crowd records with an in-memory interval index over lifespans
+//!   and an R-tree (reusing `gpdt-index`) over crowd MBRs, answering
+//!   region × time-window queries, per-object participation history and
+//!   top-k gatherings by participator count.
+//! * [`service`] — [`MonitorService`], the concurrent façade: one ingestion
+//!   thread feeds the engine and the store while any number of caller
+//!   threads run queries (std scoped threads + channels, no runtime).
+//!
+//! The workspace-root tests `checkpoint_restore.rs` and `store_queries.rs`
+//! verify the two load-bearing equivalences: restore-at-any-boundary ≡
+//! uninterrupted discovery, and indexed queries ≡ full scans.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod model;
+pub mod service;
+pub mod store;
+
+pub use checkpoint::{
+    checkpoint_to_vec, restore_from_slice, EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use codec::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode, CODEC_VERSION};
+pub use service::{MonitorOutcome, MonitorService, ServiceHandle};
+pub use store::{
+    GatheringHit, PatternRecord, PatternStore, RecordId, StoreError, StoreOptions, StoredGathering,
+    TailRepair, SEGMENT_MAGIC, SEGMENT_VERSION,
+};

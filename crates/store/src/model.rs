@@ -1,0 +1,677 @@
+//! [`Encode`]/[`Decode`] implementations for the workspace's domain types.
+//!
+//! Every implementation validates the type's invariants on decode and reports
+//! violations as [`DecodeError::Corrupt`] instead of hitting the constructor
+//! panics the in-memory API uses for programmer errors: a store or checkpoint
+//! file is external input and must never abort the process.
+//!
+//! Types that cache derived geometry (cluster MBRs and centroids) are
+//! serialised from their defining data only — members and points — and the
+//! caches are deterministically recomputed by the constructors on decode, so
+//! a decoded value is always indistinguishable from the originally encoded
+//! one.
+
+use std::io::{self, Read, Write};
+
+use gpdt_clustering::{ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet};
+use gpdt_core::{
+    Crowd, CrowdParams, CrowdRecord, Gathering, GatheringConfig, GatheringParams,
+    RangeSearchStrategy, TadVariant,
+};
+use gpdt_geo::{Mbr, Point};
+use gpdt_trajectory::{ObjectId, Sample, TimeInterval, Trajectory, TrajectoryDatabase};
+
+use crate::codec::{Decode, DecodeError, Encode};
+use gpdt_clustering::ClusteringParams;
+
+impl Encode for Point {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.x.encode(w)?;
+        self.y.encode(w)
+    }
+}
+
+impl Decode for Point {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let x = f64::decode(r)?;
+        let y = f64::decode(r)?;
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(DecodeError::Corrupt("non-finite point coordinate"));
+        }
+        Ok(Point::new(x, y))
+    }
+}
+
+impl Encode for Mbr {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.min_x.encode(w)?;
+        self.min_y.encode(w)?;
+        self.max_x.encode(w)?;
+        self.max_y.encode(w)
+    }
+}
+
+impl Decode for Mbr {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let min_x = f64::decode(r)?;
+        let min_y = f64::decode(r)?;
+        let max_x = f64::decode(r)?;
+        let max_y = f64::decode(r)?;
+        let finite = [min_x, min_y, max_x, max_y].iter().all(|v| v.is_finite());
+        if !finite || min_x > max_x || min_y > max_y {
+            return Err(DecodeError::Corrupt("invalid MBR corners"));
+        }
+        Ok(Mbr::new(min_x, min_y, max_x, max_y))
+    }
+}
+
+impl Encode for ObjectId {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.raw().encode(w)
+    }
+}
+
+impl Decode for ObjectId {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        Ok(ObjectId::new(u32::decode(r)?))
+    }
+}
+
+impl Encode for TimeInterval {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.start.encode(w)?;
+        self.end.encode(w)
+    }
+}
+
+impl Decode for TimeInterval {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let start = u32::decode(r)?;
+        let end = u32::decode(r)?;
+        if start > end {
+            return Err(DecodeError::Corrupt("reversed time interval"));
+        }
+        Ok(TimeInterval::new(start, end))
+    }
+}
+
+impl Encode for Sample {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.time.encode(w)?;
+        self.position.encode(w)
+    }
+}
+
+impl Decode for Sample {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let time = u32::decode(r)?;
+        let position = Point::decode(r)?;
+        Ok(Sample::new(time, position))
+    }
+}
+
+impl Encode for Trajectory {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.id().encode(w)?;
+        self.samples().encode(w)
+    }
+}
+
+impl Decode for Trajectory {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let id = ObjectId::decode(r)?;
+        let samples: Vec<Sample> = Vec::decode(r)?;
+        if samples.is_empty() {
+            return Err(DecodeError::Corrupt("trajectory without samples"));
+        }
+        Ok(Trajectory::new(id, samples))
+    }
+}
+
+impl Encode for TrajectoryDatabase {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.len().encode(w)?;
+        for trajectory in self.iter() {
+            trajectory.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for TrajectoryDatabase {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let trajectories: Vec<Trajectory> = Vec::decode(r)?;
+        Ok(TrajectoryDatabase::from_trajectories(trajectories))
+    }
+}
+
+impl Encode for ClusteringParams {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.eps.encode(w)?;
+        self.min_pts.encode(w)
+    }
+}
+
+impl Decode for ClusteringParams {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let eps = f64::decode(r)?;
+        let min_pts = usize::decode(r)?;
+        if !(eps.is_finite() && eps > 0.0) || min_pts == 0 {
+            return Err(DecodeError::Corrupt("invalid clustering parameters"));
+        }
+        Ok(ClusteringParams::new(eps, min_pts))
+    }
+}
+
+impl Encode for CrowdParams {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.mc.encode(w)?;
+        self.kc.encode(w)?;
+        self.delta.encode(w)
+    }
+}
+
+impl Decode for CrowdParams {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let mc = usize::decode(r)?;
+        let kc = u32::decode(r)?;
+        let delta = f64::decode(r)?;
+        if mc == 0 || kc == 0 || !(delta.is_finite() && delta > 0.0) {
+            return Err(DecodeError::Corrupt("invalid crowd parameters"));
+        }
+        Ok(CrowdParams::new(mc, kc, delta))
+    }
+}
+
+impl Encode for GatheringParams {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.mp.encode(w)?;
+        self.kp.encode(w)
+    }
+}
+
+impl Decode for GatheringParams {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let mp = usize::decode(r)?;
+        let kp = u32::decode(r)?;
+        if mp == 0 || kp == 0 {
+            return Err(DecodeError::Corrupt("invalid gathering parameters"));
+        }
+        Ok(GatheringParams::new(mp, kp))
+    }
+}
+
+impl Encode for GatheringConfig {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.clustering.encode(w)?;
+        self.crowd.encode(w)?;
+        self.gathering.encode(w)
+    }
+}
+
+impl Decode for GatheringConfig {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let config = GatheringConfig {
+            clustering: ClusteringParams::decode(r)?,
+            crowd: CrowdParams::decode(r)?,
+            gathering: GatheringParams::decode(r)?,
+        };
+        config
+            .validate()
+            .map_err(|_| DecodeError::Corrupt("inconsistent gathering configuration"))?;
+        Ok(config)
+    }
+}
+
+impl Encode for RangeSearchStrategy {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        let tag: u8 = match self {
+            RangeSearchStrategy::BruteForce => 0,
+            RangeSearchStrategy::RTreeDmin => 1,
+            RangeSearchStrategy::RTreeDside => 2,
+            RangeSearchStrategy::Grid => 3,
+        };
+        tag.encode(w)
+    }
+}
+
+impl Decode for RangeSearchStrategy {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(RangeSearchStrategy::BruteForce),
+            1 => Ok(RangeSearchStrategy::RTreeDmin),
+            2 => Ok(RangeSearchStrategy::RTreeDside),
+            3 => Ok(RangeSearchStrategy::Grid),
+            _ => Err(DecodeError::Corrupt("unknown range-search strategy tag")),
+        }
+    }
+}
+
+impl Encode for TadVariant {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        let tag: u8 = match self {
+            TadVariant::BruteForce => 0,
+            TadVariant::Tad => 1,
+            TadVariant::TadStar => 2,
+        };
+        tag.encode(w)
+    }
+}
+
+impl Decode for TadVariant {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(TadVariant::BruteForce),
+            1 => Ok(TadVariant::Tad),
+            2 => Ok(TadVariant::TadStar),
+            _ => Err(DecodeError::Corrupt("unknown detection variant tag")),
+        }
+    }
+}
+
+impl Encode for ClusterId {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.time.encode(w)?;
+        self.index.encode(w)
+    }
+}
+
+impl Decode for ClusterId {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let time = u32::decode(r)?;
+        let index = usize::decode(r)?;
+        Ok(ClusterId::new(time, index))
+    }
+}
+
+impl Encode for SnapshotCluster {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.time().encode(w)?;
+        self.members().encode(w)?;
+        self.points().encode(w)
+    }
+}
+
+impl Decode for SnapshotCluster {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let time = u32::decode(r)?;
+        let members: Vec<ObjectId> = Vec::decode(r)?;
+        let points: Vec<Point> = Vec::decode(r)?;
+        if members.is_empty() {
+            return Err(DecodeError::Corrupt("empty snapshot cluster"));
+        }
+        if members.len() != points.len() {
+            return Err(DecodeError::Corrupt(
+                "cluster member and point lists differ in length",
+            ));
+        }
+        Ok(SnapshotCluster::new(time, members, points))
+    }
+}
+
+impl Encode for SnapshotClusterSet {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.time.encode(w)?;
+        self.clusters.encode(w)
+    }
+}
+
+impl Decode for SnapshotClusterSet {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let time = u32::decode(r)?;
+        let clusters: Vec<SnapshotCluster> = Vec::decode(r)?;
+        if clusters.iter().any(|c| c.time() != time) {
+            return Err(DecodeError::Corrupt(
+                "cluster timestamp differs from its set's timestamp",
+            ));
+        }
+        Ok(SnapshotClusterSet { time, clusters })
+    }
+}
+
+impl Encode for ClusterDatabase {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.len().encode(w)?;
+        for set in self.iter() {
+            set.encode(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl Decode for ClusterDatabase {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let sets: Vec<SnapshotClusterSet> = Vec::decode(r)?;
+        if sets.windows(2).any(|w| w[1].time != w[0].time + 1) {
+            return Err(DecodeError::Corrupt(
+                "cluster sets do not cover contiguous timestamps",
+            ));
+        }
+        Ok(ClusterDatabase::from_sets(sets))
+    }
+}
+
+impl Encode for Crowd {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.cluster_ids().encode(w)
+    }
+}
+
+impl Decode for Crowd {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let ids: Vec<ClusterId> = Vec::decode(r)?;
+        if ids.is_empty() {
+            return Err(DecodeError::Corrupt("crowd without clusters"));
+        }
+        if ids.windows(2).any(|w| w[1].time != w[0].time + 1) {
+            return Err(DecodeError::Corrupt(
+                "crowd clusters are not at consecutive timestamps",
+            ));
+        }
+        Ok(Crowd::new(ids))
+    }
+}
+
+impl Encode for Gathering {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.crowd().encode(w)?;
+        self.participators().encode(w)
+    }
+}
+
+impl Decode for Gathering {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let crowd = Crowd::decode(r)?;
+        let participators: Vec<ObjectId> = Vec::decode(r)?;
+        Ok(Gathering::from_parts(crowd, participators))
+    }
+}
+
+impl Encode for CrowdRecord {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.crowd.encode(w)?;
+        self.gatherings.encode(w)
+    }
+}
+
+impl Decode for CrowdRecord {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let crowd = Crowd::decode(r)?;
+        let gatherings: Vec<Gathering> = Vec::decode(r)?;
+        Ok(CrowdRecord { crowd, gatherings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_from_slice, encode_to_vec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode_to_vec(value);
+        let back: T = decode_from_slice(&bytes).expect("roundtrip decodes");
+        assert_eq!(&back, value);
+    }
+
+    /// Decoding any strict prefix must fail with a clean error, never panic.
+    fn assert_truncations_fail<T: Encode + Decode + std::fmt::Debug>(value: &T) {
+        let bytes = encode_to_vec(value);
+        for cut in 0..bytes.len() {
+            let err =
+                decode_from_slice::<T>(&bytes[..cut]).expect_err("truncated input must not decode");
+            assert!(
+                matches!(err, DecodeError::UnexpectedEof | DecodeError::Corrupt(_)),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    fn random_point(rng: &mut StdRng) -> Point {
+        Point::new(rng.gen_range(-1e6..1e6), rng.gen_range(-1e6..1e6))
+    }
+
+    fn random_cluster(rng: &mut StdRng, time: u32) -> SnapshotCluster {
+        let n = rng.gen_range(1..8usize);
+        let mut members: Vec<ObjectId> = Vec::with_capacity(n);
+        while members.len() < n {
+            let id = ObjectId::new(rng.gen_range(0u32..500));
+            if !members.contains(&id) {
+                members.push(id);
+            }
+        }
+        let points: Vec<Point> = (0..n).map(|_| random_point(rng)).collect();
+        SnapshotCluster::new(time, members, points)
+    }
+
+    fn random_cdb(rng: &mut StdRng) -> ClusterDatabase {
+        let start = rng.gen_range(0u32..50);
+        let ticks = rng.gen_range(1u32..8);
+        let sets: Vec<SnapshotClusterSet> = (start..start + ticks)
+            .map(|t| {
+                let clusters = (0..rng.gen_range(0usize..4))
+                    .map(|_| random_cluster(rng, t))
+                    .collect();
+                SnapshotClusterSet { time: t, clusters }
+            })
+            .collect();
+        ClusterDatabase::from_sets(sets)
+    }
+
+    fn random_crowd(rng: &mut StdRng) -> Crowd {
+        let start = rng.gen_range(0u32..100);
+        let len = rng.gen_range(1u32..10);
+        Crowd::new(
+            (start..start + len)
+                .map(|t| ClusterId::new(t, rng.gen_range(0usize..5)))
+                .collect(),
+        )
+    }
+
+    fn random_gathering(rng: &mut StdRng) -> Gathering {
+        let participators: Vec<ObjectId> = (0..rng.gen_range(0usize..12))
+            .map(|_| ObjectId::new(rng.gen_range(0u32..300)))
+            .collect();
+        Gathering::from_parts(random_crowd(rng), participators)
+    }
+
+    fn random_trajectory(rng: &mut StdRng) -> Trajectory {
+        let n = rng.gen_range(1usize..20);
+        let mut time = rng.gen_range(0u32..10);
+        let samples: Vec<Sample> = (0..n)
+            .map(|_| {
+                let s = Sample::new(time, random_point(rng));
+                time += rng.gen_range(1u32..5);
+                s
+            })
+            .collect();
+        Trajectory::new(ObjectId::new(rng.gen_range(0u32..100)), samples)
+    }
+
+    #[test]
+    fn geometry_and_id_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0xA1);
+        for _ in 0..128 {
+            roundtrip(&random_point(&mut rng));
+            let a = random_point(&mut rng);
+            let b = random_point(&mut rng);
+            roundtrip(&Mbr::new(
+                a.x.min(b.x),
+                a.y.min(b.y),
+                a.x.max(b.x),
+                a.y.max(b.y),
+            ));
+            roundtrip(&ObjectId::new(rng.gen_range(0u32..u32::MAX)));
+            let t1 = rng.gen_range(0u32..1000);
+            let t2 = rng.gen_range(0u32..1000);
+            roundtrip(&TimeInterval::new(t1.min(t2), t1.max(t2)));
+            roundtrip(&ClusterId::new(
+                rng.gen_range(0u32..1000),
+                rng.gen_range(0usize..64),
+            ));
+        }
+    }
+
+    #[test]
+    fn trajectory_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0xA2);
+        for _ in 0..64 {
+            roundtrip(&random_trajectory(&mut rng));
+        }
+        let db = TrajectoryDatabase::from_trajectories((0..5).map(|_| random_trajectory(&mut rng)));
+        let bytes = encode_to_vec(&db);
+        let back: TrajectoryDatabase = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.len(), db.len());
+        for (a, b) in back.iter().zip(db.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cluster_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0xA3);
+        for _ in 0..64 {
+            let time = rng.gen_range(0u32..100);
+            roundtrip(&random_cluster(&mut rng, time));
+            let cdb = random_cdb(&mut rng);
+            let bytes = encode_to_vec(&cdb);
+            let back: ClusterDatabase = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.time_domain(), cdb.time_domain());
+            for (a, b) in back.iter().zip(cdb.iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(0xA4);
+        for _ in 0..64 {
+            roundtrip(&random_crowd(&mut rng));
+            roundtrip(&random_gathering(&mut rng));
+            let record = CrowdRecord {
+                crowd: random_crowd(&mut rng),
+                gatherings: (0..rng.gen_range(0usize..4))
+                    .map(|_| random_gathering(&mut rng))
+                    .collect(),
+            };
+            let bytes = encode_to_vec(&record);
+            let back: CrowdRecord = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back.crowd, record.crowd);
+            assert_eq!(back.gatherings, record.gatherings);
+        }
+    }
+
+    #[test]
+    fn params_roundtrips() {
+        roundtrip(&ClusteringParams::paper_default());
+        roundtrip(&CrowdParams::paper_default());
+        roundtrip(&GatheringParams::paper_default());
+        roundtrip(&GatheringConfig::paper_default());
+        for strategy in RangeSearchStrategy::ALL {
+            roundtrip(&strategy);
+        }
+        for variant in TadVariant::ALL {
+            roundtrip(&variant);
+        }
+    }
+
+    #[test]
+    fn truncated_domain_values_fail_cleanly() {
+        let mut rng = StdRng::seed_from_u64(0xA5);
+        assert_truncations_fail(&random_cluster(&mut rng, 7));
+        assert_truncations_fail(&random_crowd(&mut rng));
+        assert_truncations_fail(&random_gathering(&mut rng));
+        assert_truncations_fail(&random_trajectory(&mut rng));
+        assert_truncations_fail(&GatheringConfig::paper_default());
+        assert_truncations_fail(&random_cdb(&mut rng));
+    }
+
+    #[test]
+    fn corrupt_domain_values_are_rejected() {
+        // Reversed interval.
+        let mut bytes = Vec::new();
+        9u32.encode(&mut bytes).unwrap();
+        3u32.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<TimeInterval>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Empty crowd.
+        let bytes = encode_to_vec(&Vec::<ClusterId>::new());
+        assert!(matches!(
+            decode_from_slice::<Crowd>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Crowd with a time gap.
+        let bytes = encode_to_vec(&vec![ClusterId::new(0, 0), ClusterId::new(2, 0)]);
+        assert!(matches!(
+            decode_from_slice::<Crowd>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Unknown enum tags.
+        assert!(matches!(
+            decode_from_slice::<RangeSearchStrategy>(&[9]),
+            Err(DecodeError::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_from_slice::<TadVariant>(&[9]),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Cluster member/point length mismatch.
+        let mut bytes = Vec::new();
+        0u32.encode(&mut bytes).unwrap();
+        vec![ObjectId::new(1), ObjectId::new(2)]
+            .encode(&mut bytes)
+            .unwrap();
+        vec![Point::new(0.0, 0.0)].encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<SnapshotCluster>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Non-contiguous cluster database.
+        let mut rng = StdRng::seed_from_u64(0xA6);
+        let sets = vec![
+            SnapshotClusterSet {
+                time: 0,
+                clusters: vec![random_cluster(&mut rng, 0)],
+            },
+            SnapshotClusterSet {
+                time: 2,
+                clusters: vec![random_cluster(&mut rng, 2)],
+            },
+        ];
+        let bytes = encode_to_vec(&sets);
+        assert!(matches!(
+            decode_from_slice::<ClusterDatabase>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Inconsistent configuration (kp > kc).
+        let mut bytes = Vec::new();
+        ClusteringParams::paper_default()
+            .encode(&mut bytes)
+            .unwrap();
+        CrowdParams::new(15, 5, 300.0).encode(&mut bytes).unwrap();
+        GatheringParams::new(10, 15).encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<GatheringConfig>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+
+        // Non-finite point.
+        let mut bytes = Vec::new();
+        f64::NAN.encode(&mut bytes).unwrap();
+        0.0f64.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<Point>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,600 @@
+//! The monitoring façade: one ingestion thread feeding a
+//! [`GatheringEngine`] and a [`PatternStore`], while any number of caller
+//! threads run store queries concurrently.
+//!
+//! Following the `par.rs` idiom of `gpdt-core`, the service is built from
+//! `std::thread::scope` and `std::sync::mpsc` channels — no runtime, no
+//! external dependencies.  [`MonitorService::run`] owns the engine for the
+//! duration of a scope: an ingest worker drains a command channel
+//! (cluster batches, flush barriers, checkpoint requests) and appends every
+//! newly finalized crowd record to the store behind an `RwLock`, while the
+//! caller's closure — and any threads it spawns — issues queries through the
+//! shared [`ServiceHandle`].  When the closure returns, the channel closes,
+//! the worker drains and exits, and the engine and store are handed back.
+//!
+//! Because the worker is the only writer and queries take the read lock,
+//! queries never block each other; a query racing an ingest sees either the
+//! store before or after that batch's records, never a torn state.  Call
+//! [`ServiceHandle::flush`] first for deterministic results.
+//!
+//! ```
+//! use gpdt_clustering::ClusterDatabase;
+//! use gpdt_core::{GatheringConfig, GatheringEngine};
+//! use gpdt_store::{MonitorService, PatternStore};
+//! use gpdt_trajectory::{ObjectId, TimeInterval, Trajectory, TrajectoryDatabase};
+//!
+//! // Five objects linger together for six ticks, then scatter — the crowd
+//! // they form is finalized (and stored) once the scattered ticks arrive.
+//! let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+//!     Trajectory::from_points(
+//!         ObjectId::new(i),
+//!         (0..10u32)
+//!             .map(|t| {
+//!                 let x = if t < 6 { f64::from(i) * 10.0 } else { f64::from(i) * 10_000.0 };
+//!                 (t, (x, t as f64))
+//!             })
+//!             .collect::<Vec<_>>(),
+//!     )
+//! }));
+//! let config = GatheringConfig::builder()
+//!     .clustering(gpdt_core::ClusteringParams::new(60.0, 3))
+//!     .crowd(gpdt_core::CrowdParams::new(4, 4, 100.0))
+//!     .gathering(gpdt_core::GatheringParams::new(3, 3))
+//!     .build()
+//!     .unwrap();
+//!
+//! let dir = std::env::temp_dir().join(format!("gpdt-doc-service-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = PatternStore::open(&dir).unwrap();
+//! let engine = GatheringEngine::new(config);
+//!
+//! let outcome = MonitorService::run(engine, store, |handle| {
+//!     // Feed the live stream one tick at a time...
+//!     for t in 0..10u32 {
+//!         let batch = ClusterDatabase::build_interval(
+//!             &db,
+//!             &config.clustering,
+//!             TimeInterval::new(t, t),
+//!         );
+//!         handle.ingest(batch);
+//!     }
+//!     // ...and query the durable history at any point.
+//!     handle.flush();
+//!     handle.top_k(3).len()
+//! });
+//! assert!(outcome.errors.is_empty());
+//! assert_eq!(outcome.value, 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::io;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Mutex, RwLock};
+
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::GatheringEngine;
+use gpdt_geo::Mbr;
+use gpdt_trajectory::{ObjectId, TimeInterval};
+
+use crate::checkpoint::EngineCheckpoint;
+use crate::store::{GatheringHit, PatternStore, RecordId};
+
+/// Commands processed by the ingest worker, in FIFO order.
+enum Command {
+    /// Ingest one cluster batch and store the newly finalized records.
+    Clusters(ClusterDatabase),
+    /// Barrier: acknowledged only after every earlier command finished.
+    Flush(SyncSender<()>),
+    /// Serialise the engine state (after flushing the store so checkpoint
+    /// and store stay in lockstep).
+    Checkpoint(SyncSender<io::Result<Vec<u8>>>),
+}
+
+/// Everything [`MonitorService::run`] hands back: the engine and store (for
+/// continued use, checkpointing or clean shutdown) plus the closure's result
+/// and any ingestion errors.
+#[derive(Debug)]
+pub struct MonitorOutcome<T> {
+    /// The engine, caught up with every ingested batch.
+    pub engine: GatheringEngine,
+    /// The store, holding every finalized record.
+    pub store: PatternStore,
+    /// The closure's return value.
+    pub value: T,
+    /// Ingestion-side errors (rejected batches, store I/O failures), in
+    /// occurrence order.  Ingestion continues past errors; an empty list
+    /// means every batch was applied and stored.
+    pub errors: Vec<String>,
+}
+
+/// The concurrent monitoring service.  See the [module docs](self).
+#[derive(Debug)]
+pub struct MonitorService;
+
+impl MonitorService {
+    /// Runs the service for the duration of `f`.
+    ///
+    /// The engine must be the producer of the store's existing records (a
+    /// freshly restored checkpoint next to its store, or a fresh engine next
+    /// to an empty store): on startup the worker appends any finalized
+    /// records the store does not hold yet, so a store lagging its engine's
+    /// checkpoint catches up automatically.  A store holding records the
+    /// engine never finalized — e.g. frontier crowds archived into it at a
+    /// final shutdown — is detected at startup and excluded from further
+    /// appends (reported via [`MonitorOutcome::errors`]); such an archive is
+    /// an end state for queries, not a resumable companion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ingest worker panicked (it does not panic on malformed
+    /// batches or I/O errors — those are reported via
+    /// [`MonitorOutcome::errors`]).
+    pub fn run<T, F>(engine: GatheringEngine, store: PatternStore, f: F) -> MonitorOutcome<T>
+    where
+        F: FnOnce(&ServiceHandle<'_>) -> T,
+    {
+        let stored = store.len();
+        let store = RwLock::new(store);
+        let errors = Mutex::new(Vec::new());
+        let (tx, rx) = mpsc::channel::<Command>();
+
+        let (value, engine) = std::thread::scope(|scope| {
+            let store_ref = &store;
+            let errors_ref = &errors;
+            let worker =
+                scope.spawn(move || ingest_loop(engine, rx, store_ref, errors_ref, stored));
+            let handle = ServiceHandle {
+                tx: &tx,
+                store: &store,
+            };
+            let value = f(&handle);
+            drop(tx); // closes the channel; the worker drains and exits
+            let engine = worker.join().expect("the ingest worker never panics");
+            (value, engine)
+        });
+
+        MonitorOutcome {
+            engine,
+            store: store.into_inner().expect("no thread holds the store lock"),
+            value,
+            errors: errors.into_inner().expect("no thread holds the error lock"),
+        }
+    }
+}
+
+/// The ingest worker: drains commands, feeds the engine, mirrors newly
+/// finalized records into the store.
+fn ingest_loop(
+    mut engine: GatheringEngine,
+    rx: Receiver<Command>,
+    store: &RwLock<PatternStore>,
+    errors: &Mutex<Vec<String>>,
+    mut stored: usize,
+) -> GatheringEngine {
+    let report = |message: String| {
+        errors
+            .lock()
+            .expect("error list lock is never poisoned")
+            .push(message);
+    };
+
+    // A restored engine may be ahead of its store (e.g. the store file is
+    // fresh); catch up before serving.  The reverse — a store holding *more*
+    // records than the engine has finalized — means the store is not this
+    // engine's companion (e.g. frontier crowds were archived into it at a
+    // clean shutdown); appending to it would interleave unrelated records,
+    // so durable storage halts instead.
+    let mut storing = if stored > engine.finalized_records().len() {
+        report(format!(
+            "store holds {stored} records but the engine has only {} finalized — \
+             not this engine's companion store; durable storage halted, discovery continues",
+            engine.finalized_records().len()
+        ));
+        false
+    } else {
+        store_new_finalized(&engine, store, &mut stored, &report)
+    };
+
+    while let Ok(command) = rx.recv() {
+        match command {
+            Command::Clusters(batch) => {
+                let Some(batch_domain) = batch.time_domain() else {
+                    continue; // empty batches are no-ops
+                };
+                // `ingest_clusters` treats a non-adjacent batch as a
+                // programmer error and panics; a long-running service
+                // rejects it instead and keeps serving.
+                let expected = engine.time_domain().map(|d| d.end + 1);
+                if let Some(expected) = expected {
+                    if batch_domain.start != expected {
+                        report(format!(
+                            "rejected batch starting at t={} (expected t={expected})",
+                            batch_domain.start
+                        ));
+                        continue;
+                    }
+                }
+                engine.ingest_clusters(batch);
+                if storing {
+                    storing = store_new_finalized(&engine, store, &mut stored, &report);
+                }
+            }
+            Command::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            Command::Checkpoint(reply) => {
+                // The advertised contract is a *consistent* (checkpoint,
+                // store) pair: retry any backfill a transient error left
+                // pending, and refuse the checkpoint if the store still
+                // lags the engine's finalized records.
+                if storing {
+                    storing = store_new_finalized(&engine, store, &mut stored, &report);
+                }
+                let result = if !storing {
+                    Err(io::Error::other(
+                        "durable storage is halted (see the service error list); checkpoint refused",
+                    ))
+                } else if stored < engine.finalized_records().len() {
+                    Err(io::Error::other(
+                        "store is lagging the engine's finalized records; checkpoint refused",
+                    ))
+                } else {
+                    store
+                        .write()
+                        .expect("store lock is never poisoned")
+                        .sync()
+                        .map(|()| {
+                            let mut bytes = Vec::new();
+                            engine
+                                .checkpoint(&mut bytes)
+                                .expect("writing to a Vec never fails");
+                            bytes
+                        })
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+    engine
+}
+
+/// Appends every engine-finalized record the store does not hold yet;
+/// returns `false` if durable storage must halt for the rest of the session.
+///
+/// The store must always hold a *prefix* of the engine's finalized records —
+/// crash recovery backfills `finalized[store.len()..]`, so skipping a failed
+/// record would leave a permanent hole and duplicate its successors.  On a
+/// (presumed transient) I/O error the cursor therefore stops at the failed
+/// record and retries on the next batch — a failed append rolls the log
+/// back, so that is safe.  An `InvalidInput` rejection can never succeed on
+/// retry, so it halts storage entirely (discovery keeps running) instead of
+/// livelocking and flooding the error list.
+fn store_new_finalized(
+    engine: &GatheringEngine,
+    store: &RwLock<PatternStore>,
+    stored: &mut usize,
+    report: &impl Fn(String),
+) -> bool {
+    let records = engine.finalized_records();
+    if *stored >= records.len() {
+        return true;
+    }
+    let mut store = store.write().expect("store lock is never poisoned");
+    for record in &records[*stored..] {
+        match store.append_crowd_record(record, engine.cluster_database()) {
+            Ok(_) => *stored += 1,
+            Err(err) if err.kind() == io::ErrorKind::InvalidInput => {
+                report(format!(
+                    "finalized record #{} is invalid ({err}); halting durable storage, \
+                     discovery continues",
+                    *stored
+                ));
+                return false;
+            }
+            Err(err) => {
+                report(format!(
+                    "could not store finalized record #{}: {err} (will retry)",
+                    *stored
+                ));
+                return true;
+            }
+        }
+    }
+    true
+}
+
+/// The caller-side handle of a running [`MonitorService`].
+///
+/// Cheap to share (`&ServiceHandle` is `Send + Sync`): spawn as many query
+/// threads as needed inside the service closure.
+#[derive(Debug)]
+pub struct ServiceHandle<'a> {
+    tx: &'a Sender<Command>,
+    store: &'a RwLock<PatternStore>,
+}
+
+impl ServiceHandle<'_> {
+    /// Enqueues one cluster batch for ingestion and returns immediately.
+    ///
+    /// Batches are applied in submission order.  A batch that does not start
+    /// right after the engine's current time domain is rejected (reported in
+    /// [`MonitorOutcome::errors`]); empty batches are ignored.
+    pub fn ingest(&self, batch: ClusterDatabase) {
+        self.tx
+            .send(Command::Clusters(batch))
+            .expect("the ingest worker outlives every handle");
+    }
+
+    /// Blocks until every previously enqueued batch has been ingested and
+    /// its finalized records stored.  Queries after a flush are
+    /// deterministic.
+    pub fn flush(&self) {
+        let (ack, wait) = mpsc::sync_channel(0);
+        self.tx
+            .send(Command::Flush(ack))
+            .expect("the ingest worker outlives every handle");
+        wait.recv().expect("the ingest worker answers every flush");
+    }
+
+    /// Flushes, fsyncs the store and serialises the engine state — a
+    /// consistent (checkpoint, store) pair for crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors; the engine serialisation itself cannot
+    /// fail.
+    pub fn checkpoint(&self) -> io::Result<Vec<u8>> {
+        let (reply, wait) = mpsc::sync_channel(0);
+        self.tx
+            .send(Command::Checkpoint(reply))
+            .expect("the ingest worker outlives every handle");
+        wait.recv()
+            .expect("the ingest worker answers every checkpoint request")
+    }
+
+    /// Number of records currently stored.
+    pub fn stored(&self) -> usize {
+        self.read().len()
+    }
+
+    /// The region × time-window query (see
+    /// [`PatternStore::query_gatherings`]); results are owned so the store
+    /// lock is released before returning.
+    pub fn query_gatherings(&self, region: &Mbr, window: TimeInterval) -> Vec<GatheringHit> {
+        self.read().query_gatherings(region, window)
+    }
+
+    /// Record ids of crowds active during `window`
+    /// (see [`PatternStore::crowds_in_window`]).
+    pub fn crowds_in_window(&self, window: TimeInterval) -> Vec<RecordId> {
+        self.read().crowds_in_window(window)
+    }
+
+    /// The participation history of one object
+    /// (see [`PatternStore::object_history`]).
+    pub fn object_history(&self, object: ObjectId) -> Vec<GatheringHit> {
+        self.read().object_history(object)
+    }
+
+    /// The `k` most-attended stored gatherings
+    /// (see [`PatternStore::top_k_gatherings`]).
+    pub fn top_k(&self, k: usize) -> Vec<GatheringHit> {
+        self.read().top_k_gatherings(k)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, PatternStore> {
+        self.store.read().expect("store lock is never poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_core::{
+        ClusteringParams, CrowdParams, GatheringConfig, GatheringParams, GatheringPipeline,
+    };
+    use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gpdt-service-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> GatheringConfig {
+        GatheringConfig::builder()
+            .clustering(ClusteringParams::new(60.0, 3))
+            .crowd(CrowdParams::new(3, 3, 100.0))
+            .gathering(GatheringParams::new(3, 3))
+            .build()
+            .unwrap()
+    }
+
+    /// Two separate lingering blobs, one after the other, so at least two
+    /// crowds finalize at different times.
+    fn scene() -> TrajectoryDatabase {
+        let mut trajectories = Vec::new();
+        for i in 0..4u32 {
+            trajectories.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (0..8u32)
+                    .map(|t| (t, (i as f64 * 10.0, t as f64)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        for i in 10..14u32 {
+            trajectories.push(Trajectory::from_points(
+                ObjectId::new(i),
+                (10..20u32)
+                    .map(|t| (t, (5_000.0 + f64::from(i) * 10.0, t as f64)))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        TrajectoryDatabase::from_trajectories(trajectories)
+    }
+
+    fn tick_batches(db: &TrajectoryDatabase) -> Vec<ClusterDatabase> {
+        let domain = db.time_domain().unwrap();
+        domain
+            .iter()
+            .map(|t| {
+                ClusterDatabase::build_interval(db, &config().clustering, TimeInterval::new(t, t))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_matches_offline_run_and_serves_queries() {
+        let db = scene();
+        let reference = GatheringPipeline::new(config()).discover(&db);
+        assert!(reference.crowd_count() >= 2);
+
+        let dir = temp_dir("match");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = GatheringEngine::new(config());
+        let outcome = MonitorService::run(engine, store, |handle| {
+            for batch in tick_batches(&db) {
+                handle.ingest(batch);
+            }
+            handle.flush();
+            (
+                handle.stored(),
+                handle.top_k(10),
+                handle.object_history(ObjectId::new(0)),
+            )
+        });
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+
+        // The engine matches an offline batch run...
+        assert_eq!(outcome.engine.closed_crowds(), reference.crowds);
+        assert_eq!(outcome.engine.gatherings(), reference.gatherings);
+
+        // ...and the store holds every *finalized* record (the final
+        // frontier crowd only finalizes once later data arrives).
+        let (stored, top, history) = outcome.value;
+        assert_eq!(stored, outcome.engine.finalized_records().len());
+        assert!(!top.is_empty());
+        assert!(!history.is_empty());
+
+        // Reopening the store finds the same records.
+        drop(outcome.store);
+        let reopened = PatternStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), stored);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_queries_run_during_ingestion() {
+        let db = scene();
+        let dir = temp_dir("concurrent");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = GatheringEngine::new(config());
+        let outcome = MonitorService::run(engine, store, |handle| {
+            std::thread::scope(|scope| {
+                let ingester = scope.spawn(|| {
+                    for batch in tick_batches(&db) {
+                        handle.ingest(batch);
+                    }
+                    handle.flush();
+                });
+                // Hammer queries from two threads while ingestion runs; the
+                // count is monotone because the store is append-only.
+                let mut watchers = Vec::new();
+                for _ in 0..2 {
+                    watchers.push(scope.spawn(|| {
+                        let mut last = 0;
+                        for _ in 0..200 {
+                            let now = handle.stored();
+                            assert!(now >= last, "store count went backwards");
+                            last = now;
+                            let _ = handle.top_k(3);
+                            let _ = handle.crowds_in_window(TimeInterval::new(0, 100));
+                        }
+                    }));
+                }
+                ingester.join().unwrap();
+                for watcher in watchers {
+                    watcher.join().unwrap();
+                }
+            });
+            handle.stored()
+        });
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        assert_eq!(outcome.value, outcome.engine.finalized_records().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_adjacent_batches_are_rejected_not_fatal() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let dir = temp_dir("reject");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = GatheringEngine::new(config());
+        let outcome = MonitorService::run(engine, store, |handle| {
+            handle.ingest(batches[0].clone());
+            handle.ingest(batches[5].clone()); // gap: rejected
+            handle.ingest(batches[1].clone()); // still accepted
+            handle.flush();
+        });
+        assert_eq!(outcome.errors.len(), 1);
+        assert!(
+            outcome.errors[0].contains("rejected batch"),
+            "{:?}",
+            outcome.errors
+        );
+        assert_eq!(outcome.engine.time_domain(), Some(TimeInterval::new(0, 1)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_through_the_service_is_restorable() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let dir = temp_dir("checkpoint");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = GatheringEngine::new(config());
+        let outcome = MonitorService::run(engine, store, |handle| {
+            for batch in batches.iter().take(12).cloned() {
+                handle.ingest(batch);
+            }
+            handle.checkpoint().unwrap()
+        });
+        assert!(outcome.errors.is_empty());
+
+        // Restore mid-stream, feed the rest, compare with the uninterrupted
+        // engine continuing from the same point.
+        let mut restored = crate::checkpoint::restore_from_slice(&outcome.value).unwrap();
+        let mut uninterrupted = outcome.engine;
+        for batch in batches.iter().skip(12) {
+            restored.ingest_clusters(batch.clone());
+            uninterrupted.ingest_clusters(batch.clone());
+        }
+        assert_eq!(restored.closed_crowds(), uninterrupted.closed_crowds());
+        assert_eq!(restored.gatherings(), uninterrupted.gatherings());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restored_engine_backfills_a_lagging_store() {
+        let db = scene();
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories(&db);
+        let finalized = engine.finalized_records().len();
+        assert!(finalized >= 1);
+
+        // Fresh (empty) store next to an engine with history: the worker
+        // catches the store up before processing any command.
+        let dir = temp_dir("backfill");
+        let store = PatternStore::open(&dir).unwrap();
+        let outcome = MonitorService::run(engine, store, |handle| {
+            handle.flush();
+            handle.stored()
+        });
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.value, finalized);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

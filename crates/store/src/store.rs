@@ -1,0 +1,1294 @@
+//! The durable pattern store: an append-only segment log of finalized crowd
+//! records with in-memory query indexes.
+//!
+//! # On-disk format
+//!
+//! A store is a directory of numbered segment files (`seg-00000001.gpdt`,
+//! `seg-00000002.gpdt`, ...).  Each segment starts with an 8-byte magic
+//! string and a `u16` format version, followed by a sequence of framed
+//! records:
+//!
+//! ```text
+//! ┌─────────────┬───────────────────┬──────────────────┐
+//! │ u32 length  │ payload (length)  │ u64 FNV-1a sum   │
+//! └─────────────┴───────────────────┴──────────────────┘
+//! ```
+//!
+//! The payload is one [`PatternRecord`] in the [`crate::codec`] format.  The
+//! log is append-only: records are never rewritten, and a new segment is
+//! started once the active one exceeds
+//! [`StoreOptions::max_segment_bytes`].  On [`PatternStore::open`] every
+//! segment is replayed to rebuild the in-memory state; a torn tail in the
+//! *last* segment (the crash-during-append case) is truncated away, while
+//! damage anywhere else is reported as an error.
+//!
+//! # Query indexes
+//!
+//! Replay (and every append) maintains three in-memory indexes:
+//!
+//! * an **interval index** over crowd lifespans, answering "which records
+//!   were active during `[t1, t2]`";
+//! * an **R-tree** (reusing [`gpdt_index::RTree`]) over crowd MBRs, answering
+//!   "which records touched region `R`";
+//! * a **participation index** mapping each object to the gatherings it
+//!   participated in.
+//!
+//! [`PatternStore::query_gatherings`] combines the first two for the
+//! region × time-window query of the ROADMAP's monitoring story;
+//! [`PatternStore::object_history`] and [`PatternStore::top_k_gatherings`]
+//! serve the per-object and ranking paths.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::{Crowd, CrowdRecord, GatheringEngine};
+use gpdt_geo::Mbr;
+use gpdt_index::rtree::Entry;
+use gpdt_index::RTree;
+use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp};
+
+use crate::codec::{
+    decode_from_slice, encode_to_vec, fnv1a, read_header, write_header, Decode, DecodeError, Encode,
+};
+
+/// Magic string at the start of every segment file.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"GPDTSEG\0";
+
+/// Current segment format version.
+pub const SEGMENT_VERSION: u16 = 1;
+
+/// Number of bytes of a segment header.
+const SEGMENT_HEADER_BYTES: u64 = 10;
+
+/// Identifier of a record within a store: its zero-based append position.
+pub type RecordId = usize;
+
+/// One gathering as stored: its lifespan, bounding rectangle and
+/// participator set.
+///
+/// Unlike the in-engine [`gpdt_core::Gathering`], the stored form carries its
+/// own geometry — the store outlives the engine's cluster database, so
+/// region queries cannot chase [`gpdt_clustering::ClusterId`] references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredGathering {
+    /// The gathering's lifespan.
+    pub interval: TimeInterval,
+    /// Union of the MBRs of the gathering's snapshot clusters.
+    pub mbr: Mbr,
+    /// The participators, sorted by object id.
+    pub participators: Vec<ObjectId>,
+}
+
+/// One finalized crowd with its gatherings, in storable form: the crowd's
+/// cluster references plus the denormalised geometry needed for queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternRecord {
+    /// The closed crowd (cluster references, for traceability back into a
+    /// cluster database).
+    pub crowd: Crowd,
+    /// Union of the MBRs of the crowd's snapshot clusters.
+    pub mbr: Mbr,
+    /// The closed gatherings detected within the crowd.
+    pub gatherings: Vec<StoredGathering>,
+}
+
+impl PatternRecord {
+    /// Converts an engine [`CrowdRecord`] into storable form, resolving the
+    /// cluster references against `cdb` to compute the crowd and gathering
+    /// MBRs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record references clusters missing from `cdb` (engine
+    /// records always resolve against the engine's own database).
+    pub fn from_crowd_record(record: &CrowdRecord, cdb: &ClusterDatabase) -> Self {
+        let mbr = crowd_mbr(&record.crowd, cdb);
+        let gatherings = record
+            .gatherings
+            .iter()
+            .map(|g| StoredGathering {
+                interval: g.crowd().interval(),
+                mbr: crowd_mbr(g.crowd(), cdb),
+                participators: g.participators().to_vec(),
+            })
+            .collect();
+        PatternRecord {
+            crowd: record.crowd.clone(),
+            mbr,
+            gatherings,
+        }
+    }
+
+    /// The crowd's lifespan.
+    pub fn interval(&self) -> TimeInterval {
+        self.crowd.interval()
+    }
+
+    /// Checks the containment invariant the store's query indexes rely on:
+    /// every gathering's MBR lies within the record's MBR, every gathering's
+    /// lifespan lies within the crowd's, and participator lists are sorted.
+    ///
+    /// Records produced by [`PatternRecord::from_crowd_record`] satisfy this
+    /// by construction (a gathering is a sub-crowd); hand-built records are
+    /// checked by [`PatternStore::append`], because a gathering sticking out
+    /// of its record's MBR would be invisible to the R-tree pruning of
+    /// [`PatternStore::query_gatherings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let interval = self.crowd.interval();
+        for gathering in &self.gatherings {
+            if !self.mbr.contains_mbr(&gathering.mbr) {
+                return Err("gathering MBR extends outside the record MBR");
+            }
+            if gathering.interval.start < interval.start || gathering.interval.end > interval.end {
+                return Err("gathering lifespan extends outside the crowd lifespan");
+            }
+            if gathering.participators.windows(2).any(|w| w[0] > w[1]) {
+                return Err("gathering participators are not sorted");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Union of the MBRs of a crowd's snapshot clusters.
+fn crowd_mbr(crowd: &Crowd, cdb: &ClusterDatabase) -> Mbr {
+    let mut ids = crowd.cluster_ids().iter();
+    let first = ids.next().expect("crowds are non-empty");
+    let mut mbr = *cdb
+        .cluster(*first)
+        .expect("crowd references a cluster missing from the database")
+        .mbr();
+    for id in ids {
+        mbr.expand_to_mbr(
+            cdb.cluster(*id)
+                .expect("crowd references a cluster missing from the database")
+                .mbr(),
+        );
+    }
+    mbr
+}
+
+impl Encode for StoredGathering {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.interval.encode(w)?;
+        self.mbr.encode(w)?;
+        self.participators.encode(w)
+    }
+}
+
+impl Decode for StoredGathering {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let interval = TimeInterval::decode(r)?;
+        let mbr = Mbr::decode(r)?;
+        let participators: Vec<ObjectId> = Vec::decode(r)?;
+        Ok(StoredGathering {
+            interval,
+            mbr,
+            participators,
+        })
+    }
+}
+
+impl Encode for PatternRecord {
+    fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        self.crowd.encode(w)?;
+        self.mbr.encode(w)?;
+        self.gatherings.encode(w)
+    }
+}
+
+impl Decode for PatternRecord {
+    fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
+        let crowd = Crowd::decode(r)?;
+        let mbr = Mbr::decode(r)?;
+        let gatherings: Vec<StoredGathering> = Vec::decode(r)?;
+        Ok(PatternRecord {
+            crowd,
+            mbr,
+            gatherings,
+        })
+    }
+}
+
+/// A query hit: one stored gathering together with the record it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatheringHit {
+    /// The record the gathering was stored under.
+    pub record: RecordId,
+    /// Position of the gathering within that record.
+    pub index: usize,
+    /// The gathering itself.
+    pub gathering: StoredGathering,
+}
+
+/// Tuning knobs of a [`PatternStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Segment rotation threshold: once the active segment reaches this many
+    /// bytes, the next append starts a new segment.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            // Small enough that a long-running monitor produces several
+            // segments (the compaction unit), large enough that a segment
+            // amortises its header and file-system metadata.
+            max_segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Error opening or replaying a store directory.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error while listing, opening or truncating segments.
+    Io(io::Error),
+    /// A segment other than the last one is damaged (a torn tail in the last
+    /// segment is repaired silently instead).
+    Segment {
+        /// The damaged segment file.
+        path: PathBuf,
+        /// What was wrong with it.
+        source: DecodeError,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Segment { path, source } => {
+                write!(f, "damaged segment {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Segment { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// Interval index over record lifespans: entries sorted by start time, so a
+/// window query scans only the prefix of records starting no later than the
+/// window's end.
+#[derive(Debug, Default)]
+struct IntervalIndex {
+    /// `(start, end, record)`, sorted by `(start, record)`.
+    entries: Vec<(Timestamp, Timestamp, RecordId)>,
+}
+
+impl IntervalIndex {
+    fn insert(&mut self, interval: TimeInterval, id: RecordId) {
+        let key = (interval.start, id);
+        // Crowds mostly finalize in roughly increasing start order, so the
+        // common case is a plain push; the binary-search insert only pays
+        // its O(n) shift for stragglers.
+        if self.entries.last().is_none_or(|&(s, _, r)| (s, r) <= key) {
+            self.entries.push((interval.start, interval.end, id));
+            return;
+        }
+        let pos = self.entries.partition_point(|&(s, _, r)| (s, r) < key);
+        self.entries.insert(pos, (interval.start, interval.end, id));
+    }
+
+    /// Appends without maintaining order; callers must [`Self::sort`] before
+    /// the next query.  Replay uses this to stay `O(n log n)` overall.
+    fn push_unsorted(&mut self, interval: TimeInterval, id: RecordId) {
+        self.entries.push((interval.start, interval.end, id));
+    }
+
+    fn sort(&mut self) {
+        self.entries.sort_unstable_by_key(|&(s, _, r)| (s, r));
+    }
+
+    /// Record ids whose interval intersects `window`, ascending.
+    fn stab(&self, window: TimeInterval) -> Vec<RecordId> {
+        let prefix = self.entries.partition_point(|&(s, _, _)| s <= window.end);
+        let mut out: Vec<RecordId> = self.entries[..prefix]
+            .iter()
+            .filter(|&&(_, e, _)| e >= window.start)
+            .map(|&(_, _, id)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The open write handle of the active (last) segment.
+#[derive(Debug)]
+struct ActiveSegment {
+    index: u32,
+    writer: BufWriter<File>,
+    /// Current size of the segment in bytes (header included).
+    bytes: u64,
+}
+
+/// Report of a torn-tail repair performed while opening a store: bytes past
+/// the last intact record of the final segment were dropped.
+///
+/// A repair is the expected aftermath of a crash mid-append; a *large*
+/// `dropped_bytes` on a store that was cleanly [`sync`](PatternStore::sync)ed
+/// may instead indicate media corruption worth investigating — the dropped
+/// data is gone either way, so callers that care should surface this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailRepair {
+    /// The repaired (last) segment file.
+    pub segment: PathBuf,
+    /// Number of bytes dropped from its tail.
+    pub dropped_bytes: u64,
+}
+
+/// An append-only, durable store of finalized [`PatternRecord`]s with
+/// region × time, per-object and top-k query paths.
+///
+/// See the [module documentation](self) for the file format and index
+/// design.
+#[derive(Debug)]
+pub struct PatternStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    records: Vec<PatternRecord>,
+    intervals: IntervalIndex,
+    rtree: RTree,
+    participation: HashMap<ObjectId, Vec<(RecordId, usize)>>,
+    active: ActiveSegment,
+    tail_repair: Option<TailRepair>,
+}
+
+impl PatternStore {
+    /// Opens (or creates) the store in `dir` with default options, replaying
+    /// all existing segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StoreError`] on I/O failure or when any segment other
+    /// than the last is damaged; a torn tail in the last segment is
+    /// truncated away (crash recovery) and reported via
+    /// [`PatternStore::tail_repair`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Like [`PatternStore::open`] with explicit [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PatternStore::open`].
+    pub fn open_with(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let segments = Self::list_segments(&dir)?;
+
+        let mut replayed: Vec<PatternRecord> = Vec::new();
+        let mut tail_repair = None;
+        let active = match segments.last().copied() {
+            None => Self::create_segment(&dir, 1)?,
+            Some(last) => {
+                let mut active = None;
+                for &index in &segments {
+                    let path = segment_path(&dir, index);
+                    let is_last = index == last;
+                    let valid_len = Self::replay_segment(&path, is_last, &mut replayed)?;
+                    if is_last {
+                        // Reopen the tail segment for appending, dropping any
+                        // torn bytes past the last intact record — and report
+                        // the repair, so callers can tell a routine crash
+                        // cleanup from unexpected data loss.
+                        let file = OpenOptions::new().write(true).open(&path)?;
+                        let on_disk = file.metadata()?.len();
+                        if on_disk > valid_len {
+                            tail_repair = Some(TailRepair {
+                                segment: path.clone(),
+                                dropped_bytes: on_disk - valid_len,
+                            });
+                        }
+                        file.set_len(valid_len)?;
+                        let mut writer = BufWriter::new(file);
+                        writer.seek(SeekFrom::Start(valid_len))?;
+                        let mut bytes = valid_len;
+                        if valid_len < SEGMENT_HEADER_BYTES {
+                            // Not even the header survived (crash during
+                            // rotation): rewrite it so the segment is whole
+                            // again.
+                            write_header(&mut writer, &SEGMENT_MAGIC, SEGMENT_VERSION)?;
+                            writer.flush()?;
+                            bytes = SEGMENT_HEADER_BYTES;
+                        }
+                        active = Some(ActiveSegment {
+                            index,
+                            writer,
+                            bytes,
+                        });
+                    }
+                }
+                active.expect("the last segment produced the active handle")
+            }
+        };
+
+        let mut store = PatternStore {
+            dir,
+            options,
+            records: Vec::new(),
+            intervals: IntervalIndex::default(),
+            rtree: RTree::new(),
+            participation: HashMap::new(),
+            active,
+            tail_repair,
+        };
+        for record in replayed {
+            store.index_record(record, true);
+        }
+        store.intervals.sort();
+        Ok(store)
+    }
+
+    /// Lists the segment indices present in `dir` and verifies they form a
+    /// gap-free run: a missing middle segment would silently shift every
+    /// later record id, so it is a hard error, not a recoverable tail.
+    ///
+    /// Only exact writer-produced names (`seg-` + 8 digits + `.gpdt`) count;
+    /// stray files that merely look similar are ignored rather than replayed
+    /// twice under a duplicate index.
+    fn list_segments(dir: &Path) -> Result<Vec<u32>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(index) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".gpdt"))
+                .filter(|digits| digits.len() == 8 && digits.bytes().all(|b| b.is_ascii_digit()))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            {
+                out.push(index);
+            }
+        }
+        out.sort_unstable();
+        // The writer always starts the run at 1, so a first index above 1 is
+        // a lost leading segment, not a different numbering scheme.
+        if out.first().is_some_and(|&first| first != 1) {
+            return Err(StoreError::Segment {
+                path: segment_path(dir, 1),
+                source: DecodeError::Corrupt("segment file missing from the sequence"),
+            });
+        }
+        if let Some(gap) = out.windows(2).find(|w| w[1] != w[0] + 1) {
+            return Err(StoreError::Segment {
+                path: segment_path(dir, gap[0] + 1),
+                source: DecodeError::Corrupt("segment file missing from the sequence"),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Creates a fresh segment file with its header written and fsynced (a
+    /// crash must not be able to leave a sealed predecessor pointing at a
+    /// successor with a torn header).
+    fn create_segment(dir: &Path, index: u32) -> Result<ActiveSegment, StoreError> {
+        let path = segment_path(dir, index);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        let mut writer = BufWriter::new(file);
+        write_header(&mut writer, &SEGMENT_MAGIC, SEGMENT_VERSION)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        Ok(ActiveSegment {
+            index,
+            writer,
+            bytes: SEGMENT_HEADER_BYTES,
+        })
+    }
+
+    /// Replays one segment, pushing its records onto `out`; returns the byte
+    /// length of the intact prefix.
+    ///
+    /// For the last segment a torn tail ends the replay silently — including
+    /// a tail so torn that not even the header survived (a crash during
+    /// rotation), signalled by returning `0` so the caller rewrites the
+    /// header.  For any other segment damage is an error.
+    fn replay_segment(
+        path: &Path,
+        tolerate_tail: bool,
+        out: &mut Vec<PatternRecord>,
+    ) -> Result<u64, StoreError> {
+        let damaged = |source: DecodeError| StoreError::Segment {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut file = io::BufReader::new(File::open(path)?);
+        if let Err(err) = read_header(&mut file, &SEGMENT_MAGIC, SEGMENT_VERSION) {
+            if tolerate_tail && matches!(err, DecodeError::UnexpectedEof) {
+                return Ok(0);
+            }
+            return Err(damaged(err));
+        }
+        let mut offset = SEGMENT_HEADER_BYTES;
+        loop {
+            match Self::read_framed(&mut file) {
+                Ok(None) => return Ok(offset),
+                Ok(Some((payload_len, record))) => {
+                    out.push(record);
+                    // frame = length prefix + payload + checksum
+                    offset += 4 + u64::from(payload_len) + 8;
+                }
+                Err(err) => {
+                    let torn = matches!(
+                        err,
+                        DecodeError::UnexpectedEof | DecodeError::ChecksumMismatch
+                    );
+                    if tolerate_tail && torn {
+                        return Ok(offset);
+                    }
+                    return Err(damaged(err));
+                }
+            }
+        }
+    }
+
+    /// Reads one framed record; `Ok(None)` at a clean end of the segment.
+    fn read_framed<R: Read>(r: &mut R) -> Result<Option<(u32, PatternRecord)>, DecodeError> {
+        let mut len_bytes = [0u8; 4];
+        match r.read(&mut len_bytes)? {
+            0 => return Ok(None),
+            4 => {}
+            mut n => {
+                // Partial length prefix: keep reading to distinguish a torn
+                // tail from a short read.
+                while n < 4 {
+                    let got = r.read(&mut len_bytes[n..])?;
+                    if got == 0 {
+                        return Err(DecodeError::UnexpectedEof);
+                    }
+                    n += got;
+                }
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        // Refuse absurd lengths before allocating: no writer produces frames
+        // anywhere near this size, so such a prefix means the bytes at the
+        // cursor are not a frame.  Reported as truncation so a garbage tail
+        // after a crash is repaired rather than fatal.
+        if len > (1 << 30) {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let mut sum_bytes = [0u8; 8];
+        r.read_exact(&mut sum_bytes)?;
+        if u64::from_le_bytes(sum_bytes) != fnv1a(&payload) {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        let record: PatternRecord = decode_from_slice(&payload)?;
+        Ok(Some((len, record)))
+    }
+
+    /// Adds a record to the in-memory state (replay and append share this;
+    /// replay defers the interval-index sort to one pass at the end).
+    fn index_record(&mut self, record: PatternRecord, bulk: bool) -> RecordId {
+        let id = self.records.len();
+        if bulk {
+            self.intervals.push_unsorted(record.interval(), id);
+        } else {
+            self.intervals.insert(record.interval(), id);
+        }
+        self.rtree.insert(Entry {
+            mbr: record.mbr,
+            id,
+        });
+        for (g_idx, gathering) in record.gatherings.iter().enumerate() {
+            // Participator lists are sorted; skip adjacent duplicates so a
+            // sloppily built record cannot double-count a hit.
+            let mut previous: Option<ObjectId> = None;
+            for &object in &gathering.participators {
+                if previous == Some(object) {
+                    continue;
+                }
+                previous = Some(object);
+                self.participation
+                    .entry(object)
+                    .or_default()
+                    .push((id, g_idx));
+            }
+        }
+        self.records.push(record);
+        id
+    }
+
+    /// Appends a record to the log and indexes it.
+    ///
+    /// The record is written through a buffered writer; call
+    /// [`PatternStore::sync`] to force it to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if the record violates the containment
+    /// invariant (see [`PatternRecord::validate`]) and propagates I/O errors
+    /// otherwise.  Every frame is written *and flushed* before the append is
+    /// acknowledged, so `active.bytes` always equals the on-disk length of
+    /// the segment at append boundaries; on an I/O error the partial frame
+    /// is rolled back, the log stays intact, and the append can simply be
+    /// retried.  The in-memory state is only updated on success.
+    pub fn append(&mut self, record: PatternRecord) -> io::Result<RecordId> {
+        record
+            .validate()
+            .map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, why))?;
+        let payload = encode_to_vec(&record);
+        // Mirror the reader's frame-size cap (`read_framed`): a frame the
+        // replay path would refuse must never be written in the first place.
+        if payload.len() as u64 > (1 << 30) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "record payload exceeds the 1 GiB frame cap",
+            ));
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        if self.active.bytes + frame.len() as u64 > self.options.max_segment_bytes
+            && self.active.bytes > SEGMENT_HEADER_BYTES
+        {
+            self.rotate()?;
+        }
+        let writer = &mut self.active.writer;
+        let written = writer.write_all(&frame).and_then(|()| writer.flush());
+        if let Err(err) = written {
+            // A torn frame in the stream would make replay drop every later
+            // record as a "torn tail"; reopen the segment at its last good
+            // offset so the failed append leaves no trace.
+            self.rollback_active();
+            return Err(err);
+        }
+        self.active.bytes += frame.len() as u64;
+        Ok(self.index_record(record, false))
+    }
+
+    /// Discards a partially written frame after a failed append: reopens the
+    /// active segment truncated to its last known-good length and replaces
+    /// the writer, dropping the old writer's buffer without flushing it.
+    ///
+    /// Sound because every acknowledged append was flushed, so the on-disk
+    /// length is never *behind* `active.bytes` — truncation can only remove
+    /// partial-frame bytes, never create a hole over buffered good data.
+    /// Best-effort — if the reopen itself fails the old writer stays (and
+    /// will keep failing loudly).
+    fn rollback_active(&mut self) {
+        let path = segment_path(&self.dir, self.active.index);
+        let Ok(file) = OpenOptions::new().write(true).open(&path) else {
+            return;
+        };
+        if file.set_len(self.active.bytes).is_err() {
+            return;
+        }
+        let mut writer = BufWriter::new(file);
+        if writer.seek(SeekFrom::Start(self.active.bytes)).is_err() {
+            return;
+        }
+        let torn = std::mem::replace(&mut self.active.writer, writer);
+        // `into_parts` hands the buffered bytes back instead of flushing
+        // them on drop, which would re-append the torn frame.
+        let _ = torn.into_parts();
+    }
+
+    /// Converts and appends one engine [`CrowdRecord`] (see
+    /// [`PatternRecord::from_crowd_record`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of [`PatternStore::append`].
+    pub fn append_crowd_record(
+        &mut self,
+        record: &CrowdRecord,
+        cdb: &ClusterDatabase,
+    ) -> io::Result<RecordId> {
+        self.append(PatternRecord::from_crowd_record(record, cdb))
+    }
+
+    /// Archives the engine's frontier crowds that are already long enough to
+    /// count as closed (the engine's own `closed_crowds` rule), returning
+    /// how many records were appended.
+    ///
+    /// This is the *final-shutdown* step: afterwards the store also holds
+    /// records the engine never finalized, making it a finished archive for
+    /// queries — do not resume a
+    /// [`MonitorService`](crate::service::MonitorService) with it (the
+    /// service detects the mismatch and refuses to append).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of [`PatternStore::append`]; records appended
+    /// before the failure stay appended.
+    pub fn archive_closed_frontier(&mut self, engine: &GatheringEngine) -> io::Result<usize> {
+        let kc = engine.config().crowd.kc;
+        let mut appended = 0;
+        for (crowd, gatherings) in engine.frontier() {
+            if crowd.lifetime() >= kc {
+                let record = CrowdRecord {
+                    crowd: crowd.clone(),
+                    gatherings: gatherings.clone(),
+                };
+                self.append_crowd_record(&record, engine.cluster_database())?;
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Seals the active segment durably and starts the next one.
+    fn rotate(&mut self) -> io::Result<()> {
+        // The sealed segment will never be written (or fsynced) again, so it
+        // must hit stable storage now — otherwise a later `sync()` would
+        // claim durability for records living only in the page cache of a
+        // file nobody syncs.
+        self.active.writer.flush()?;
+        self.active.writer.get_ref().sync_all()?;
+        let next = self.active.index + 1;
+        self.active = Self::create_segment(&self.dir, next).map_err(|err| match err {
+            StoreError::Io(io) => io,
+            StoreError::Segment { .. } => unreachable!("creating a segment never decodes"),
+        })?;
+        Ok(())
+    }
+
+    /// Flushes buffered appends to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.active.writer.flush()
+    }
+
+    /// Flushes and fsyncs the active segment, making all appended records
+    /// crash-durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.active.writer.flush()?;
+        self.active.writer.get_ref().sync_all()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The torn-tail repair performed while opening this store, if any.
+    pub fn tail_repair(&self) -> Option<&TailRepair> {
+        self.tail_repair.as_ref()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in append order.
+    pub fn records(&self) -> &[PatternRecord] {
+        &self.records
+    }
+
+    /// The record with the given id, if it exists.
+    pub fn get(&self, id: RecordId) -> Option<&PatternRecord> {
+        self.records.get(id)
+    }
+
+    /// Number of segment files written so far.
+    pub fn segment_count(&self) -> u32 {
+        self.active.index
+    }
+
+    /// Record ids of crowds whose lifespan intersects `window`, ascending.
+    pub fn crowds_in_window(&self, window: TimeInterval) -> Vec<RecordId> {
+        self.intervals.stab(window)
+    }
+
+    /// Record ids of crowds whose MBR intersects `region`, ascending.
+    pub fn crowds_in_region(&self, region: &Mbr) -> Vec<RecordId> {
+        self.rtree.window_query(region)
+    }
+
+    /// The region × time-window query: all stored gatherings whose MBR
+    /// intersects `region` **and** whose lifespan intersects `window`,
+    /// ordered by `(record, index)`.
+    ///
+    /// Candidate records are pruned with the R-tree first and the interval
+    /// index second; only survivors are checked gathering by gathering.
+    pub fn query_gatherings(&self, region: &Mbr, window: TimeInterval) -> Vec<GatheringHit> {
+        let mut hits = Vec::new();
+        for id in self.rtree.window_query(region) {
+            let record = &self.records[id];
+            let interval = record.interval();
+            if interval.start > window.end || interval.end < window.start {
+                continue;
+            }
+            for (index, gathering) in record.gatherings.iter().enumerate() {
+                if gathering.interval.start <= window.end
+                    && gathering.interval.end >= window.start
+                    && gathering.mbr.intersects(region)
+                {
+                    hits.push(GatheringHit {
+                        record: id,
+                        index,
+                        gathering: gathering.clone(),
+                    });
+                }
+            }
+        }
+        hits
+    }
+
+    /// The participation history of one object: every stored gathering it
+    /// participated in, ordered by `(record, index)` (which is
+    /// finalization order).
+    pub fn object_history(&self, object: ObjectId) -> Vec<GatheringHit> {
+        let Some(entries) = self.participation.get(&object) else {
+            return Vec::new();
+        };
+        entries
+            .iter()
+            .map(|&(record, index)| GatheringHit {
+                record,
+                index,
+                gathering: self.records[record].gatherings[index].clone(),
+            })
+            .collect()
+    }
+
+    /// The `k` stored gatherings with the most participators, largest first;
+    /// ties broken by `(record, index)` so the ranking is deterministic.
+    pub fn top_k_gatherings(&self, k: usize) -> Vec<GatheringHit> {
+        let mut all: Vec<(usize, RecordId, usize)> = self
+            .records
+            .iter()
+            .enumerate()
+            .flat_map(|(id, record)| {
+                record
+                    .gatherings
+                    .iter()
+                    .enumerate()
+                    .map(move |(index, g)| (g.participators.len(), id, index))
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        all.truncate(k);
+        all.into_iter()
+            .map(|(_, record, index)| GatheringHit {
+                record,
+                index,
+                gathering: self.records[record].gatherings[index].clone(),
+            })
+            .collect()
+    }
+}
+
+impl Drop for PatternStore {
+    fn drop(&mut self) {
+        let _ = self.active.writer.flush();
+    }
+}
+
+/// Path of segment `index` inside `dir`.
+fn segment_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("seg-{index:08}.gpdt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_clustering::ClusterId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A unique fresh directory under the system temp dir.
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gpdt-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(start: Timestamp, len: u32, x: f64, participators: &[u32]) -> PatternRecord {
+        let crowd = Crowd::new((start..start + len).map(|t| ClusterId::new(t, 0)).collect());
+        let interval = crowd.interval();
+        let mut participators: Vec<ObjectId> =
+            participators.iter().map(|&i| ObjectId::new(i)).collect();
+        participators.sort_unstable();
+        participators.dedup();
+        PatternRecord {
+            crowd,
+            mbr: Mbr::new(x, 0.0, x + 100.0, 100.0),
+            gatherings: vec![StoredGathering {
+                interval,
+                mbr: Mbr::new(x, 0.0, x + 50.0, 50.0),
+                participators,
+            }],
+        }
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let dir = temp_store_dir("roundtrip");
+        let mut ids = Vec::new();
+        {
+            let mut store = PatternStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            for i in 0..10u32 {
+                ids.push(
+                    store
+                        .append(record(i * 5, 4, f64::from(i) * 500.0, &[i, i + 1]))
+                        .unwrap(),
+                );
+            }
+            store.sync().unwrap();
+            assert_eq!(store.len(), 10);
+        }
+        let store = PatternStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 10);
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        for (i, rec) in store.records().iter().enumerate() {
+            assert_eq!(
+                rec,
+                &record(i as u32 * 5, 4, i as f64 * 500.0, &[i as u32, i as u32 + 1])
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = temp_store_dir("rotate");
+        let options = StoreOptions {
+            max_segment_bytes: 256,
+        };
+        {
+            let mut store = PatternStore::open_with(&dir, options).unwrap();
+            for i in 0..20u32 {
+                store.append(record(i, 3, f64::from(i), &[i])).unwrap();
+            }
+            assert!(store.segment_count() > 1, "rotation must have happened");
+            store.sync().unwrap();
+        }
+        let store = PatternStore::open_with(&dir, options).unwrap();
+        assert_eq!(store.len(), 20);
+        for (i, rec) in store.records().iter().enumerate() {
+            assert_eq!(rec.interval().start, i as u32);
+        }
+        // Appending after reopen continues in the tail segment.
+        let mut store = store;
+        store.append(record(99, 2, 0.0, &[7])).unwrap();
+        assert_eq!(store.len(), 21);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_store_dir("torn");
+        {
+            let mut store = PatternStore::open(&dir).unwrap();
+            for i in 0..5u32 {
+                store.append(record(i, 2, 0.0, &[i])).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Corrupt the log by chopping bytes off the tail (a crashed append).
+        let path = segment_path(&dir, 1);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+
+        let store = PatternStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 4, "the torn record is dropped");
+        // The repair is reported, not silent.
+        let repair = store.tail_repair().expect("repair must be reported");
+        assert_eq!(repair.segment, path);
+        assert!(repair.dropped_bytes > 0);
+        // The file was truncated back to its intact prefix, so appending
+        // again yields a clean log.
+        let mut store = store;
+        store.append(record(50, 2, 0.0, &[1])).unwrap();
+        store.sync().unwrap();
+        let reopened = PatternStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 5);
+        assert!(
+            reopened.tail_repair().is_none(),
+            "clean log needs no repair"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_in_a_sealed_segment_is_an_error() {
+        let dir = temp_store_dir("sealed-damage");
+        let options = StoreOptions {
+            max_segment_bytes: 256,
+        };
+        {
+            let mut store = PatternStore::open_with(&dir, options).unwrap();
+            for i in 0..20u32 {
+                store.append(record(i, 3, f64::from(i), &[i])).unwrap();
+            }
+            assert!(store.segment_count() > 1);
+            store.sync().unwrap();
+        }
+        // Flip a payload byte in the first (sealed) segment.
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match PatternStore::open_with(&dir, options) {
+            Err(StoreError::Segment { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected a segment error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_header_after_rotation_is_repaired() {
+        let dir = temp_store_dir("torn-header");
+        {
+            let mut store = PatternStore::open(&dir).unwrap();
+            for i in 0..3u32 {
+                store.append(record(i, 2, 0.0, &[i])).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // A crash during rotation can leave the new last segment with only a
+        // few header bytes on disk.
+        std::fs::write(segment_path(&dir, 2), [0x47, 0x50, 0x44]).unwrap();
+        let mut store = PatternStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3, "segment 1's records survive");
+        let repair = store.tail_repair().expect("repair must be reported");
+        assert_eq!(repair.segment, segment_path(&dir, 2));
+        assert_eq!(repair.dropped_bytes, 3);
+        // The rewritten header makes the segment appendable and replayable.
+        store.append(record(50, 2, 0.0, &[9])).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let reopened = PatternStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert!(reopened.tail_repair().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_hard_error() {
+        let dir = temp_store_dir("gap");
+        let options = StoreOptions {
+            max_segment_bytes: 256,
+        };
+        {
+            let mut store = PatternStore::open_with(&dir, options).unwrap();
+            for i in 0..20u32 {
+                store.append(record(i, 3, f64::from(i), &[i])).unwrap();
+            }
+            assert!(store.segment_count() >= 3);
+            store.sync().unwrap();
+        }
+        std::fs::remove_file(segment_path(&dir, 2)).unwrap();
+        match PatternStore::open_with(&dir, options) {
+            Err(StoreError::Segment { path, source }) => {
+                assert_eq!(path, segment_path(&dir, 2));
+                assert!(matches!(source, DecodeError::Corrupt(_)));
+            }
+            other => panic!("expected a gap error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_segment_version_is_rejected() {
+        let dir = temp_store_dir("version");
+        {
+            let mut store = PatternStore::open(&dir).unwrap();
+            store.append(record(0, 2, 0.0, &[1])).unwrap();
+            store.sync().unwrap();
+        }
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xFF;
+        bytes[9] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match PatternStore::open(&dir) {
+            Err(StoreError::Segment { source, .. }) => {
+                assert!(matches!(source, DecodeError::UnsupportedVersion { .. }));
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queries_match_full_scans_on_random_stores() {
+        let dir = temp_store_dir("queries");
+        let mut rng = StdRng::seed_from_u64(0x57013);
+        let mut store = PatternStore::open(&dir).unwrap();
+        for _ in 0..60 {
+            let start = rng.gen_range(0u32..200);
+            let len = rng.gen_range(1u32..20);
+            let x = rng.gen_range(-5_000.0..5_000.0);
+            let participators: Vec<u32> = (0..rng.gen_range(1u32..20))
+                .map(|_| rng.gen_range(0u32..40))
+                .collect();
+            store.append(record(start, len, x, &participators)).unwrap();
+        }
+
+        for _ in 0..50 {
+            let t1 = rng.gen_range(0u32..220);
+            let t2 = rng.gen_range(0u32..220);
+            let window = TimeInterval::new(t1.min(t2), t1.max(t2));
+            let x = rng.gen_range(-6_000.0..5_000.0);
+            let y = rng.gen_range(-100.0..100.0);
+            let region = Mbr::new(x, y, x + rng.gen_range(10.0..2_000.0), y + 100.0);
+
+            let got = store.query_gatherings(&region, window);
+            let mut expected = Vec::new();
+            for (id, rec) in store.records().iter().enumerate() {
+                for (index, g) in rec.gatherings.iter().enumerate() {
+                    if g.mbr.intersects(&region)
+                        && g.interval.start <= window.end
+                        && g.interval.end >= window.start
+                    {
+                        expected.push((id, index));
+                    }
+                }
+            }
+            let got_keys: Vec<(usize, usize)> = got.iter().map(|h| (h.record, h.index)).collect();
+            assert_eq!(got_keys, expected);
+
+            // Window-only index agrees with a scan too.
+            let ids = store.crowds_in_window(window);
+            let expected_ids: Vec<RecordId> = store
+                .records()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    r.interval().start <= window.end && r.interval().end >= window.start
+                })
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(ids, expected_ids);
+        }
+
+        // Object history agrees with a scan.
+        for raw in 0..40u32 {
+            let object = ObjectId::new(raw);
+            let got: Vec<(usize, usize)> = store
+                .object_history(object)
+                .iter()
+                .map(|h| (h.record, h.index))
+                .collect();
+            let expected: Vec<(usize, usize)> = store
+                .records()
+                .iter()
+                .enumerate()
+                .flat_map(|(id, r)| {
+                    r.gatherings
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.participators.contains(&object))
+                        .map(move |(index, _)| (id, index))
+                })
+                .collect();
+            assert_eq!(got, expected, "object {object}");
+        }
+
+        // Top-k is the sorted prefix of the full ranking.
+        let all = store.top_k_gatherings(usize::MAX);
+        for w in all.windows(2) {
+            assert!(w[0].gathering.participators.len() >= w[1].gathering.participators.len());
+        }
+        let top3 = store.top_k_gatherings(3);
+        assert_eq!(top3.len(), 3);
+        assert_eq!(&all[..3], top3.as_slice());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_rejects_records_violating_the_containment_invariant() {
+        let dir = temp_store_dir("invariant");
+        let mut store = PatternStore::open(&dir).unwrap();
+
+        // Gathering MBR sticking out of the record MBR.
+        let mut bad = record(0, 4, 0.0, &[1, 2]);
+        bad.gatherings[0].mbr = Mbr::new(-50.0, 0.0, 10.0, 10.0);
+        let err = store.append(bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Gathering lifespan outside the crowd lifespan.
+        let mut bad = record(10, 4, 0.0, &[1, 2]);
+        bad.gatherings[0].interval = TimeInterval::new(9, 13);
+        let err = store.append(bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Unsorted participators.
+        let mut bad = record(0, 4, 0.0, &[1, 2]);
+        bad.gatherings[0].participators = vec![ObjectId::new(5), ObjectId::new(1)];
+        let err = store.append(bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Nothing was written or indexed, and good appends still work.
+        assert!(store.is_empty());
+        store.append(record(0, 4, 0.0, &[1, 2])).unwrap();
+        assert_eq!(store.len(), 1);
+        drop(store);
+        assert_eq!(PatternStore::open(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_window_and_region_yield_empty_results() {
+        let dir = temp_store_dir("empty");
+        let mut store = PatternStore::open(&dir).unwrap();
+        store.append(record(10, 5, 0.0, &[1, 2, 3])).unwrap();
+        // Disjoint in time.
+        assert!(store
+            .query_gatherings(
+                &Mbr::new(-10.0, -10.0, 200.0, 200.0),
+                TimeInterval::new(100, 120)
+            )
+            .is_empty());
+        // Disjoint in space.
+        assert!(store
+            .query_gatherings(
+                &Mbr::new(9_000.0, 9_000.0, 9_100.0, 9_100.0),
+                TimeInterval::new(0, 50)
+            )
+            .is_empty());
+        assert!(store.object_history(ObjectId::new(99)).is_empty());
+        assert!(store.top_k_gatherings(0).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Checkpoint/restore equivalence: restoring a `GatheringEngine` from a
+//! checkpoint taken at *any* tick boundary and continuing the stream must
+//! yield discovery output identical to an uninterrupted run — for every
+//! range-search strategy × detection variant combination, like
+//! `streaming_equivalence.rs`.
+//!
+//! The checkpoints cross process-memory in serialised form only (a byte
+//! vector standing in for the file a crashed monitor would reload), so the
+//! test exercises the full codec round trip of the engine state.
+
+use gathering_patterns::prelude::*;
+use gpdt_core::GatheringEngine;
+use gpdt_store::{checkpoint_to_vec, restore_from_slice};
+use gpdt_trajectory::TimeInterval;
+use gpdt_workload::EventRates;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scenario(seed: u64, duration: u32) -> gpdt_workload::GeneratedScenario {
+    let mut config = ScenarioConfig::small_demo(seed);
+    config.num_taxis = 120;
+    config.duration = duration;
+    config.area_size = 7_000.0;
+    config.event_rates = EventRates {
+        jams_per_hour: [8.0, 8.0, 8.0],
+        venues_per_hour: [4.0, 4.0, 4.0],
+        convoys_per_hour: [2.0, 2.0, 2.0],
+    };
+    generate_scenario(&config)
+}
+
+fn config() -> GatheringConfig {
+    GatheringConfig::builder()
+        .clustering(ClusteringParams::new(200.0, 5))
+        .crowd(CrowdParams::new(10, 8, 300.0))
+        .gathering(GatheringParams::new(8, 6))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn restore_at_random_boundaries_matches_uninterrupted_run() {
+    let duration = 48u32;
+    let scenario = scenario(2026, duration);
+    let config = config();
+    let full_clusters = ClusterDatabase::build(&scenario.database, &config.clustering);
+    let mut rng = StdRng::seed_from_u64(41);
+
+    for strategy in RangeSearchStrategy::ALL {
+        for variant in TadVariant::ALL {
+            // Uninterrupted reference run over the whole stream.
+            let mut reference = GatheringEngine::new(config)
+                .with_strategy(strategy)
+                .with_variant(variant);
+            reference.ingest_clusters(full_clusters.clone());
+            assert!(
+                !reference.closed_crowds().is_empty(),
+                "{strategy}/{variant}: the scenario must produce crowds"
+            );
+
+            // Interrupted run: stream tick by tick, "crash" at two random
+            // boundaries, each time reviving the engine purely from its
+            // serialised checkpoint.
+            let mut cuts: Vec<u32> = (0..2).map(|_| rng.gen_range(1..duration)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+
+            let mut engine = GatheringEngine::new(config)
+                .with_strategy(strategy)
+                .with_variant(variant);
+            for t in 0..duration {
+                let batch = ClusterDatabase::build_interval(
+                    &scenario.database,
+                    &config.clustering,
+                    TimeInterval::new(t, t),
+                );
+                engine.ingest_clusters(batch);
+                if cuts.contains(&t) {
+                    let bytes = checkpoint_to_vec(&engine);
+                    drop(engine);
+                    engine = restore_from_slice(&bytes)
+                        .unwrap_or_else(|err| panic!("{strategy}/{variant} restore: {err}"));
+                    assert_eq!(
+                        engine.strategy(),
+                        strategy,
+                        "restore must preserve the strategy"
+                    );
+                    assert_eq!(
+                        engine.variant(),
+                        variant,
+                        "restore must preserve the variant"
+                    );
+                }
+            }
+
+            assert_eq!(
+                engine.closed_crowds(),
+                reference.closed_crowds(),
+                "{strategy}/{variant} crowds after restore at {cuts:?}"
+            );
+            assert_eq!(
+                engine.gatherings(),
+                reference.gatherings(),
+                "{strategy}/{variant} gatherings after restore at {cuts:?}"
+            );
+            assert_eq!(
+                engine.finalized_records().len(),
+                reference.finalized_records().len(),
+                "{strategy}/{variant} finalized records after restore at {cuts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_deterministic_and_stable_across_roundtrips() {
+    let duration = 30u32;
+    let scenario = scenario(7, duration);
+    let config = config();
+    let mut engine = GatheringEngine::new(config);
+    engine.ingest_trajectories(&scenario.database);
+
+    // Checkpointing the same state twice yields identical bytes, and a
+    // restored engine checkpoints back to the very same bytes — the format
+    // has no hidden nondeterminism (maps, thread state, ...).
+    let first = checkpoint_to_vec(&engine);
+    let second = checkpoint_to_vec(&engine);
+    assert_eq!(first, second);
+    let restored = restore_from_slice(&first).unwrap();
+    let third = checkpoint_to_vec(&restored);
+    assert_eq!(first, third, "restore → checkpoint must be byte-identical");
+}
+
+#[test]
+fn restored_engine_keeps_ingesting_trajectories() {
+    // The checkpoint drops the streaming clusterer's cursor (it is derived
+    // state); a restored engine must still pick up trajectory ingestion at
+    // the right tick.
+    let duration = 36u32;
+    let scenario = scenario(99, duration);
+    let config = config();
+
+    let mut reference = GatheringEngine::new(config);
+    reference.ingest_trajectories(&scenario.database);
+
+    let mut engine = GatheringEngine::new(config);
+    engine.ingest_trajectories_until(&scenario.database, duration / 2);
+    let bytes = checkpoint_to_vec(&engine);
+    let mut restored = restore_from_slice(&bytes).unwrap();
+    restored.ingest_trajectories(&scenario.database);
+
+    assert_eq!(restored.closed_crowds(), reference.closed_crowds());
+    assert_eq!(restored.gatherings(), reference.gatherings());
+    assert_eq!(restored.time_domain(), reference.time_domain());
+}
