@@ -41,11 +41,10 @@ fn main() {
     );
 }
 
-/// A fresh unique directory under the system temp dir.
+/// A fresh unique scratch directory (`GPDT_SCRATCH_DIR`-overridable, like
+/// every bench binary and example touching disk — see `gpdt_bench::env`).
 fn bench_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("gpdt-store-bench-{}-{tag}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
+    gpdt_bench::env::scratch_dir(&format!("store-bench-{tag}"))
 }
 
 /// Synthesises `n` pattern records with clustered geometry: gatherings pop

@@ -1,0 +1,90 @@
+//! The single home of every `GPDT_*` environment variable the benchmark
+//! harness honours.
+//!
+//! Before this module existed each binary read its own ad-hoc variables and
+//! scratch-directory conventions; everything now routes through here so the
+//! full knob surface is discoverable in one place:
+//!
+//! | Variable | Read by | Meaning |
+//! |---|---|---|
+//! | `GPDT_SCALE` | [`scale`] | global size multiplier for scenario presets (positive float, default 1.0) |
+//! | `GPDT_BENCH_RUNS` | [`runs`] | timed repetitions per measurement, best-of-N (default 1) |
+//! | `GPDT_BENCH_WARMUP` | [`warmup`] | `1`/`true` forces a warmup run (default: on when `runs > 1`) |
+//! | `GPDT_BENCH_DIR` | [`report_dir`] | directory receiving the `BENCH_*.json` reports (default: cwd) |
+//! | `GPDT_SCRATCH_DIR` | [`scratch_dir`] | parent for throwaway on-disk state (stores, checkpoints); default: the system temp dir |
+
+use std::path::PathBuf;
+
+/// The global scale factor read from `GPDT_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("GPDT_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Timed repetitions per measurement from `GPDT_BENCH_RUNS` (default 1).
+pub fn runs() -> usize {
+    std::env::var("GPDT_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1)
+}
+
+/// Warmup policy from `GPDT_BENCH_WARMUP` (default: warm up iff more than
+/// one timed run is requested).
+pub fn warmup(runs: usize) -> bool {
+    std::env::var("GPDT_BENCH_WARMUP")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(runs > 1)
+}
+
+/// The directory `BENCH_*.json` reports are written to: `GPDT_BENCH_DIR`,
+/// defaulting to the current directory.
+pub fn report_dir() -> PathBuf {
+    std::env::var_os("GPDT_BENCH_DIR").map_or_else(PathBuf::new, PathBuf::from)
+}
+
+/// A fresh scratch directory for throwaway on-disk state (pattern stores,
+/// checkpoints): `<GPDT_SCRATCH_DIR or system temp>/gpdt-<tag>-<pid>`.
+///
+/// The directory is *not* created — stores create their own — but any
+/// previous leftover under the same name is removed, so crashed runs cannot
+/// poison the next one.  Callers should remove it when done.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let base = std::env::var_os("GPDT_SCRATCH_DIR").map_or_else(std::env::temp_dir, PathBuf::from);
+    let dir = base.join(format!("gpdt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_without_env() {
+        // The test environment sets none of the variables.
+        assert!(scale() > 0.0);
+        assert!(runs() >= 1);
+        assert!(warmup(2));
+        assert!(!warmup(1));
+        assert!(report_dir().as_os_str().is_empty() || report_dir().is_dir());
+    }
+
+    #[test]
+    fn scratch_dir_is_unique_per_tag_and_clean() {
+        let a = scratch_dir("env-test-a");
+        let b = scratch_dir("env-test-b");
+        assert_ne!(a, b);
+        assert!(!a.exists(), "scratch dir must start clean");
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::write(a.join("junk"), b"x").unwrap();
+        // Re-requesting the same tag wipes the leftover.
+        let a2 = scratch_dir("env-test-a");
+        assert_eq!(a, a2);
+        assert!(!a2.exists());
+    }
+}

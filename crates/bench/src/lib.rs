@@ -17,6 +17,7 @@
 //! scenario presets ([`scenarios`]) and measurement/table helpers
 //! ([`report`]).
 
+pub mod env;
 pub mod report;
 pub mod scenarios;
 pub mod synth;

@@ -42,17 +42,13 @@ impl Default for MeasureOpts {
 impl MeasureOpts {
     /// Reads the policy from the environment: `GPDT_BENCH_RUNS` (default 1)
     /// and `GPDT_BENCH_WARMUP` (`1`/`true`; defaults to on when more than one
-    /// run is requested).
+    /// run is requested).  See [`crate::env`] for the full knob surface.
     pub fn from_env() -> Self {
-        let runs = std::env::var("GPDT_BENCH_RUNS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&r| r >= 1)
-            .unwrap_or(1);
-        let warmup = std::env::var("GPDT_BENCH_WARMUP")
-            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-            .unwrap_or(runs > 1);
-        MeasureOpts { runs, warmup }
+        let runs = crate::env::runs();
+        MeasureOpts {
+            runs,
+            warmup: crate::env::warmup(runs),
+        }
     }
 }
 
@@ -222,8 +218,7 @@ impl BenchReport {
     /// The destination path: `BENCH_<name>.json` inside `GPDT_BENCH_DIR`
     /// (default: the current directory).
     pub fn path(&self) -> PathBuf {
-        let dir = std::env::var_os("GPDT_BENCH_DIR").map_or_else(PathBuf::new, PathBuf::from);
-        dir.join(format!("BENCH_{}.json", self.name))
+        crate::env::report_dir().join(format!("BENCH_{}.json", self.name))
     }
 
     /// Writes the report to [`Self::path`] and returns the path written.

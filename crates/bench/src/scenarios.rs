@@ -21,13 +21,10 @@ pub struct ClusteredScenario {
     pub clustering: ClusteringParams,
 }
 
-/// The global scale factor read from `GPDT_SCALE` (default 1.0).
+/// The global scale factor read from `GPDT_SCALE` (default 1.0); see
+/// [`crate::env`].
 pub fn scale() -> f64 {
-    std::env::var("GPDT_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0)
+    crate::env::scale()
 }
 
 /// Applies the global scale factor to a count.

@@ -318,6 +318,28 @@ impl ClusterDatabase {
         self.sets.iter().map(|s| s.clusters.len()).sum()
     }
 
+    /// Drops every cluster set strictly older than `t` and returns how many
+    /// ticks were evicted.
+    ///
+    /// This is the primitive behind bounded cluster-database retention: a
+    /// streaming engine only ever revisits the ticks its open crowd
+    /// candidates reference (plus the trailing `kc` window), so everything
+    /// older can be reclaimed once the referencing crowds finalize.  Lookups
+    /// for evicted ticks ([`Self::set_at`], [`Self::cluster`]) return `None`
+    /// afterwards; [`Self::time_domain`] shrinks from the front.
+    pub fn evict_before(&mut self, t: Timestamp) -> usize {
+        let Some(first) = self.sets.first().map(|s| s.time) else {
+            return 0;
+        };
+        if t <= first {
+            return 0;
+        }
+        let drop = (t - first) as usize;
+        let drop = drop.min(self.sets.len());
+        self.sets.drain(..drop);
+        drop
+    }
+
     /// Appends the cluster sets of a newer batch (incremental update).
     ///
     /// # Panics
@@ -507,6 +529,30 @@ mod tests {
         let mut first = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(0, 0));
         let second = ClusterDatabase::build_interval(&db, &params, TimeInterval::new(2, 2));
         first.append(second);
+    }
+
+    #[test]
+    fn evict_before_drops_leading_ticks_only() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let mut cdb = ClusterDatabase::build(&db, &params);
+        assert_eq!(cdb.evict_before(0), 0, "t before the domain is a no-op");
+        assert_eq!(cdb.evict_before(2), 2);
+        assert_eq!(cdb.time_domain(), Some(TimeInterval::new(2, 2)));
+        assert!(cdb.set_at(1).is_none());
+        assert!(cdb.cluster(ClusterId::new(0, 0)).is_none());
+        assert!(cdb.cluster(ClusterId::new(2, 0)).is_some());
+        // Appending after eviction still works off the (shrunk) domain.
+        let next = ClusterDatabase::from_sets(vec![SnapshotClusterSet {
+            time: 3,
+            clusters: vec![],
+        }]);
+        cdb.append(next);
+        assert_eq!(cdb.time_domain(), Some(TimeInterval::new(2, 3)));
+        // Evicting past the end empties the database.
+        assert_eq!(cdb.evict_before(10), 2);
+        assert!(cdb.is_empty());
+        assert_eq!(cdb.evict_before(10), 0);
     }
 
     #[test]

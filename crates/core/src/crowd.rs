@@ -245,6 +245,27 @@ impl CrowdDiscovery {
         start_time: Timestamp,
         seed: Vec<Crowd>,
     ) -> CrowdDiscoveryResult {
+        self.run_resumed_observed(cdb, start_time, seed, None)
+    }
+
+    /// Like [`CrowdDiscovery::run_resumed`], additionally invoking `observer`
+    /// after every processed tick `t` with the complete candidate set ending
+    /// at `t` (the paper's per-tick `V`).
+    ///
+    /// This is the per-tick hook a cross-shard merger needs: a sharded
+    /// deployment runs one sweep per partition and must later splice crowd
+    /// prefixes that reach a partition boundary onto extensions discovered in
+    /// a neighbouring partition, which requires the candidate sequences *as
+    /// they were* at the boundary tick — state the batch-level result no
+    /// longer contains.  The observer is a pure tap: it cannot alter the
+    /// sweep and the result is identical to the unobserved run.
+    pub fn run_resumed_observed(
+        &self,
+        cdb: &ClusterDatabase,
+        start_time: Timestamp,
+        seed: Vec<Crowd>,
+        mut observer: Option<&mut dyn FnMut(Timestamp, &[Crowd])>,
+    ) -> CrowdDiscoveryResult {
         let Some(domain) = cdb.time_domain() else {
             return CrowdDiscoveryResult {
                 closed_crowds: Vec::new(),
@@ -342,6 +363,9 @@ impl CrowdDiscovery {
                     }
                 }
                 std::mem::swap(&mut candidates, &mut next_candidates);
+                if let Some(observer) = observer.as_deref_mut() {
+                    observer(t, &candidates);
+                }
             }
         }
 
@@ -627,6 +651,34 @@ mod tests {
         let mut lifetimes: Vec<u32> = result.closed_crowds.iter().map(Crowd::lifetime).collect();
         lifetimes.sort_unstable();
         assert_eq!(lifetimes, vec![5, 5]);
+    }
+
+    #[test]
+    fn observer_sees_every_tick_candidate_set_without_changing_results() {
+        let (cdb, _) = figure2_database();
+        let p = params(3, 4, 150.0);
+        let discovery = CrowdDiscovery::new(p, RangeSearchStrategy::Grid);
+        let unobserved = discovery.run(&cdb);
+
+        let mut per_tick: Vec<(Timestamp, Vec<Crowd>)> = Vec::new();
+        let mut observer = |t: Timestamp, candidates: &[Crowd]| {
+            per_tick.push((t, candidates.to_vec()));
+        };
+        let observed = discovery.run_resumed_observed(&cdb, 1, Vec::new(), Some(&mut observer));
+        assert_eq!(observed.closed_crowds, unobserved.closed_crowds);
+        assert_eq!(observed.frontier, unobserved.frontier);
+
+        // One callback per tick of the domain, in time order, every candidate
+        // ending exactly at the callback's tick; the last callback carries the
+        // frontier.
+        assert_eq!(
+            per_tick.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            (1..=8).collect::<Vec<_>>()
+        );
+        for (t, candidates) in &per_tick {
+            assert!(candidates.iter().all(|c| c.end_time() == *t));
+        }
+        assert_eq!(per_tick.last().unwrap().1, observed.frontier);
     }
 
     #[test]

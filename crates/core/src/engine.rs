@@ -97,6 +97,51 @@ impl EngineUpdate {
     }
 }
 
+/// How long the engine keeps old snapshot clusters in memory.
+///
+/// Crowd discovery only ever revisits the ticks referenced by its open
+/// frontier sequences (for gathering detection once they close) plus the
+/// trailing `kc` window; every older tick is dead weight once the crowds
+/// spanning it have finalized.  [`RetentionPolicy::Bounded`] evicts those
+/// ticks, keeping the resident cluster database proportional to the crowd
+/// lifetimes instead of the stream length.  Eviction is deferred by one
+/// ingest step so callers (e.g. a durable store mirroring
+/// [`GatheringEngine::finalized_records`]) can still resolve the clusters of
+/// records finalized by the previous batch.
+///
+/// The policy never changes discovery output — only which historical ticks
+/// remain addressable through [`GatheringEngine::cluster_database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Keep every ingested tick (the default; required when the full history
+    /// must stay queryable through the engine itself).
+    #[default]
+    KeepAll,
+    /// Evict ticks older than the last `kc` once no frontier sequence
+    /// references them.
+    Bounded,
+}
+
+/// A point-in-time snapshot of the engine's internal load, for observability
+/// (mirrored by the `gpdt-store` monitor service's stats surface).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Ticks ingested since this engine value was constructed (or restored).
+    pub ticks_ingested: u64,
+    /// Ticks currently resident in the cluster database (equals
+    /// `ticks_ingested` under [`RetentionPolicy::KeepAll`], bounded under
+    /// [`RetentionPolicy::Bounded`]).
+    pub resident_ticks: usize,
+    /// Snapshot clusters currently resident.
+    pub resident_clusters: usize,
+    /// Open frontier sequences (crowd candidates ending at the last tick).
+    pub open_sequences: usize,
+    /// Finalized crowd records accumulated so far.
+    pub finalized_records: usize,
+    /// Closed gatherings inside the finalized records.
+    pub finalized_gatherings: usize,
+}
+
 /// Streaming discovery engine maintaining closed crowds and gatherings over
 /// an ever-growing trajectory/cluster history.
 ///
@@ -108,6 +153,8 @@ pub struct GatheringEngine {
     strategy: RangeSearchStrategy,
     variant: TadVariant,
     threads: usize,
+    retention: RetentionPolicy,
+    ticks_ingested: u64,
     clusterer: StreamingClusterer,
     cdb: ClusterDatabase,
     /// Closed crowds (with their gatherings) whose last cluster is strictly
@@ -129,6 +176,8 @@ impl GatheringEngine {
             strategy: RangeSearchStrategy::Grid,
             variant: TadVariant::TadStar,
             threads,
+            retention: RetentionPolicy::KeepAll,
+            ticks_ingested: 0,
             clusterer: StreamingClusterer::new(config.clustering).with_threads(threads),
             cdb: ClusterDatabase::new(),
             finalized: Vec::new(),
@@ -157,9 +206,59 @@ impl GatheringEngine {
         self
     }
 
+    /// Overrides the cluster-database retention policy (see
+    /// [`RetentionPolicy`]).  A host choice like the thread count: it never
+    /// changes discovery output and is not part of a checkpoint.
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &GatheringConfig {
         &self.config
+    }
+
+    /// The configured retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// A snapshot of the engine's internal load.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            ticks_ingested: self.ticks_ingested,
+            resident_ticks: self.cdb.len(),
+            resident_clusters: self.cdb.total_clusters(),
+            open_sequences: self.frontier.len(),
+            finalized_records: self.finalized.len(),
+            finalized_gatherings: self.finalized.iter().map(|r| r.gatherings.len()).sum(),
+        }
+    }
+
+    /// Evicts every cluster set no future discovery step can touch: ticks
+    /// older than both the trailing `kc` window and the earliest tick any
+    /// frontier sequence references.  Returns the number of evicted ticks.
+    ///
+    /// Called automatically (one ingest step deferred) under
+    /// [`RetentionPolicy::Bounded`]; safe to call manually at any time —
+    /// discovery output is unaffected, only
+    /// [`Self::cluster_database`] lookups for evicted ticks start returning
+    /// `None`.
+    pub fn evict_retired_clusters(&mut self) -> usize {
+        let Some(domain) = self.cdb.time_domain() else {
+            return 0;
+        };
+        // `kc >= 1` (validated), so the horizon never passes the last tick
+        // and the database never empties from under the frontier.
+        let horizon = (domain.end + 1).saturating_sub(self.config.crowd.kc);
+        let keep_from = self
+            .frontier
+            .iter()
+            .map(|(c, _)| c.start_time())
+            .min()
+            .map_or(horizon, |f| f.min(horizon));
+        self.cdb.evict_before(keep_from)
     }
 
     /// The configured range-search strategy.
@@ -233,6 +332,8 @@ impl GatheringEngine {
             strategy,
             variant,
             threads,
+            retention: RetentionPolicy::KeepAll,
+            ticks_ingested: 0,
             clusterer,
             cdb,
             finalized,
@@ -280,9 +381,31 @@ impl GatheringEngine {
     /// The batch must start exactly one tick after the data ingested so far
     /// (or may be the first batch).  Returns a summary of what changed.
     pub fn ingest_clusters(&mut self, batch: ClusterDatabase) -> EngineUpdate {
+        self.ingest_clusters_observed(batch, None)
+    }
+
+    /// Like [`Self::ingest_clusters`], additionally invoking `observer` after
+    /// every processed tick `t` with the complete crowd-candidate set ending
+    /// at `t` (see
+    /// [`CrowdDiscovery::run_resumed_observed`]).
+    ///
+    /// The observer is a pure tap for cross-engine coordination (the
+    /// `gpdt-shard` merger records boundary-adjacent candidates through it);
+    /// results are identical to the unobserved ingest.
+    pub fn ingest_clusters_observed(
+        &mut self,
+        batch: ClusterDatabase,
+        observer: Option<&mut dyn FnMut(Timestamp, &[Crowd])>,
+    ) -> EngineUpdate {
         if batch.is_empty() {
             return EngineUpdate::default();
         }
+        // Deferred retention: evict what the *previous* batch retired, so the
+        // records it finalized stayed resolvable until now.
+        if self.retention == RetentionPolicy::Bounded {
+            self.evict_retired_clusters();
+        }
+        self.ticks_ingested += u64::from(batch.time_domain().expect("non-empty batch").len());
         let resume_at: Timestamp = batch.time_domain().expect("non-empty batch").start;
         match self.cdb.time_domain() {
             None => self.cdb = batch,
@@ -295,7 +418,7 @@ impl GatheringEngine {
         let old_frontier = std::mem::take(&mut self.frontier);
         let discovery =
             CrowdDiscovery::new(self.config.crowd, self.strategy).with_threads(self.threads);
-        let result = discovery.run_resumed(&self.cdb, resume_at, seeds);
+        let result = discovery.run_resumed_observed(&self.cdb, resume_at, seeds, observer);
         let end = self.cdb.time_domain().expect("non-empty").end;
 
         // Closed crowds reported by the resumed run are final unless they end
@@ -417,15 +540,10 @@ impl GatheringEngine {
         out
     }
 
-    /// The canonical crowd ordering used by the accessors: by time interval,
-    /// then by the referenced cluster sequence.  Total for any set of crowds
-    /// produced by one engine, so the output order never depends on batch
-    /// slicing or thread count.
+    /// The canonical crowd ordering used by the accessors (see
+    /// [`canonical_crowd_order`]).
     fn crowd_order(a: &Crowd, b: &Crowd) -> std::cmp::Ordering {
-        a.start_time()
-            .cmp(&b.start_time())
-            .then(a.end_time().cmp(&b.end_time()))
-            .then_with(|| a.cluster_ids().cmp(b.cluster_ids()))
+        canonical_crowd_order(a, b)
     }
 
     /// Consumes the engine and packages its current state as a
@@ -459,6 +577,24 @@ impl GatheringEngine {
             gatherings,
         }
     }
+}
+
+/// The canonical crowd ordering every accessor of this crate sorts by: time
+/// interval first, then the referenced cluster sequence.  Total for any set
+/// of crowds discovered over one cluster database, so output order never
+/// depends on batch slicing, thread count — or, for a sharded deployment,
+/// on which shard discovered the crowd.
+pub fn canonical_crowd_order(a: &Crowd, b: &Crowd) -> std::cmp::Ordering {
+    a.start_time()
+        .cmp(&b.start_time())
+        .then(a.end_time().cmp(&b.end_time()))
+        .then_with(|| a.cluster_ids().cmp(b.cluster_ids()))
+}
+
+/// The canonical gathering ordering: by host crowd, then participator set.
+pub fn canonical_gathering_order(a: &Gathering, b: &Gathering) -> std::cmp::Ordering {
+    canonical_crowd_order(a.crowd(), b.crowd())
+        .then_with(|| a.participators().cmp(b.participators()))
 }
 
 #[cfg(test)]
@@ -594,6 +730,58 @@ mod tests {
         assert!(engine.time_domain().is_none());
         let update = engine.ingest_trajectories(&TrajectoryDatabase::new());
         assert_eq!(update.new_closed_crowds, 0);
+    }
+
+    #[test]
+    fn bounded_retention_keeps_output_and_bounds_residency() {
+        // Blobs linger for 5 ticks, scatter for 3, repeat: frontier resets
+        // regularly, so bounded retention can reclaim nearly everything.
+        let cycles = 12u32;
+        let mut trajectories: Vec<(u32, Vec<(u32, (f64, f64))>)> =
+            (0..5u32).map(|i| (i, Vec::new())).collect();
+        for cycle in 0..cycles {
+            for t in 0..8u32 {
+                let tick = cycle * 8 + t;
+                for (i, points) in trajectories.iter_mut() {
+                    let x = if t < 5 {
+                        f64::from(*i) * 10.0
+                    } else {
+                        // Scattered: pairwise distances far exceed eps.
+                        f64::from(*i) * 10_000.0 + f64::from(tick)
+                    };
+                    points.push((tick, (x, f64::from(cycle) * 7.0)));
+                }
+            }
+        }
+        let db = TrajectoryDatabase::from_trajectories(
+            trajectories
+                .into_iter()
+                .map(|(i, pts)| Trajectory::from_points(ObjectId::new(i), pts)),
+        );
+
+        let mut keep_all = GatheringEngine::new(config(3));
+        let mut bounded = GatheringEngine::new(config(3)).with_retention(RetentionPolicy::Bounded);
+        let domain = db.time_domain().unwrap();
+        let mut max_resident = 0;
+        for t in domain.iter() {
+            keep_all.ingest_trajectories_until(&db, t);
+            bounded.ingest_trajectories_until(&db, t);
+            max_resident = max_resident.max(bounded.cluster_database().len());
+        }
+        // Output is identical; residency stays bounded by the crowd span
+        // (5-tick crowds + kc trailing window + one deferred batch), far
+        // below the 96-tick stream.
+        assert_eq!(bounded.closed_crowds(), keep_all.closed_crowds());
+        assert_eq!(bounded.gatherings(), keep_all.gatherings());
+        assert_eq!(keep_all.cluster_database().len(), 8 * cycles as usize);
+        assert!(
+            max_resident <= 10,
+            "bounded retention kept {max_resident} ticks resident"
+        );
+        let stats = bounded.stats();
+        assert_eq!(stats.ticks_ingested, u64::from(8 * cycles));
+        assert!(stats.resident_ticks <= 10);
+        assert_eq!(stats.finalized_records, keep_all.finalized_records().len());
     }
 
     #[test]

@@ -57,13 +57,16 @@ pub mod crowd;
 pub mod engine;
 pub mod gathering;
 pub mod incremental;
-mod par;
+pub mod par;
 pub mod params;
 pub mod pipeline;
 pub mod range_search;
 
 pub use crowd::{discover_closed_crowds, Crowd, CrowdDiscovery, CrowdDiscoveryResult};
-pub use engine::{CrowdRecord, EngineUpdate, GatheringEngine};
+pub use engine::{
+    canonical_crowd_order, canonical_gathering_order, CrowdRecord, EngineStats, EngineUpdate,
+    GatheringEngine, RetentionPolicy,
+};
 pub use gathering::{detect_closed_gatherings, CrowdOccurrence, Gathering, TadVariant};
 pub use gpdt_geo::bvs;
 pub use gpdt_geo::bvs::BitVector;

@@ -1,4 +1,5 @@
-//! Minimal scoped-thread fan-out used by the engine's hot paths.
+//! Minimal scoped-thread fan-out used by the engine's hot paths (and by the
+//! `gpdt-shard` merge's gathering-detection stage).
 //!
 //! The discovery engine parallelises two embarrassingly parallel loops:
 //! per-tick [`TickSearcher`](crate::range_search::TickSearcher) construction
@@ -20,7 +21,7 @@ pub(crate) fn default_threads() -> usize {
 /// Falls back to a plain sequential map when a single thread is requested or
 /// there is at most one item, so callers never pay spawn overhead for tiny
 /// inputs.
-pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -38,7 +39,7 @@ where
 /// its whole chunk instead of allocating per tick.  The state must never
 /// influence results (it is a cache/buffer), which keeps the output
 /// independent of the thread count.
-pub(crate) fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+pub fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

@@ -1,0 +1,76 @@
+//! Sharded multi-engine ingest with an exact cross-shard crowd merge.
+//!
+//! The discovery work of `gpdt-core` is inherently per-region — snapshot
+//! clustering, crowd sweeping and gathering detection all operate on
+//! spatially local data — yet a single [`GatheringEngine`] funnels every
+//! cluster through one sweep.  This crate partitions the per-tick snapshot
+//! clusters across `N` independent engines and recombines their results so
+//! that the output is **identical to a single-engine run for any shard
+//! count and either partitioner** (the same bar the streaming engine sets
+//! for batch-slicing independence).
+//!
+//! # Why an exact merge is possible
+//!
+//! Crowd discovery (Algorithm 1) is path enumeration over a static DAG: the
+//! nodes are the snapshot clusters with at least `mc` members, and there is
+//! an edge between clusters at consecutive ticks iff their Hausdorff
+//! distance is at most `δ`.  The closed crowds are exactly the
+//! source-to-sink paths of that DAG (length ≥ `kc`), and gathering
+//! detection reads only the clusters of its own crowd.  A shard engine
+//! therefore discovers exactly the paths of the subgraph induced by its
+//! clusters; everything it can get wrong involves a **cross-shard edge**:
+//!
+//! * a locally seeded path whose start has a cross-shard in-edge is
+//!   spurious (globally the start is absorbed by a longer path);
+//! * a locally closed path whose end has a cross-shard out-edge closed too
+//!   early (globally it extends into the neighbouring shard);
+//! * paths containing a cross-shard edge are discovered by no shard at all.
+//!
+//! The [`ShardedEngine`] merge pass repairs all three deterministically: it
+//! detects every cross-shard edge among the boundary-adjacent clusters,
+//! drops the local results invalidated by one, and runs its own sweep over
+//! the *tainted* paths — splicing shard-recorded boundary prefixes (via the
+//! per-tick observer hook of
+//! [`CrowdDiscovery::run_resumed_observed`](gpdt_core::CrowdDiscovery::run_resumed_observed))
+//! onto cross-edge extensions and carrying them forward against the global
+//! cluster sets.  With the spatial [`GridPartitioner`] only clusters whose
+//! `δ`-inflated bounding box leaks out of their home cell can be incident
+//! to a cross edge, so the merge touches a thin boundary slice; the
+//! [`Partitioner::HashByObject`] fallback treats every cluster as boundary
+//! (correct for arbitrary data, with merge cost approaching a full sweep).
+//!
+//! ```
+//! use gpdt_core::{GatheringConfig, GatheringEngine};
+//! use gpdt_shard::{GridPartitioner, Partitioner, ShardedEngine};
+//! use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+//!
+//! let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+//!     Trajectory::from_points(
+//!         ObjectId::new(i),
+//!         (0..8u32).map(|t| (t, (i as f64 * 10.0, t as f64))).collect::<Vec<_>>(),
+//!     )
+//! }));
+//! let config = GatheringConfig::builder()
+//!     .clustering(gpdt_core::ClusteringParams::new(60.0, 3))
+//!     .crowd(gpdt_core::CrowdParams::new(4, 4, 100.0))
+//!     .gathering(gpdt_core::GatheringParams::new(3, 3))
+//!     .build()
+//!     .unwrap();
+//!
+//! let partitioner = Partitioner::Grid(GridPartitioner::new(400.0));
+//! let mut sharded = ShardedEngine::new(config, 4, partitioner);
+//! sharded.ingest_trajectories(&db);
+//!
+//! let mut single = GatheringEngine::new(config);
+//! single.ingest_trajectories(&db);
+//! assert_eq!(sharded.closed_crowds(), single.closed_crowds());
+//! assert_eq!(sharded.gatherings(), single.gatherings());
+//! ```
+//!
+//! [`GatheringEngine`]: gpdt_core::GatheringEngine
+
+pub mod engine;
+pub mod partition;
+
+pub use engine::{ShardLoad, ShardedEngine, ShardedStats, ShardedUpdate};
+pub use partition::{GridPartitioner, Partitioner};

@@ -1,0 +1,297 @@
+//! Pluggable cluster-to-shard assignment.
+//!
+//! A [`Partitioner`] deterministically maps every snapshot cluster to one of
+//! `N` shards, tick by tick.  Assignment follows the cluster (the moving
+//! group), not a static object→shard table: objects migrate, and a crowd's
+//! identity is its cluster sequence, so assigning the *group's current home
+//! region* keeps consecutive clusters of the same crowd on one shard almost
+//! always — the cross-shard residue is exactly what the merge pass repairs.
+//!
+//! Two strategies are provided:
+//!
+//! * [`Partitioner::Grid`] — a uniform spatial grid over home regions: a
+//!   cluster belongs to the cell containing its centroid, and cells are
+//!   mapped to shards by a deterministic hash.  Its load-bearing property is
+//!   the **boundary guarantee**: if the cluster's `δ`-inflated bounding box
+//!   stays inside cells of its own shard, no cluster of another shard can be
+//!   within Hausdorff distance `δ` (all its points — hence its centroid —
+//!   would lie in those same cells), so the cluster can never be incident to
+//!   a cross-shard edge and the merge pass may ignore it entirely.
+//! * [`Partitioner::HashByObject`] — hash of the cluster's lead (minimum)
+//!   object id.  No spatial locality and therefore no boundary pruning —
+//!   every cluster is treated as boundary-adjacent — but it balances
+//!   pathological geometries where one cell would swallow the whole stream.
+
+use gpdt_clustering::SnapshotCluster;
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash used to spread
+/// cells/objects across shards without clustering artifacts.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform spatial grid assigning clusters (by centroid) to cells, and cells
+/// to shards.  See the [module docs](self) for the boundary guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPartitioner {
+    origin_x: f64,
+    origin_y: f64,
+    cell_side: f64,
+}
+
+impl GridPartitioner {
+    /// Creates a grid with cells of the given side length, anchored at the
+    /// origin.  A good default side is a few multiples of `δ`: large enough
+    /// that most clusters are interior, small enough that cells spread over
+    /// the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_side` is not positive and finite.
+    pub fn new(cell_side: f64) -> Self {
+        Self::with_origin(cell_side, 0.0, 0.0)
+    }
+
+    /// Like [`GridPartitioner::new`] with an explicit grid origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_side` is not positive and finite or an origin
+    /// coordinate is not finite.
+    pub fn with_origin(cell_side: f64, origin_x: f64, origin_y: f64) -> Self {
+        assert!(
+            cell_side.is_finite() && cell_side > 0.0,
+            "grid cell side must be positive and finite, got {cell_side}"
+        );
+        assert!(
+            origin_x.is_finite() && origin_y.is_finite(),
+            "grid origin must be finite"
+        );
+        GridPartitioner {
+            origin_x,
+            origin_y,
+            cell_side,
+        }
+    }
+
+    /// The cell side length.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// The grid origin.
+    pub fn origin(&self) -> (f64, f64) {
+        (self.origin_x, self.origin_y)
+    }
+
+    /// The cell containing point `(x, y)`.  `floor` is monotone, so for any
+    /// axis-aligned box whose two corners map to the same cell, every point
+    /// of the box does too — the exact argument behind the boundary test
+    /// (no epsilon fudging required).
+    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
+        (
+            ((x - self.origin_x) / self.cell_side).floor() as i64,
+            ((y - self.origin_y) / self.cell_side).floor() as i64,
+        )
+    }
+
+    /// Deterministic cell → shard assignment.
+    fn shard_of_cell(cell: (i64, i64), shards: usize) -> usize {
+        let key = (cell.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (cell.1 as u64);
+        (mix64(key) % shards as u64) as usize
+    }
+}
+
+/// The cluster-to-shard assignment strategy of a
+/// [`ShardedEngine`](crate::ShardedEngine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partitioner {
+    /// Spatial grid over home regions (see [`GridPartitioner`]).
+    Grid(GridPartitioner),
+    /// Hash of the cluster's lead (minimum) object id: the
+    /// locality-oblivious fallback.  Every cluster counts as
+    /// boundary-adjacent, so correctness is preserved at the price of a
+    /// merge pass that approaches a full sweep.
+    HashByObject,
+}
+
+impl Partitioner {
+    /// The shard a cluster belongs to, out of `shards` (≥ 1).
+    ///
+    /// Deterministic in the cluster's contents: re-running the assignment
+    /// over a restored cluster database reproduces it exactly, which is how
+    /// checkpoints avoid persisting the per-tick layout.
+    pub fn shard_of(&self, cluster: &SnapshotCluster, shards: usize) -> usize {
+        debug_assert!(shards >= 1);
+        match self {
+            Partitioner::Grid(grid) => {
+                let c = cluster.centroid();
+                GridPartitioner::shard_of_cell(grid.cell_of(c.x, c.y), shards)
+            }
+            Partitioner::HashByObject => {
+                let lead = cluster.members()[0];
+                (mix64(u64::from(lead.raw())) % shards as u64) as usize
+            }
+        }
+    }
+
+    /// Whether the cluster could be incident to a cross-shard edge: `true`
+    /// unless every cell its `δ`-inflated bounding box overlaps maps to the
+    /// cluster's own shard.
+    ///
+    /// Soundness: `dH(c, d) ≤ δ` forces every point of `d` — and hence `d`'s
+    /// centroid, a convex combination — into the `δ`-inflation of `c`'s
+    /// MBR.  If every cell overlapping that inflation belongs to `c`'s
+    /// shard, `d` is assigned to the same shard, so no cross edge can touch
+    /// `c`.  Conservatively `true` for huge clusters (inflation spanning
+    /// more than 256 cells) and always `true` for the hash partitioner.
+    pub fn is_boundary(&self, cluster: &SnapshotCluster, delta: f64, shards: usize) -> bool {
+        if shards == 1 {
+            return false; // no second shard for a cross edge to reach
+        }
+        match self {
+            Partitioner::Grid(grid) => {
+                let c = cluster.centroid();
+                let own_cell = grid.cell_of(c.x, c.y);
+                let own_shard = GridPartitioner::shard_of_cell(own_cell, shards);
+                let mbr = cluster.mbr();
+                let (i0, j0) = grid.cell_of(mbr.min_x - delta, mbr.min_y - delta);
+                let (i1, j1) = grid.cell_of(mbr.max_x + delta, mbr.max_y + delta);
+                let cells = (i1 - i0 + 1).saturating_mul(j1 - j0 + 1);
+                if cells > 256 {
+                    return true;
+                }
+                for i in i0..=i1 {
+                    for j in j0..=j1 {
+                        if GridPartitioner::shard_of_cell((i, j), shards) != own_shard {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Partitioner::HashByObject => true,
+        }
+    }
+
+    /// Short label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partitioner::Grid(_) => "grid",
+            Partitioner::HashByObject => "hash-by-object",
+        }
+    }
+}
+
+impl std::fmt::Display for Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partitioner::Grid(g) => write!(f, "grid(side={})", g.cell_side),
+            Partitioner::HashByObject => f.write_str("hash-by-object"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_geo::Point;
+    use gpdt_trajectory::ObjectId;
+
+    fn blob(cx: f64, cy: f64, n: u32) -> SnapshotCluster {
+        SnapshotCluster::new(
+            0,
+            (0..n).map(ObjectId::new).collect(),
+            (0..n)
+                .map(|i| Point::new(cx + f64::from(i) * 0.5, cy))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn grid_assignment_is_deterministic_and_in_range() {
+        let p = Partitioner::Grid(GridPartitioner::new(100.0));
+        for shards in [1usize, 2, 4, 7] {
+            for k in 0..50 {
+                let c = blob(f64::from(k) * 37.0 - 800.0, f64::from(k) * 13.0, 4);
+                let s = p.shard_of(&c, shards);
+                assert!(s < shards);
+                assert_eq!(s, p.shard_of(&c, shards), "assignment must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_interior_cluster_is_not_boundary() {
+        let grid = GridPartitioner::new(1000.0);
+        let p = Partitioner::Grid(grid);
+        // A tight blob in the middle of cell (0, 0), inflation well inside.
+        let c = blob(500.0, 500.0, 4);
+        assert!(!p.is_boundary(&c, 50.0, 7));
+        // The same blob with an inflation reaching the cell edge is boundary
+        // whenever a reachable cell belongs to another shard.
+        assert!(p.is_boundary(&c, 600.0, 7));
+        // With a single shard nothing is ever boundary.
+        assert!(!p.is_boundary(&c, 600.0, 1));
+    }
+
+    #[test]
+    fn boundary_guarantee_holds_for_delta_close_pairs() {
+        // Randomly place pairs of clusters within δ of each other; whenever
+        // they land on different shards, both must be flagged boundary.
+        let grid = GridPartitioner::new(300.0);
+        let p = Partitioner::Grid(grid);
+        let delta = 80.0;
+        let mut state: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let x = (next() % 10_000) as f64 / 10.0 - 500.0;
+            let y = (next() % 10_000) as f64 / 10.0 - 500.0;
+            let a = blob(x, y, 3);
+            let b = blob(
+                x + (next() % 100) as f64 / 2.0,
+                y + (next() % 100) as f64 / 2.0,
+                3,
+            );
+            if !a.within_hausdorff(&b, delta) {
+                continue;
+            }
+            for shards in [2usize, 4, 7] {
+                if p.shard_of(&a, shards) != p.shard_of(&b, shards) {
+                    assert!(p.is_boundary(&a, delta, shards), "tail must be boundary");
+                    assert!(p.is_boundary(&b, delta, shards), "head must be boundary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_follows_lead_object_and_is_always_boundary() {
+        let p = Partitioner::HashByObject;
+        let a = blob(0.0, 0.0, 4);
+        let far = SnapshotCluster::new(
+            0,
+            (0..4u32).map(ObjectId::new).collect(),
+            (0..4u32)
+                .map(|i| Point::new(99_000.0 + f64::from(i), 0.0))
+                .collect(),
+        );
+        for shards in [1usize, 2, 4, 7] {
+            // Same lead object => same shard regardless of geometry.
+            assert_eq!(p.shard_of(&a, shards), p.shard_of(&far, shards));
+        }
+        assert!(p.is_boundary(&a, 1.0, 4));
+        assert_eq!(p.label(), "hash-by-object");
+        assert!(Partitioner::Grid(GridPartitioner::new(10.0))
+            .to_string()
+            .starts_with("grid"));
+    }
+}

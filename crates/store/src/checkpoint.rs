@@ -116,15 +116,34 @@ impl EngineCheckpoint for GatheringEngine {
         // Cross-checks: the pieces decoded fine individually, but a crowd
         // referencing a missing cluster or a frontier entry not ending at the
         // frontier time would make the engine panic later; reject now.
-        let end = cdb.time_domain().map(|d| d.end);
+        //
+        // Finalized records are never re-resolved by the engine, so under
+        // bounded retention their leading ticks may legitimately have been
+        // evicted before the checkpoint was written: the containment check
+        // for them skips ticks older than the stored database's first tick.
+        // Frontier crowds are still extended and detected against the
+        // database, so they get the strict check.  An *empty* database with
+        // finalized records is always corrupt — eviction keeps at least one
+        // tick of any stream that ever finalized anything — so it gets no
+        // leniency.
+        let domain = cdb.time_domain();
+        let end = domain.map(|d| d.end);
         let crowd_ok = |crowd: &Crowd| {
             crowd
                 .cluster_ids()
                 .iter()
                 .all(|&id| cdb.cluster(id).is_some())
         };
+        let retained_ok = |crowd: &Crowd| {
+            crowd
+                .cluster_ids()
+                .iter()
+                .all(|&id| cdb.cluster(id).is_some() || domain.is_some_and(|d| id.time < d.start))
+        };
         for record in &finalized {
-            if !crowd_ok(&record.crowd) || record.gatherings.iter().any(|g| !crowd_ok(g.crowd())) {
+            if !retained_ok(&record.crowd)
+                || record.gatherings.iter().any(|g| !retained_ok(g.crowd()))
+            {
                 return Err(DecodeError::Corrupt(
                     "finalized crowd references a cluster missing from the database",
                 ));
@@ -241,6 +260,60 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn evicted_history_is_tolerated_but_empty_database_is_not() {
+        use gpdt_core::RetentionPolicy;
+
+        // Legitimate bounded-retention state: finalized records whose
+        // leading ticks were evicted still restore.  Gather-scatter cycles
+        // make crowds finalize so eviction has something to reclaim.
+        let db = TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+            Trajectory::from_points(
+                ObjectId::new(i),
+                (0..24u32)
+                    .map(|t| {
+                        let x = if t % 8 < 5 {
+                            f64::from(i) * 10.0 + f64::from(t / 8) * 500.0
+                        } else {
+                            f64::from(i) * 50_000.0 + f64::from(t)
+                        };
+                        (t, (x, 0.0))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let mut engine = GatheringEngine::new(config()).with_retention(RetentionPolicy::Bounded);
+        for t in 0..24 {
+            engine.ingest_trajectories_until(&db, t);
+        }
+        engine.evict_retired_clusters();
+        assert!(!engine.finalized_records().is_empty());
+        let first_retained = engine.cluster_database().time_domain().unwrap().start;
+        assert!(
+            engine.finalized_records()[0].crowd.start_time() < first_retained,
+            "the scenario must actually evict finalized history"
+        );
+        let bytes = checkpoint_to_vec(&engine);
+        let back = restore_from_slice(&bytes).unwrap();
+        assert_eq!(back.closed_crowds(), engine.closed_crowds());
+
+        // Corrupt state: an empty cluster database alongside finalized
+        // records (no eviction schedule can produce this) is rejected.
+        let mut forged = Vec::new();
+        write_header(&mut forged, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION).unwrap();
+        engine.config().encode(&mut forged).unwrap();
+        engine.strategy().encode(&mut forged).unwrap();
+        engine.variant().encode(&mut forged).unwrap();
+        ClusterDatabase::new().encode(&mut forged).unwrap();
+        engine.finalized_records().encode(&mut forged).unwrap();
+        let empty_frontier: Vec<(Crowd, Vec<Gathering>)> = Vec::new();
+        empty_frontier.encode(&mut forged).unwrap();
+        assert!(matches!(
+            restore_from_slice(&forged),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

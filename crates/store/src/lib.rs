@@ -21,9 +21,14 @@
 //!   and an R-tree (reusing `gpdt-index`) over crowd MBRs, answering
 //!   region × time-window queries, per-object participation history and
 //!   top-k gatherings by participator count.
+//! * [`sharded`] — checkpoint/restore for the partitioned
+//!   [`ShardedEngine`](gpdt_shard::ShardedEngine): per-shard
+//!   [`EngineCheckpoint`]s composed with the coordinator's merge state.
 //! * [`service`] — [`MonitorService`], the concurrent façade: one ingestion
-//!   thread feeds the engine and the store while any number of caller
-//!   threads run queries (std scoped threads + channels, no runtime).
+//!   thread feeds the engine (single or sharded, via [`MonitoredEngine`])
+//!   and the store while any number of caller threads run queries (std
+//!   scoped threads + channels, no runtime), with a [`ServiceStats`]
+//!   observability snapshot.
 //!
 //! The workspace-root tests `checkpoint_restore.rs` and `store_queries.rs`
 //! verify the two load-bearing equivalences: restore-at-any-boundary ≡
@@ -33,13 +38,20 @@ pub mod checkpoint;
 pub mod codec;
 pub mod model;
 pub mod service;
+pub mod sharded;
 pub mod store;
 
 pub use checkpoint::{
     checkpoint_to_vec, restore_from_slice, EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use codec::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode, CODEC_VERSION};
-pub use service::{MonitorOutcome, MonitorService, ServiceHandle};
+pub use service::{
+    EngineLoad, MonitorOutcome, MonitorService, MonitoredEngine, ServiceHandle, ServiceStats,
+};
+pub use sharded::{
+    restore_sharded_from_slice, sharded_checkpoint_to_vec, SHARDED_CHECKPOINT_MAGIC,
+    SHARDED_CHECKPOINT_VERSION,
+};
 pub use store::{
     GatheringHit, PatternRecord, PatternStore, RecordId, StoreError, StoreOptions, StoredGathering,
     TailRepair, SEGMENT_MAGIC, SEGMENT_VERSION,

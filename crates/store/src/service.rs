@@ -72,11 +72,11 @@ use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Mutex, RwLock};
 
 use gpdt_clustering::ClusterDatabase;
-use gpdt_core::GatheringEngine;
+use gpdt_core::{CrowdRecord, GatheringEngine};
 use gpdt_geo::Mbr;
-use gpdt_trajectory::{ObjectId, TimeInterval};
+use gpdt_shard::ShardedEngine;
+use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp};
 
-use crate::checkpoint::EngineCheckpoint;
 use crate::store::{GatheringHit, PatternStore, RecordId};
 
 /// Commands processed by the ingest worker, in FIFO order.
@@ -88,15 +88,147 @@ enum Command {
     /// Serialise the engine state (after flushing the store so checkpoint
     /// and store stay in lockstep).
     Checkpoint(SyncSender<io::Result<Vec<u8>>>),
+    /// Snapshot the service/engine counters.
+    Stats(SyncSender<ServiceStats>),
+}
+
+/// The engine kinds [`MonitorService::run`] can drive: the single
+/// [`GatheringEngine`] and the partitioned
+/// [`ShardedEngine`].  The service only needs the
+/// streaming surface they share — expected next tick, batch ingestion, the
+/// append-only finalized-record feed, the database those records resolve
+/// against, checkpoint serialisation and a load snapshot.
+pub trait MonitoredEngine: Send {
+    /// The tick the next batch must start at (`None` accepts any start).
+    fn expected_next_tick(&self) -> Option<Timestamp>;
+    /// Ingests one cluster batch (adjacency already validated).
+    fn ingest_batch(&mut self, batch: ClusterDatabase);
+    /// The append-only finalized-record feed mirrored into the store.
+    fn finalized_feed(&self) -> &[CrowdRecord];
+    /// The cluster database the finalized records resolve against.
+    fn resolve_database(&self) -> &ClusterDatabase;
+    /// Serialises a checkpoint of the complete discovery state.
+    fn checkpoint_bytes(&self) -> Vec<u8>;
+    /// Engine-side load numbers for [`ServiceStats`].
+    fn load(&self) -> EngineLoad;
+}
+
+impl MonitoredEngine for GatheringEngine {
+    fn expected_next_tick(&self) -> Option<Timestamp> {
+        self.time_domain().map(|d| d.end + 1)
+    }
+
+    fn ingest_batch(&mut self, batch: ClusterDatabase) {
+        self.ingest_clusters(batch);
+    }
+
+    fn finalized_feed(&self) -> &[CrowdRecord] {
+        self.finalized_records()
+    }
+
+    fn resolve_database(&self) -> &ClusterDatabase {
+        self.cluster_database()
+    }
+
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        crate::checkpoint::checkpoint_to_vec(self)
+    }
+
+    fn load(&self) -> EngineLoad {
+        let stats = self.stats();
+        EngineLoad {
+            open_sequences: stats.open_sequences,
+            resident_ticks: stats.resident_ticks,
+            per_shard_clusters: Vec::new(),
+        }
+    }
+}
+
+impl MonitoredEngine for ShardedEngine {
+    fn expected_next_tick(&self) -> Option<Timestamp> {
+        self.time_domain().map(|d| d.end + 1)
+    }
+
+    fn ingest_batch(&mut self, batch: ClusterDatabase) {
+        self.ingest_clusters(batch);
+    }
+
+    fn finalized_feed(&self) -> &[CrowdRecord] {
+        self.finalized_records()
+    }
+
+    fn resolve_database(&self) -> &ClusterDatabase {
+        self.cluster_database()
+    }
+
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        crate::sharded::sharded_checkpoint_to_vec(self)
+    }
+
+    fn load(&self) -> EngineLoad {
+        let stats = self.stats();
+        EngineLoad {
+            open_sequences: stats
+                .per_shard
+                .iter()
+                .map(|s| s.open_sequences)
+                .sum::<usize>()
+                + stats.open_merge_paths,
+            resident_ticks: stats
+                .per_shard
+                .iter()
+                .map(|s| s.resident_ticks)
+                .max()
+                .unwrap_or(0),
+            per_shard_clusters: stats
+                .per_shard
+                .iter()
+                .map(|s| s.resident_clusters)
+                .collect(),
+        }
+    }
+}
+
+/// Engine-side load numbers surfaced through [`ServiceStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Open crowd candidates (for a sharded engine: across all shards plus
+    /// the merge sweep).
+    pub open_sequences: usize,
+    /// Resident cluster-database ticks (for a sharded engine: the maximum
+    /// over the shards).
+    pub resident_ticks: usize,
+    /// Per-shard resident cluster counts; empty for a single engine.
+    pub per_shard_clusters: Vec<usize>,
+}
+
+/// A consistent snapshot of the service's ingestion counters and the
+/// engine's load, taken by the ingest worker between commands (so it never
+/// races a batch).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cluster batches applied so far.
+    pub batches_ingested: u64,
+    /// Batches rejected (non-adjacent start).
+    pub batches_rejected: u64,
+    /// Ticks applied so far.
+    pub ticks_ingested: u64,
+    /// Records the engine has finalized.
+    pub finalized_records: usize,
+    /// Records durably stored (trails `finalized_records` only transiently,
+    /// or when durable storage halted).
+    pub stored_records: usize,
+    /// Engine-side load.
+    pub engine: EngineLoad,
 }
 
 /// Everything [`MonitorService::run`] hands back: the engine and store (for
 /// continued use, checkpointing or clean shutdown) plus the closure's result
 /// and any ingestion errors.
 #[derive(Debug)]
-pub struct MonitorOutcome<T> {
+pub struct MonitorOutcome<T, E = GatheringEngine> {
     /// The engine, caught up with every ingested batch.
-    pub engine: GatheringEngine,
+    pub engine: E,
     /// The store, holding every finalized record.
     pub store: PatternStore,
     /// The closure's return value.
@@ -124,13 +256,20 @@ impl MonitorService {
     /// appends (reported via [`MonitorOutcome::errors`]); such an archive is
     /// an end state for queries, not a resumable companion.
     ///
+    /// Sharded mode is the same call with a
+    /// [`ShardedEngine`]: the engine fans every
+    /// batch out across its shards and merges, the worker mirrors the merged
+    /// finalized records into the store, and queries aggregate over the
+    /// merged history exactly as in single-engine mode.
+    ///
     /// # Panics
     ///
     /// Panics if the ingest worker panicked (it does not panic on malformed
     /// batches or I/O errors — those are reported via
     /// [`MonitorOutcome::errors`]).
-    pub fn run<T, F>(engine: GatheringEngine, store: PatternStore, f: F) -> MonitorOutcome<T>
+    pub fn run<E, T, F>(engine: E, store: PatternStore, f: F) -> MonitorOutcome<T, E>
     where
+        E: MonitoredEngine,
         F: FnOnce(&ServiceHandle<'_>) -> T,
     {
         let stored = store.len();
@@ -164,13 +303,13 @@ impl MonitorService {
 
 /// The ingest worker: drains commands, feeds the engine, mirrors newly
 /// finalized records into the store.
-fn ingest_loop(
-    mut engine: GatheringEngine,
+fn ingest_loop<E: MonitoredEngine>(
+    mut engine: E,
     rx: Receiver<Command>,
     store: &RwLock<PatternStore>,
     errors: &Mutex<Vec<String>>,
     mut stored: usize,
-) -> GatheringEngine {
+) -> E {
     let report = |message: String| {
         errors
             .lock()
@@ -184,17 +323,20 @@ fn ingest_loop(
     // engine's companion (e.g. frontier crowds were archived into it at a
     // clean shutdown); appending to it would interleave unrelated records,
     // so durable storage halts instead.
-    let mut storing = if stored > engine.finalized_records().len() {
+    let mut storing = if stored > engine.finalized_feed().len() {
         report(format!(
             "store holds {stored} records but the engine has only {} finalized — \
              not this engine's companion store; durable storage halted, discovery continues",
-            engine.finalized_records().len()
+            engine.finalized_feed().len()
         ));
         false
     } else {
         store_new_finalized(&engine, store, &mut stored, &report)
     };
 
+    let mut batches_ingested: u64 = 0;
+    let mut batches_rejected: u64 = 0;
+    let mut ticks_ingested: u64 = 0;
     while let Ok(command) = rx.recv() {
         match command {
             Command::Clusters(batch) => {
@@ -204,23 +346,35 @@ fn ingest_loop(
                 // `ingest_clusters` treats a non-adjacent batch as a
                 // programmer error and panics; a long-running service
                 // rejects it instead and keeps serving.
-                let expected = engine.time_domain().map(|d| d.end + 1);
-                if let Some(expected) = expected {
+                if let Some(expected) = engine.expected_next_tick() {
                     if batch_domain.start != expected {
                         report(format!(
                             "rejected batch starting at t={} (expected t={expected})",
                             batch_domain.start
                         ));
+                        batches_rejected += 1;
                         continue;
                     }
                 }
-                engine.ingest_clusters(batch);
+                engine.ingest_batch(batch);
+                batches_ingested += 1;
+                ticks_ingested += u64::from(batch_domain.len());
                 if storing {
                     storing = store_new_finalized(&engine, store, &mut stored, &report);
                 }
             }
             Command::Flush(ack) => {
                 let _ = ack.send(());
+            }
+            Command::Stats(reply) => {
+                let _ = reply.send(ServiceStats {
+                    batches_ingested,
+                    batches_rejected,
+                    ticks_ingested,
+                    finalized_records: engine.finalized_feed().len(),
+                    stored_records: stored,
+                    engine: engine.load(),
+                });
             }
             Command::Checkpoint(reply) => {
                 // The advertised contract is a *consistent* (checkpoint,
@@ -234,7 +388,7 @@ fn ingest_loop(
                     Err(io::Error::other(
                         "durable storage is halted (see the service error list); checkpoint refused",
                     ))
-                } else if stored < engine.finalized_records().len() {
+                } else if stored < engine.finalized_feed().len() {
                     Err(io::Error::other(
                         "store is lagging the engine's finalized records; checkpoint refused",
                     ))
@@ -243,13 +397,7 @@ fn ingest_loop(
                         .write()
                         .expect("store lock is never poisoned")
                         .sync()
-                        .map(|()| {
-                            let mut bytes = Vec::new();
-                            engine
-                                .checkpoint(&mut bytes)
-                                .expect("writing to a Vec never fails");
-                            bytes
-                        })
+                        .map(|()| engine.checkpoint_bytes())
                 };
                 let _ = reply.send(result);
             }
@@ -269,19 +417,42 @@ fn ingest_loop(
 /// back, so that is safe.  An `InvalidInput` rejection can never succeed on
 /// retry, so it halts storage entirely (discovery keeps running) instead of
 /// livelocking and flooding the error list.
-fn store_new_finalized(
-    engine: &GatheringEngine,
+fn store_new_finalized<E: MonitoredEngine>(
+    engine: &E,
     store: &RwLock<PatternStore>,
     stored: &mut usize,
     report: &impl Fn(String),
 ) -> bool {
-    let records = engine.finalized_records();
+    let records = engine.finalized_feed();
     if *stored >= records.len() {
         return true;
     }
+    let cdb = engine.resolve_database();
     let mut store = store.write().expect("store lock is never poisoned");
     for record in &records[*stored..] {
-        match store.append_crowd_record(record, engine.cluster_database()) {
+        // Under bounded retention a record can only outlive its clusters if
+        // the store lagged across an eviction (a halted or chronically
+        // failing store); converting it would panic, so halt explicitly.
+        let resolvable = record
+            .crowd
+            .cluster_ids()
+            .iter()
+            .chain(
+                record
+                    .gatherings
+                    .iter()
+                    .flat_map(|g| g.crowd().cluster_ids()),
+            )
+            .all(|&id| cdb.cluster(id).is_some());
+        if !resolvable {
+            report(format!(
+                "finalized record #{} references evicted clusters (store lagged across a \
+                 retention eviction); halting durable storage, discovery continues",
+                *stored
+            ));
+            return false;
+        }
+        match store.append_crowd_record(record, cdb) {
             Ok(_) => *stored += 1,
             Err(err) if err.kind() == io::ErrorKind::InvalidInput => {
                 report(format!(
@@ -355,6 +526,19 @@ impl ServiceHandle<'_> {
     /// Number of records currently stored.
     pub fn stored(&self) -> usize {
         self.read().len()
+    }
+
+    /// A consistent snapshot of the service's ingestion counters and the
+    /// engine's load (taken by the ingest worker, so it reflects every batch
+    /// enqueued before this call once they have been applied — call
+    /// [`ServiceHandle::flush`] first for a quiescent snapshot).
+    pub fn stats(&self) -> ServiceStats {
+        let (reply, wait) = mpsc::sync_channel(0);
+        self.tx
+            .send(Command::Stats(reply))
+            .expect("the ingest worker outlives every handle");
+        wait.recv()
+            .expect("the ingest worker answers every stats request")
     }
 
     /// The region × time-window query (see
@@ -567,6 +751,125 @@ mod tests {
         // Restore mid-stream, feed the rest, compare with the uninterrupted
         // engine continuing from the same point.
         let mut restored = crate::checkpoint::restore_from_slice(&outcome.value).unwrap();
+        let mut uninterrupted = outcome.engine;
+        for batch in batches.iter().skip(12) {
+            restored.ingest_clusters(batch.clone());
+            uninterrupted.ingest_clusters(batch.clone());
+        }
+        assert_eq!(restored.closed_crowds(), uninterrupted.closed_crowds());
+        assert_eq!(restored.gatherings(), uninterrupted.gatherings());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_ingestion_and_engine_load() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let total_ticks = batches.len() as u64;
+        let dir = temp_dir("stats");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = GatheringEngine::new(config());
+        let outcome = MonitorService::run(engine, store, |handle| {
+            for batch in batches.iter().cloned() {
+                handle.ingest(batch);
+            }
+            handle.flush();
+            let mid = handle.stats();
+            handle.ingest(batches[3].clone()); // non-adjacent: rejected
+            handle.flush();
+            (mid, handle.stats())
+        });
+        let (mid, end) = outcome.value;
+        assert_eq!(mid.batches_ingested, total_ticks);
+        assert_eq!(mid.batches_rejected, 0);
+        assert_eq!(mid.ticks_ingested, total_ticks);
+        assert_eq!(
+            mid.finalized_records,
+            outcome.engine.finalized_records().len()
+        );
+        assert_eq!(mid.stored_records, mid.finalized_records);
+        assert!(mid.engine.resident_ticks > 0);
+        assert!(mid.engine.per_shard_clusters.is_empty());
+        assert_eq!(end.batches_rejected, 1);
+        assert_eq!(end.ticks_ingested, total_ticks);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_mode_matches_single_mode_and_serves_queries() {
+        use gpdt_shard::{GridPartitioner, Partitioner};
+
+        let db = scene();
+        let batches = tick_batches(&db);
+
+        // Reference: single-engine service over the same stream.
+        let single_dir = temp_dir("sharded-ref");
+        let single = MonitorService::run(
+            GatheringEngine::new(config()),
+            PatternStore::open(&single_dir).unwrap(),
+            |handle| {
+                for batch in batches.iter().cloned() {
+                    handle.ingest(batch);
+                }
+                handle.flush();
+                handle.stored()
+            },
+        );
+        assert!(single.errors.is_empty(), "{:?}", single.errors);
+
+        let dir = temp_dir("sharded");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine =
+            ShardedEngine::new(config(), 3, Partitioner::Grid(GridPartitioner::new(300.0)));
+        let outcome = MonitorService::run(engine, store, |handle| {
+            for batch in batches.iter().cloned() {
+                handle.ingest(batch);
+            }
+            handle.flush();
+            let stats = handle.stats();
+            (handle.stored(), handle.top_k(10), stats)
+        });
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        let (stored, top, stats) = outcome.value;
+
+        // The sharded engine's canonical output and durable feed match the
+        // single engine's.
+        assert_eq!(
+            outcome.engine.closed_crowds(),
+            single.engine.closed_crowds()
+        );
+        assert_eq!(outcome.engine.gatherings(), single.engine.gatherings());
+        assert_eq!(stored, single.value);
+        assert!(!top.is_empty());
+        assert_eq!(stats.engine.per_shard_clusters.len(), 3);
+        assert_eq!(stats.stored_records, stored);
+        assert_eq!(stats.finalized_records, stored);
+
+        // The checkpoint taken through the service restores to an engine
+        // that continues identically.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&single_dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_checkpoint_through_the_service_is_restorable() {
+        use gpdt_shard::{GridPartitioner, Partitioner};
+
+        let db = scene();
+        let batches = tick_batches(&db);
+        let dir = temp_dir("sharded-checkpoint");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine =
+            ShardedEngine::new(config(), 2, Partitioner::Grid(GridPartitioner::new(300.0)));
+        let outcome = MonitorService::run(engine, store, |handle| {
+            for batch in batches.iter().take(12).cloned() {
+                handle.ingest(batch);
+            }
+            handle.checkpoint().unwrap()
+        });
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+
+        let mut restored = crate::sharded::restore_sharded_from_slice(&outcome.value).unwrap();
         let mut uninterrupted = outcome.engine;
         for batch in batches.iter().skip(12) {
             restored.ingest_clusters(batch.clone());

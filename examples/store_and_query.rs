@@ -44,8 +44,9 @@ fn main() {
         .build()
         .expect("valid parameters");
 
-    let base = std::env::temp_dir().join(format!("gpdt-store-example-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&base);
+    // `GPDT_SCRATCH_DIR` overrides where the throwaway store/checkpoint
+    // land, consistently with the bench binaries (see `gpdt_bench::env`).
+    let base = gpdt_bench::env::scratch_dir("store-example");
     std::fs::create_dir_all(&base).expect("create example directory");
     let store_dir = base.join("patterns");
     let checkpoint_path = base.join("engine.ckpt");

@@ -12,6 +12,8 @@
 //! * [`clustering`] — DBSCAN snapshot clustering.
 //! * [`index`] — R-tree and grid indexes over snapshot clusters.
 //! * [`core`] — crowds, gatherings, TAD/TAD\*, incremental discovery.
+//! * [`shard`] — sharded multi-engine ingest with the exact cross-shard
+//!   crowd merge.
 //! * [`store`] — durable pattern store, engine checkpoints and the
 //!   concurrent monitoring service.
 //! * [`baselines`] — flock, convoy, swarm and moving-cluster miners.
@@ -44,6 +46,7 @@ pub use gpdt_clustering as clustering;
 pub use gpdt_core as core;
 pub use gpdt_geo as geo;
 pub use gpdt_index as index;
+pub use gpdt_shard as shard;
 pub use gpdt_store as store;
 pub use gpdt_trajectory as trajectory;
 pub use gpdt_workload as workload;
@@ -56,6 +59,7 @@ pub mod prelude {
         GatheringParams, GatheringPipeline, RangeSearchStrategy, TadVariant,
     };
     pub use gpdt_geo::{Mbr, Point};
+    pub use gpdt_shard::{GridPartitioner, Partitioner, ShardedEngine};
     pub use gpdt_store::{
         EngineCheckpoint, MonitorService, PatternRecord, PatternStore, StoredGathering,
     };

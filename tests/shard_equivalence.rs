@@ -1,0 +1,259 @@
+//! Randomized sharding-equivalence suite: for every tested shard count,
+//! partitioner and range-search strategy, the `ShardedEngine`'s canonical
+//! output (closed crowds *and* closed gatherings) must be identical to a
+//! single `GatheringEngine` over the same stream — the sharding analogue of
+//! the batch-slicing independence bar set by `streaming_equivalence.rs`.
+//!
+//! The workloads are built to stress the merge: groups of objects drift
+//! across grid-cell borders, split, approach each other and churn members,
+//! so crowds regularly straddle shard boundaries, seed spuriously on the
+//! far side and branch through cross-shard edges.
+
+use gpdt_core::{
+    ClusteringParams, CrowdParams, GatheringConfig, GatheringEngine, GatheringParams,
+    RangeSearchStrategy, RetentionPolicy, TadVariant,
+};
+use gpdt_shard::{GridPartitioner, Partitioner, ShardedEngine};
+use gpdt_trajectory::{ObjectId, Timestamp, Trajectory, TrajectoryDatabase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn config() -> GatheringConfig {
+    GatheringConfig::builder()
+        .clustering(ClusteringParams::new(45.0, 3))
+        .crowd(CrowdParams::new(3, 3, 110.0))
+        .gathering(GatheringParams::new(3, 3))
+        .build()
+        .unwrap()
+}
+
+/// Groups doing a correlated random walk: most steps stay within `δ` so the
+/// group's cluster chain survives, occasional teleports break it, member
+/// churn makes some clusters drop below `mc`/`mp`, and the walk freely
+/// wanders across the 200-unit grid cells used by the spatial partitioner.
+fn random_scenario(rng: &mut StdRng, groups: usize, ticks: u32) -> TrajectoryDatabase {
+    let mut trajectories: Vec<(ObjectId, Vec<(Timestamp, (f64, f64))>)> = Vec::new();
+    let mut next_id = 0u32;
+    for _ in 0..groups {
+        let members = rng.gen_range(4usize..7);
+        let ids: Vec<ObjectId> = (0..members)
+            .map(|_| {
+                let id = ObjectId::new(next_id);
+                next_id += 1;
+                id
+            })
+            .collect();
+        let mut cx = rng.gen_range(-500.0..500.0);
+        let mut cy = rng.gen_range(-500.0..500.0);
+        let mut group: Vec<(ObjectId, Vec<(Timestamp, (f64, f64))>)> =
+            ids.iter().map(|&id| (id, Vec::new())).collect();
+        for t in 0..ticks {
+            if rng.gen_range(0u32..12) == 0 {
+                // Teleport: breaks the crowd chain.
+                cx = rng.gen_range(-500.0..500.0);
+                cy = rng.gen_range(-500.0..500.0);
+            } else {
+                // Drift, frequently crossing the 200-unit cell borders.
+                cx += rng.gen_range(-70.0..70.0);
+                cy += rng.gen_range(-70.0..70.0);
+            }
+            for (k, (_, points)) in group.iter_mut().enumerate() {
+                // Member churn: an object occasionally wanders off for a
+                // tick, shrinking the cluster (or dissolving it).
+                if rng.gen_range(0u32..10) == 0 {
+                    points.push((t, (cx + 5_000.0 + k as f64 * 900.0, cy - 7_000.0)));
+                } else {
+                    let jitter_x = rng.gen_range(-12.0..12.0);
+                    let jitter_y = rng.gen_range(-12.0..12.0);
+                    points.push((t, (cx + k as f64 * 9.0 + jitter_x, cy + jitter_y)));
+                }
+            }
+        }
+        trajectories.extend(group);
+    }
+    TrajectoryDatabase::from_trajectories(
+        trajectories
+            .into_iter()
+            .map(|(id, points)| Trajectory::from_points(id, points)),
+    )
+}
+
+/// Feeds the database in random slices.
+fn ingest_sliced_single(engine: &mut GatheringEngine, db: &TrajectoryDatabase, rng: &mut StdRng) {
+    let domain = db.time_domain().unwrap();
+    let mut at = domain.start;
+    while at <= domain.end {
+        let end = (at + rng.gen_range(1u32..6)).min(domain.end);
+        engine.ingest_trajectories_until(db, end);
+        at = end + 1;
+    }
+}
+
+fn ingest_sliced_sharded(engine: &mut ShardedEngine, db: &TrajectoryDatabase, rng: &mut StdRng) {
+    let domain = db.time_domain().unwrap();
+    let mut at = domain.start;
+    while at <= domain.end {
+        let end = (at + rng.gen_range(1u32..6)).min(domain.end);
+        engine.ingest_trajectories_until(db, end);
+        at = end + 1;
+    }
+}
+
+#[test]
+fn sharded_output_is_canonical_for_all_shard_counts_partitioners_strategies() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0001);
+    let mut crowds_seen = 0usize;
+    let mut cross_edges_seen = 0u64;
+    for trial in 0..5 {
+        let ticks = rng.gen_range(22u32..34);
+        let db = random_scenario(&mut rng, 4, ticks);
+        let variant = if trial % 2 == 0 {
+            TadVariant::TadStar
+        } else {
+            TadVariant::Tad
+        };
+
+        let mut single = GatheringEngine::new(config()).with_variant(variant);
+        single.ingest_trajectories(&db);
+        let reference = (single.closed_crowds(), single.gatherings());
+        crowds_seen += reference.0.len();
+
+        let partitioners = [
+            Partitioner::Grid(GridPartitioner::new(200.0)),
+            Partitioner::HashByObject,
+        ];
+        for strategy in RangeSearchStrategy::ALL {
+            for partitioner in partitioners {
+                for shards in SHARD_COUNTS {
+                    let mut sharded = ShardedEngine::new(config(), shards, partitioner)
+                        .with_strategy(strategy)
+                        .with_variant(variant);
+                    ingest_sliced_sharded(&mut sharded, &db, &mut rng);
+                    assert_eq!(
+                        sharded.closed_crowds(),
+                        reference.0,
+                        "crowds diverged: trial {trial}, {shards} shards, {partitioner}, {strategy}"
+                    );
+                    assert_eq!(
+                        sharded.gatherings(),
+                        reference.1,
+                        "gatherings diverged: trial {trial}, {shards} shards, {partitioner}, {strategy}"
+                    );
+                    cross_edges_seen += sharded.stats().cross_edges;
+                }
+            }
+        }
+    }
+    // The scenarios must actually exercise the interesting machinery.
+    assert!(crowds_seen > 10, "workload produced too few crowds");
+    assert!(
+        cross_edges_seen > 50,
+        "workload never crossed shard borders"
+    );
+}
+
+#[test]
+fn sharded_slicing_matches_single_engine_slicing() {
+    // Both sides sliced randomly (differently): output must still agree.
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0002);
+    for _ in 0..3 {
+        let db = random_scenario(&mut rng, 3, 26);
+        let mut single = GatheringEngine::new(config());
+        ingest_sliced_single(&mut single, &db, &mut rng);
+
+        let mut sharded =
+            ShardedEngine::new(config(), 4, Partitioner::Grid(GridPartitioner::new(200.0)));
+        ingest_sliced_sharded(&mut sharded, &db, &mut rng);
+        assert_eq!(sharded.closed_crowds(), single.closed_crowds());
+        assert_eq!(sharded.gatherings(), single.gatherings());
+    }
+}
+
+#[test]
+fn bounded_retention_never_changes_sharded_output() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0003);
+    for _ in 0..2 {
+        let db = random_scenario(&mut rng, 3, 30);
+        let mut single = GatheringEngine::new(config());
+        single.ingest_trajectories(&db);
+
+        for partitioner in [
+            Partitioner::Grid(GridPartitioner::new(200.0)),
+            Partitioner::HashByObject,
+        ] {
+            let mut bounded = ShardedEngine::new(config(), 4, partitioner)
+                .with_retention(RetentionPolicy::Bounded);
+            ingest_sliced_sharded(&mut bounded, &db, &mut rng);
+            assert_eq!(bounded.closed_crowds(), single.closed_crowds());
+            assert_eq!(bounded.gatherings(), single.gatherings());
+        }
+    }
+}
+
+#[test]
+fn sharded_crash_and_restore_reproduces_the_uninterrupted_run() {
+    // Crash at a random tick boundary, restore from the checkpoint bytes,
+    // feed the remainder: the restored run must be indistinguishable from
+    // the uninterrupted sharded run (and hence from the single engine).
+    use gpdt_store::{restore_sharded_from_slice, sharded_checkpoint_to_vec};
+
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0005);
+    for trial in 0..3 {
+        let ticks = rng.gen_range(20u32..30);
+        let db = random_scenario(&mut rng, 3, ticks);
+        let partitioner = if trial == 2 {
+            Partitioner::HashByObject
+        } else {
+            Partitioner::Grid(GridPartitioner::new(200.0))
+        };
+        let crash_at = rng.gen_range(1u32..ticks - 1);
+
+        let mut engine = ShardedEngine::new(config(), 4, partitioner);
+        engine.ingest_trajectories_until(&db, crash_at);
+        let bytes = sharded_checkpoint_to_vec(&engine);
+        drop(engine); // the "crash"
+
+        let mut restored = restore_sharded_from_slice(&bytes).expect("checkpoint restores");
+        restored.ingest_trajectories(&db);
+
+        let mut uninterrupted = ShardedEngine::new(config(), 4, partitioner);
+        uninterrupted.ingest_trajectories_until(&db, crash_at);
+        uninterrupted.ingest_trajectories(&db);
+
+        assert_eq!(
+            restored.closed_crowds(),
+            uninterrupted.closed_crowds(),
+            "trial {trial}, crash at t={crash_at}"
+        );
+        assert_eq!(restored.gatherings(), uninterrupted.gatherings());
+        assert_eq!(
+            restored.finalized_records().len(),
+            uninterrupted.finalized_records().len()
+        );
+
+        let mut single = GatheringEngine::new(config());
+        single.ingest_trajectories(&db);
+        assert_eq!(restored.closed_crowds(), single.closed_crowds());
+        assert_eq!(restored.gatherings(), single.gatherings());
+    }
+}
+
+#[test]
+fn brute_force_variant_and_strategy_agree_on_a_small_stream() {
+    // The quadratic baseline is kept out of the big loop; one compact stream
+    // checks the remaining variant axis under sharding.
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0004);
+    let db = random_scenario(&mut rng, 2, 16);
+    let mut single = GatheringEngine::new(config()).with_variant(TadVariant::BruteForce);
+    single.ingest_trajectories(&db);
+
+    let mut sharded =
+        ShardedEngine::new(config(), 3, Partitioner::Grid(GridPartitioner::new(200.0)))
+            .with_strategy(RangeSearchStrategy::BruteForce)
+            .with_variant(TadVariant::BruteForce);
+    sharded.ingest_trajectories(&db);
+    assert_eq!(sharded.closed_crowds(), single.closed_crowds());
+    assert_eq!(sharded.gatherings(), single.gatherings());
+}
