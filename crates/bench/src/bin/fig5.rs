@@ -13,10 +13,13 @@
 use gpdt_baselines::{
     discover_closed_swarms_from_clusters, discover_convoys_from_clusters, ConvoyParams, SwarmParams,
 };
+use gpdt_bench::env;
+use gpdt_bench::out_of_core::ingest_bounded;
 use gpdt_bench::report::{BenchReport, Table};
 use gpdt_bench::scenarios::{clustered_day, scaled};
 use gpdt_clustering::ClusteringParams;
-use gpdt_core::{CrowdParams, GatheringConfig, GatheringEngine, GatheringParams};
+use gpdt_core::{CrowdParams, GatheringConfig, GatheringEngine, GatheringParams, RetentionPolicy};
+use gpdt_store::PatternStore;
 use gpdt_trajectory::TimeInterval;
 use gpdt_workload::{Regime, Weather};
 
@@ -69,24 +72,47 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
         &SwarmParams::new(th.swarm_m, th.swarm_k, baseline_clustering),
     );
 
-    // Crowds and gatherings via the streaming engine (one-big-batch mode).
+    // Crowds and gatherings via the streaming engine, driven out of core:
+    // the day's cluster history goes in as budget-sized batches under
+    // bounded retention, finalized patterns spill to a scratch pattern
+    // store, and the counts are read back from the store.  Keeps the
+    // engine-resident arenas bounded so a full-scale day fits in RAM.
+    let budget = env::mem_budget();
     let mut engine = GatheringEngine::new(GatheringConfig {
         clustering: cs.clustering,
         crowd: th.crowd,
         gathering: th.gathering,
-    });
-    engine.ingest_clusters(cs.clusters);
-    let crowds = engine.closed_crowds();
-    let gatherings: Vec<(TimeInterval, usize)> = engine
-        .gatherings()
+    })
+    .with_retention(RetentionPolicy::Bounded);
+    let store_dir = env::scratch_dir(&format!("fig5-{seed}"));
+    let mut store = PatternStore::open(&store_dir).expect("open scratch pattern store");
+    let ooc = ingest_bounded(&mut engine, cs.clusters.into_sets(), budget, &mut store)
+        .expect("spill finalized patterns");
+    store
+        .archive_closed_frontier(&engine)
+        .expect("archive frontier");
+    let crowds: Vec<TimeInterval> = store.records().iter().map(|r| r.interval()).collect();
+    let gatherings: Vec<(TimeInterval, usize)> = store
+        .records()
         .iter()
-        .map(|g| (g.crowd().interval(), g.participators().len()))
+        .flat_map(|r| {
+            r.gatherings
+                .iter()
+                .map(|g| (g.interval, g.participators.len()))
+        })
         .collect();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&store_dir);
     // One progress line per simulated day: the full run mines four days and
     // swarm mining dominates, so silence would look like a hang.
     eprintln!(
-        "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?}",
-        day_start.elapsed()
+        "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?} \
+         ({} ingest batches under a {:.0} MiB budget, peak arenas {:.1} MiB, {} records spilled)",
+        day_start.elapsed(),
+        ooc.batches,
+        budget as f64 / (1 << 20) as f64,
+        ooc.peak_arena_bytes as f64 / (1 << 20) as f64,
+        ooc.spilled_records,
     );
 
     let regime_of_interval = |interval: &TimeInterval| -> Regime {
@@ -118,8 +144,8 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
         Regime::Work => 1,
         Regime::Casual => 2,
     };
-    for c in &crowds {
-        out[idx(regime_of_interval(&c.interval()))].crowds += 1;
+    for interval in &crowds {
+        out[idx(regime_of_interval(interval))].crowds += 1;
     }
     for (interval, _) in &gatherings {
         out[idx(regime_of_interval(interval))].gatherings += 1;

@@ -11,6 +11,10 @@
 //! * **`TickSearcher` construction** — per-tick index build under every
 //!   range-search strategy, with the reusable [`SearcherScratch`].
 //!
+//! Each kernel additionally runs in both point layouts — structure-of-arrays
+//! columns ([`gpdt_geo::PointColumns`]) and the interleaved `&[Point]` slice
+//! — through the same generic code path, isolating the layout effect.
+//!
 //! Run with `cargo run -q --release -p gpdt-bench --bin micro`; set
 //! `CRITERION_SHIM_ITERS` to raise the per-benchmark iteration count.
 //! Results are printed and serialised to `BENCH_micro.json` (honouring
@@ -20,10 +24,14 @@ use criterion::{black_box, Criterion};
 use gpdt_bench::report::{BenchReport, Table};
 use gpdt_clustering::dbscan::dbscan_hashgrid;
 use gpdt_clustering::{
-    dbscan_with, ClusteringParams, DbscanScratch, SnapshotCluster, SnapshotClusterSet,
+    dbscan_columns_with, dbscan_with, ClusteringParams, DbscanScratch, SnapshotCluster,
+    SnapshotClusterSet,
 };
 use gpdt_core::{RangeSearchStrategy, SearcherScratch, TickSearcher};
-use gpdt_geo::{hausdorff_within_bruteforce, hausdorff_within_bucketed, Point};
+use gpdt_geo::{
+    hausdorff_within_bruteforce, hausdorff_within_bucketed, hausdorff_within_views, Point,
+    PointColumns,
+};
 use gpdt_trajectory::ObjectId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,9 +70,13 @@ fn bench_dbscan(c: &mut Criterion, rng: &mut StdRng) {
     let mut group = c.benchmark_group("dbscan");
     for &(blobs, per_blob) in &[(12usize, 40usize), (60, 60)] {
         let points = blob_field(rng, blobs, per_blob, 300.0);
+        let columns = PointColumns::from_points(&points);
         let n = points.len();
         group.bench_function(format!("csr_arena/{n}"), |b| {
             b.iter(|| dbscan_with(black_box(&points), &params, &mut scratch))
+        });
+        group.bench_function(format!("csr_arena_soa/{n}"), |b| {
+            b.iter(|| dbscan_columns_with(black_box(columns.view()), &params, &mut scratch))
         });
         group.bench_function(format!("hashgrid/{n}"), |b| {
             b.iter(|| dbscan_hashgrid(black_box(&points), &params))
@@ -101,8 +113,12 @@ fn bench_hausdorff(c: &mut Criterion, rng: &mut StdRng) {
     for &n in &[512usize, 2048] {
         let p = snake(n, 0.0);
         let q = snake(n, 100.0);
+        let (pc, qc) = (PointColumns::from_points(&p), PointColumns::from_points(&q));
         group.bench_function(format!("bucketed/{n}"), |b| {
             b.iter(|| hausdorff_within_bucketed(black_box(&p), black_box(&q), delta))
+        });
+        group.bench_function(format!("bucketed_soa/{n}"), |b| {
+            b.iter(|| hausdorff_within_views(black_box(pc.view()), black_box(qc.view()), delta))
         });
         group.bench_function(format!("bruteforce/{n}"), |b| {
             b.iter(|| hausdorff_within_bruteforce(black_box(&p), black_box(&q), delta))
@@ -134,6 +150,30 @@ fn bench_tick_searcher(c: &mut Criterion, rng: &mut StdRng) {
             b.iter(|| TickSearcher::build_with(strategy, black_box(&set), delta, &mut scratch))
         });
     }
+    group.finish();
+
+    // The grid index build in both layouts: the tick's shared column arena
+    // (what `TickSearcher` feeds it) against materialised `Vec<Point>`
+    // rows, through the same generic build.
+    let views: Vec<gpdt_geo::PointsView<'_>> = set.clusters.iter().map(|c| c.points()).collect();
+    let rows: Vec<Vec<Point>> = views.iter().map(|v| v.to_points()).collect();
+    let geometry = gpdt_geo::GridGeometry::for_delta(delta);
+    let mut grid_scratch = gpdt_index::GridBuildScratch::default();
+    let mut group = c.benchmark_group("grid_index_build");
+    group.bench_function("soa", |b| {
+        b.iter(|| {
+            gpdt_index::GridClusterIndex::build_access(
+                geometry,
+                black_box(&views),
+                &mut grid_scratch,
+            )
+        })
+    });
+    group.bench_function("aos", |b| {
+        b.iter(|| {
+            gpdt_index::GridClusterIndex::build_with(geometry, black_box(&rows), &mut grid_scratch)
+        })
+    });
     group.finish();
 }
 
@@ -190,5 +230,44 @@ fn main() {
         }
     }
     report.print_and_add(speedups);
+
+    // Layout ablation: the same generic kernel fed columns vs interleaved
+    // points.  >1.00x means the columnar layout is faster.
+    let mut layout = Table::new(
+        "SoA vs AoS layout delta (aos ns / soa ns)",
+        &["kernel", "delta"],
+    );
+    for (kernel, soa, aos) in [
+        (
+            "dbscan (small)",
+            "dbscan/csr_arena_soa/480",
+            "dbscan/csr_arena/480",
+        ),
+        (
+            "dbscan (large)",
+            "dbscan/csr_arena_soa/3600",
+            "dbscan/csr_arena/3600",
+        ),
+        (
+            "hausdorff_within (512)",
+            "hausdorff_within/bucketed_soa/512",
+            "hausdorff_within/bucketed/512",
+        ),
+        (
+            "hausdorff_within (2048)",
+            "hausdorff_within/bucketed_soa/2048",
+            "hausdorff_within/bucketed/2048",
+        ),
+        (
+            "grid index build",
+            "grid_index_build/soa",
+            "grid_index_build/aos",
+        ),
+    ] {
+        if let (Some(s), Some(a)) = (mean_ns(&criterion, soa), mean_ns(&criterion, aos)) {
+            layout.add_row(vec![kernel.to_string(), format!("{:.2}x", a / s)]);
+        }
+    }
+    report.print_and_add(layout);
     report.write_logged();
 }

@@ -12,6 +12,7 @@
 //! | `GPDT_BENCH_WARMUP` | [`warmup`] | `1`/`true` forces a warmup run (default: on when `runs > 1`) |
 //! | `GPDT_BENCH_DIR` | [`report_dir`] | directory receiving the `BENCH_*.json` reports (default: cwd) |
 //! | `GPDT_SCRATCH_DIR` | [`scratch_dir`] | parent for throwaway on-disk state (stores, checkpoints); default: the system temp dir |
+//! | `GPDT_MEM_BUDGET` | [`mem_budget`] | cluster-arena byte budget for out-of-core ingest, with optional `k`/`m`/`g` suffix (default: a conservative share of the machine's memory) |
 
 use std::path::PathBuf;
 
@@ -60,6 +61,60 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// The cluster-arena memory budget from `GPDT_MEM_BUDGET` (bytes, optional
+/// case-insensitive `k`/`m`/`g` binary suffix; e.g. `256m`).
+///
+/// Unset or unparsable values fall back to [`default_mem_budget`], matching
+/// the other variables' parse-failure behaviour.
+pub fn mem_budget() -> usize {
+    std::env::var("GPDT_MEM_BUDGET")
+        .ok()
+        .and_then(|v| parse_bytes(&v))
+        .filter(|&b| b > 0)
+        .unwrap_or_else(default_mem_budget)
+}
+
+/// Parses a byte count with an optional binary suffix (`k`, `m`, `g`).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim();
+    let (digits, unit) = match t.as_bytes().last()? {
+        b'k' | b'K' => (&t[..t.len() - 1], 1usize << 10),
+        b'm' | b'M' => (&t[..t.len() - 1], 1 << 20),
+        b'g' | b'G' => (&t[..t.len() - 1], 1 << 30),
+        _ => (t, 1),
+    };
+    digits.trim().parse::<usize>().ok()?.checked_mul(unit)
+}
+
+/// The conservative default budget when `GPDT_MEM_BUDGET` is unset: a
+/// quarter of the machine's available memory (total memory when
+/// availability is not reported), clamped to [64 MiB, 4 GiB]; 512 MiB when
+/// `/proc/meminfo` is unreadable (non-Linux hosts, locked-down containers).
+///
+/// The budget covers the dominant allocation — the per-tick cluster arenas —
+/// not the whole process, hence the conservative quarter.
+pub fn default_mem_budget() -> usize {
+    const MIN: usize = 64 << 20;
+    const MAX: usize = 4 << 30;
+    const FALLBACK: usize = 512 << 20;
+    meminfo_kib()
+        .map_or(FALLBACK, |kib| (kib.saturating_mul(1024)) / 4)
+        .clamp(MIN, MAX)
+}
+
+/// Reads `MemAvailable` (preferring it) or `MemTotal` from `/proc/meminfo`,
+/// in KiB.
+fn meminfo_kib() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let field = |key: &str| {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    field("MemAvailable:").or_else(|| field("MemTotal:"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +127,19 @@ mod tests {
         assert!(warmup(2));
         assert!(!warmup(1));
         assert!(report_dir().as_os_str().is_empty() || report_dir().is_dir());
+        assert!(mem_budget() >= 64 << 20);
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_and_without_suffix() {
+        assert_eq!(parse_bytes("1048576"), Some(1 << 20));
+        assert_eq!(parse_bytes("16k"), Some(16 << 10));
+        assert_eq!(parse_bytes("256M"), Some(256 << 20));
+        assert_eq!(parse_bytes(" 2 g "), Some(2 << 30));
+        assert_eq!(parse_bytes("garbage"), None);
+        assert_eq!(parse_bytes("-1m"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("99999999999999999999g"), None);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! ([`report`]).
 
 pub mod env;
+pub mod out_of_core;
 pub mod report;
 pub mod scenarios;
 pub mod synth;
 
+pub use out_of_core::{ingest_bounded, OutOfCoreReport};
 pub use report::{measure, measure_with, BenchReport, MeasureOpts, Table};
 pub use scenarios::{clustered_scenario, ClusteredScenario};
 pub use synth::{synthetic_crowd, SyntheticCrowdSpec};

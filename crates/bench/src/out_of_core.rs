@@ -1,0 +1,240 @@
+//! Out-of-core ingest: stream snapshot-cluster history through a
+//! bounded-retention engine in budget-sized batches.
+//!
+//! The full-history pipeline keeps every tick's cluster arenas resident for
+//! the whole run, which caps the workload size at whatever fits in RAM.
+//! [`ingest_bounded`] instead
+//!
+//! 1. slices the incoming cluster sets into batches whose shared column
+//!    arenas fit a fraction of the byte budget (see
+//!    [`crate::env::mem_budget`]),
+//! 2. runs the engine under [`RetentionPolicy::Bounded`](gpdt_core::RetentionPolicy) so ticks no future
+//!    discovery step can touch are evicted between batches, and
+//! 3. spills each batch's freshly finalized crowd records into a durable
+//!    [`PatternStore`] *before* the eviction that would make their cluster
+//!    references unresolvable, then drains them from the engine
+//!    ([`GatheringEngine::drain_finalized`]) so the record history stops
+//!    accumulating in RAM too.
+//!
+//! Discovery output is identical to a single-batch run: the engine's
+//! resumed sweep is exact under any batch slicing, and the spilled records
+//! plus the engine's final frontier together are exactly the single-batch
+//! engine's closed crowds and gatherings.
+//!
+//! The *peak* of resident arena bytes still depends on the data, not only on
+//! the budget: eviction cannot release ticks an open crowd still references,
+//! so a crowd spanning the entire stream pins the entire stream.  Workloads
+//! with finite crowd lifetimes (any realistic one) stay near the budget.
+
+use std::io;
+
+use gpdt_clustering::{ClusterDatabase, SnapshotClusterSet};
+use gpdt_core::GatheringEngine;
+use gpdt_store::PatternStore;
+
+/// What one [`ingest_bounded`] run did, for logging and regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfCoreReport {
+    /// The byte budget the batches were sized against.
+    pub budget_bytes: usize,
+    /// Number of ingest batches the stream was sliced into.
+    pub batches: usize,
+    /// Largest engine-resident cluster-arena footprint observed, measured
+    /// right after each ingest (before the post-spill eviction).
+    pub peak_arena_bytes: usize,
+    /// Finalized crowd records spilled to the store.
+    pub spilled_records: usize,
+}
+
+/// Streams `sets` into `engine` in batches sized to `budget_bytes`,
+/// spilling finalized records into `store` as they close.
+///
+/// The engine should be configured with
+/// [`RetentionPolicy::Bounded`](gpdt_core::RetentionPolicy::Bounded);
+/// without it the driver still produces correct output but nothing is ever
+/// evicted, so memory stays unbounded.  The engine's remaining frontier is
+/// *not* archived — call [`PatternStore::archive_closed_frontier`] after the
+/// stream ends if the store should become a complete archive.
+///
+/// # Errors
+///
+/// Propagates store I/O errors; records appended before a failure stay
+/// appended.
+pub fn ingest_bounded<I>(
+    engine: &mut GatheringEngine,
+    sets: I,
+    budget_bytes: usize,
+    store: &mut PatternStore,
+) -> io::Result<OutOfCoreReport>
+where
+    I: IntoIterator<Item = SnapshotClusterSet>,
+{
+    // A batch gets a quarter of the budget: the rest is headroom for the
+    // retained window (the trailing `kc` ticks plus whatever the frontier
+    // still references) that coexists with each incoming batch.
+    let batch_budget = (budget_bytes / 4).max(1);
+    let mut report = OutOfCoreReport {
+        budget_bytes,
+        batches: 0,
+        peak_arena_bytes: 0,
+        spilled_records: 0,
+    };
+    let mut batch: Vec<SnapshotClusterSet> = Vec::new();
+    let mut batch_bytes = 0usize;
+    for set in sets {
+        // A batch always takes at least one set, so a single tick larger
+        // than the budget degrades to tick-at-a-time ingest instead of
+        // stalling.
+        batch_bytes += set.arena_bytes();
+        batch.push(set);
+        if batch_bytes >= batch_budget {
+            flush(engine, store, &mut batch, &mut report)?;
+            batch_bytes = 0;
+        }
+    }
+    flush(engine, store, &mut batch, &mut report)?;
+    Ok(report)
+}
+
+/// Ingests one pending batch, spills what it finalized, then evicts.
+fn flush(
+    engine: &mut GatheringEngine,
+    store: &mut PatternStore,
+    batch: &mut Vec<SnapshotClusterSet>,
+    report: &mut OutOfCoreReport,
+) -> io::Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    engine.ingest_clusters(ClusterDatabase::from_sets(std::mem::take(batch)));
+    report.batches += 1;
+    report.peak_arena_bytes = report
+        .peak_arena_bytes
+        .max(engine.cluster_database().arena_bytes());
+    // Spill while the records' clusters are still resident: the engine's
+    // deferred eviction has not run since these crowds closed.
+    for record in engine.drain_finalized() {
+        store.append_crowd_record(&record, engine.cluster_database())?;
+        report.spilled_records += 1;
+    }
+    // The spilled records no longer pin history; reclaim eagerly instead of
+    // waiting for the next ingest's deferred eviction.
+    engine.evict_retired_clusters();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpdt_core::{
+        ClusteringParams, CrowdParams, GatheringConfig, GatheringParams, RetentionPolicy,
+    };
+    use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+
+    fn config() -> GatheringConfig {
+        GatheringConfig::builder()
+            .clustering(ClusteringParams::new(60.0, 3))
+            .crowd(CrowdParams::new(3, 4, 100.0))
+            .gathering(GatheringParams::new(3, 3))
+            .build()
+            .unwrap()
+    }
+
+    /// Objects that repeatedly gather for six ticks and scatter for three:
+    /// crowds have finite lifetimes, so bounded retention actually evicts.
+    fn gather_scatter_cdb(objects: u32, duration: u32) -> ClusterDatabase {
+        let db = TrajectoryDatabase::from_trajectories((0..objects).map(|i| {
+            Trajectory::from_points(
+                ObjectId::new(i),
+                (0..duration)
+                    .map(|t| {
+                        let x = if t % 9 < 6 {
+                            f64::from(i) * 10.0 + f64::from(t / 9) * 700.0
+                        } else {
+                            f64::from(i) * 50_000.0 + f64::from(t)
+                        };
+                        (t, (x, 0.0))
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        ClusterDatabase::build(&db, &config().clustering)
+    }
+
+    #[test]
+    fn bounded_ingest_matches_single_batch_output() {
+        let cdb = gather_scatter_cdb(5, 45);
+
+        let mut reference = GatheringEngine::new(config());
+        reference.ingest_clusters(cdb.clone());
+        let want_crowds = reference.closed_crowds();
+        let want_gatherings = reference.gatherings();
+        assert!(!want_crowds.is_empty(), "scenario must produce crowds");
+
+        let dir = crate::env::scratch_dir("ooc-match");
+        let mut store = PatternStore::open(&dir).unwrap();
+        let mut engine = GatheringEngine::new(config()).with_retention(RetentionPolicy::Bounded);
+        let report = ingest_bounded(&mut engine, cdb.into_sets(), 4 << 10, &mut store).unwrap();
+        store.archive_closed_frontier(&engine).unwrap();
+
+        assert!(report.batches > 1, "a 4 KiB budget must force batching");
+        assert!(report.spilled_records > 0, "mid-stream crowds must spill");
+        assert_eq!(store.len(), want_crowds.len());
+        let mut got: Vec<_> = store.records().iter().map(|r| r.crowd.clone()).collect();
+        got.sort_by(gpdt_core::canonical_crowd_order);
+        assert_eq!(got, want_crowds);
+        let stored_gatherings: usize = store.records().iter().map(|r| r.gatherings.len()).sum();
+        assert_eq!(stored_gatherings, want_gatherings.len());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_arena_stays_under_budget() {
+        let cdb = gather_scatter_cdb(6, 90);
+        let full_bytes = cdb.arena_bytes();
+        let budget = full_bytes / 4;
+
+        let dir = crate::env::scratch_dir("ooc-budget");
+        let mut store = PatternStore::open(&dir).unwrap();
+        let mut engine = GatheringEngine::new(config()).with_retention(RetentionPolicy::Bounded);
+        let report = ingest_bounded(&mut engine, cdb.into_sets(), budget, &mut store).unwrap();
+
+        assert!(
+            report.peak_arena_bytes <= budget,
+            "peak {} exceeds budget {} (full history: {})",
+            report.peak_arena_bytes,
+            budget,
+            full_bytes
+        );
+        assert!(report.peak_arena_bytes < full_bytes);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_survive_drained_engines() {
+        // A drained, evicted engine is still valid checkpoint input (the
+        // restore cross-checks tolerate missing pre-eviction history).
+        use gpdt_store::EngineCheckpoint;
+        let cdb = gather_scatter_cdb(5, 45);
+        let dir = crate::env::scratch_dir("ooc-ckpt");
+        let mut store = PatternStore::open(&dir).unwrap();
+        let mut engine = GatheringEngine::new(config()).with_retention(RetentionPolicy::Bounded);
+        ingest_bounded(&mut engine, cdb.into_sets(), 4 << 10, &mut store).unwrap();
+        let bytes = gpdt_store::checkpoint_to_vec(&engine);
+        let back = gpdt_store::restore_from_slice(&bytes).unwrap();
+        assert_eq!(back.frontier(), engine.frontier());
+        assert_eq!(
+            bytes,
+            {
+                let mut again = Vec::new();
+                back.checkpoint(&mut again).unwrap();
+                again
+            },
+            "restore → checkpoint must be a fixed point"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

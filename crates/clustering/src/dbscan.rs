@@ -19,7 +19,7 @@
 //! allocation apart from the output itself.
 
 use gpdt_geo::bvs::BitVector;
-use gpdt_geo::Point;
+use gpdt_geo::{Point, PointAccess, PointsView};
 
 use crate::params::ClusteringParams;
 
@@ -76,8 +76,13 @@ impl DbscanResult {
 }
 
 #[inline]
+fn cell_key_xy(x: f64, y: f64, eps: f64) -> (i64, i64) {
+    ((x / eps).floor() as i64, (y / eps).floor() as i64)
+}
+
+#[inline]
 fn cell_key(p: &Point, eps: f64) -> (i64, i64) {
-    ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+    cell_key_xy(p.x, p.y, eps)
 }
 
 /// Reusable scratch arena for [`dbscan_with`]: the CSR grid buffers and the
@@ -90,10 +95,13 @@ pub struct DbscanScratch {
     /// compares contiguous elements instead of chasing per-point key
     /// lookups.
     pairs: Vec<((i64, i64), u32)>,
-    /// `(point, index)` pairs sorted by (cell key, index): the CSR bucket
-    /// payload, with coordinates inline so the ε-scan reads one contiguous
-    /// run instead of chasing indices.
-    bucketed: Vec<(Point, u32)>,
+    /// The CSR bucket payload sorted by (cell key, index), stored as three
+    /// parallel columns (SoA): coordinates split into `bxs`/`bys` so the
+    /// ε-scan streams two dense `f64` arrays, with the original point index
+    /// alongside in `bidx`.
+    bxs: Vec<f64>,
+    bys: Vec<f64>,
+    bidx: Vec<u32>,
     /// Sorted unique cell keys.
     cells: Vec<(i64, i64)>,
     /// CSR offsets into `bucketed`; `starts[c]..starts[c + 1]` is cell `c`'s
@@ -124,18 +132,17 @@ impl DbscanScratch {
     }
 
     /// Rebuilds the CSR grid over `points` with cell side `eps`.
-    fn build_grid(&mut self, points: &[Point], eps: f64) {
+    fn build_grid<P: PointAccess>(&mut self, points: P, eps: f64) {
         // Sorting (key, index) pairs keeps each bucket in increasing point
         // order, matching the insertion order of a per-cell push loop.
         self.pairs.clear();
         self.pairs.extend(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (cell_key(p, eps), i as u32)),
+            (0..points.len()).map(|i| (cell_key_xy(points.x(i), points.y(i), eps), i as u32)),
         );
         self.pairs.sort_unstable();
-        self.bucketed.clear();
+        self.bxs.clear();
+        self.bys.clear();
+        self.bidx.clear();
         self.cells.clear();
         self.starts.clear();
         self.cell_of_point.clear();
@@ -145,7 +152,9 @@ impl DbscanScratch {
                 self.cells.push(key);
                 self.starts.push(pos as u32);
             }
-            self.bucketed.push((points[i as usize], i));
+            self.bxs.push(points.x(i as usize));
+            self.bys.push(points.y(i as usize));
+            self.bidx.push(i);
             self.cell_of_point[i as usize] = (self.cells.len() - 1) as u32;
         }
         self.starts.push(points.len() as u32);
@@ -167,14 +176,16 @@ impl DbscanScratch {
 
     /// Writes the indices of all points within `eps` of `points[idx]`
     /// (including `idx` itself) into the `neighbors` buffer.
-    fn find_neighbors(&mut self, points: &[Point], idx: usize, eps: f64) {
-        let p = points[idx];
+    fn find_neighbors<P: PointAccess>(&mut self, points: P, idx: usize, eps: f64) {
+        let (px, py) = (points.x(idx), points.y(idx));
         let eps_sq = eps * eps;
         self.neighbors.clear();
         for &(lo, hi) in &self.neighbor_ranges[self.cell_of_point[idx] as usize] {
-            for &(q, other) in &self.bucketed[lo as usize..hi as usize] {
-                if q.distance_sq(&p) <= eps_sq {
-                    self.neighbors.push(other);
+            for k in lo as usize..hi as usize {
+                let dx = self.bxs[k] - px;
+                let dy = self.bys[k] - py;
+                if dx * dx + dy * dy <= eps_sq {
+                    self.neighbors.push(self.bidx[k]);
                 }
             }
         }
@@ -196,6 +207,36 @@ pub fn dbscan(points: &[Point], params: &ClusteringParams) -> DbscanResult {
 /// buffer.  Produces exactly the same result as [`dbscan`].
 pub fn dbscan_with(
     points: &[Point],
+    params: &ClusteringParams,
+    scratch: &mut DbscanScratch,
+) -> DbscanResult {
+    dbscan_access(points, params, scratch)
+}
+
+/// Runs DBSCAN over a columnar point set ([`PointsView`]).
+///
+/// Allocates a fresh scratch arena; repeated callers should use
+/// [`dbscan_columns_with`].
+pub fn dbscan_columns(points: PointsView<'_>, params: &ClusteringParams) -> DbscanResult {
+    dbscan_access(points, params, &mut DbscanScratch::new())
+}
+
+/// Runs DBSCAN over a columnar point set, reusing `scratch`.
+///
+/// Index-for-index identical to [`dbscan_with`] on the same point sequence:
+/// the shared sweep is monomorphised over the layout and performs the same
+/// float comparisons in the same order.
+pub fn dbscan_columns_with(
+    points: PointsView<'_>,
+    params: &ClusteringParams,
+    scratch: &mut DbscanScratch,
+) -> DbscanResult {
+    dbscan_access(points, params, scratch)
+}
+
+/// The DBSCAN sweep, generic over the point layout.
+pub fn dbscan_access<P: PointAccess>(
+    points: P,
     params: &ClusteringParams,
     scratch: &mut DbscanScratch,
 ) -> DbscanResult {
@@ -563,6 +604,25 @@ mod proptests {
             assert_eq!(reused, dbscan(&points, &params));
             assert_eq!(reused, dbscan_hashgrid(&points, &params));
             assert_eq!(reused, dbscan_bruteforce(&points, &params));
+        }
+    }
+
+    /// The columnar (SoA) entry points agree exactly with the slice (AoS)
+    /// path — same clusters, same noise, same labels — across random scenes
+    /// and a scratch arena shared between the two layouts.
+    #[test]
+    fn columns_equal_slices() {
+        use gpdt_geo::PointColumns;
+        let mut rng = StdRng::seed_from_u64(0xd6);
+        let mut scratch = DbscanScratch::new();
+        for _ in 0..128 {
+            let points = random_points(&mut rng);
+            let params = random_params(&mut rng);
+            let cols = PointColumns::from_points(&points);
+            let aos = dbscan_with(&points, &params, &mut scratch);
+            let soa = dbscan_columns_with(cols.view(), &params, &mut scratch);
+            assert_eq!(aos, soa);
+            assert_eq!(soa, dbscan_columns(cols.view(), &params));
         }
     }
 

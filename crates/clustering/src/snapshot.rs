@@ -1,24 +1,49 @@
 //! Snapshot clusters and the snapshot-cluster database `CDB`.
+//!
+//! Storage is columnar: all clusters of one timestamp share a single
+//! structure-of-arrays arena (one `ObjectId` column plus parallel `xs`/`ys`
+//! coordinate columns behind `Arc`s) and each [`SnapshotCluster`] holds a
+//! `(start, end)` range into it.  Cloning a cluster — or partitioning a
+//! tick's clusters across shards — bumps two reference counts instead of
+//! copying point data, and the per-tick kernels (Hausdorff tests, index
+//! builds) stream dense coordinate columns.
 
-use gpdt_geo::{hausdorff_distance, hausdorff_within, Mbr, Point};
+use std::sync::Arc;
+
+use gpdt_geo::{
+    hausdorff_distance_views, hausdorff_within_views, Mbr, Point, PointAccess, PointColumns,
+    PointsView,
+};
 use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp, TrajectoryDatabase};
 
-use crate::dbscan::{dbscan_with, DbscanScratch};
+use crate::dbscan::{dbscan_columns_with, DbscanScratch};
 use crate::params::ClusteringParams;
 
 /// A snapshot cluster (Definition 1): a maximal group of objects whose
 /// positions at one timestamp are density-connected.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The member ids and coordinates live in an `Arc`-shared per-tick arena;
+/// the cluster itself is a range into it plus the cached MBR/centroid, so
+/// `clone()` is cheap and clusters of one tick stay cache-adjacent.
+#[derive(Debug, Clone)]
 pub struct SnapshotCluster {
     time: Timestamp,
-    members: Vec<ObjectId>,
-    points: Vec<Point>,
+    /// Shared member-id arena of the tick (sorted within each cluster range).
+    ids: Arc<[ObjectId]>,
+    /// Shared coordinate arena of the tick, parallel to `ids`.
+    cols: Arc<PointColumns>,
+    /// This cluster's range within the arenas.
+    start: u32,
+    end: u32,
     mbr: Mbr,
     centroid: Point,
 }
 
 impl SnapshotCluster {
     /// Creates a cluster from parallel member/point lists.
+    ///
+    /// Builds a private single-cluster arena; clusters that should share one
+    /// arena per tick are built through [`SnapshotClusterSetBuilder`].
     ///
     /// # Panics
     ///
@@ -30,19 +55,9 @@ impl SnapshotCluster {
             points.len(),
             "members and points must be parallel"
         );
-        let mut pairs: Vec<(ObjectId, Point)> = members.into_iter().zip(points).collect();
-        pairs.sort_by_key(|(id, _)| *id);
-        let members: Vec<ObjectId> = pairs.iter().map(|(id, _)| *id).collect();
-        let points: Vec<Point> = pairs.iter().map(|(_, p)| *p).collect();
-        let mbr = Mbr::from_points(&points).expect("non-empty");
-        let centroid = Point::centroid(&points).expect("non-empty");
-        SnapshotCluster {
-            time,
-            members,
-            points,
-            mbr,
-            centroid,
-        }
+        let mut builder = SnapshotClusterSetBuilder::new(time);
+        builder.push_cluster(&members, points.as_slice());
+        builder.finish().clusters.pop().expect("one cluster")
     }
 
     /// The timestamp of the cluster.
@@ -52,18 +67,18 @@ impl SnapshotCluster {
 
     /// Member object ids, sorted.
     pub fn members(&self) -> &[ObjectId] {
-        &self.members
+        &self.ids[self.start as usize..self.end as usize]
     }
 
-    /// Member positions, parallel to [`Self::members`].
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// Member positions, parallel to [`Self::members`], as a columnar view.
+    pub fn points(&self) -> PointsView<'_> {
+        self.cols.slice(self.start as usize..self.end as usize)
     }
 
     /// Number of member objects (`|c_t|`, compared against the crowd support
     /// threshold `mc`).
     pub fn len(&self) -> usize {
-        self.members.len()
+        (self.end - self.start) as usize
     }
 
     /// Always `false`: clusters are non-empty by construction.
@@ -83,12 +98,12 @@ impl SnapshotCluster {
 
     /// Returns `true` if the object is a member.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.members.binary_search(&id).is_ok()
+        self.members().binary_search(&id).is_ok()
     }
 
     /// Exact Hausdorff distance to another cluster.
     pub fn hausdorff_to(&self, other: &SnapshotCluster) -> f64 {
-        hausdorff_distance(&self.points, &other.points)
+        hausdorff_distance_views(self.points(), other.points())
     }
 
     /// Threshold test `dH(self, other) ≤ delta` with early exit.
@@ -100,7 +115,129 @@ impl SnapshotCluster {
         if self.mbr.min_distance(other.mbr()) > delta {
             return false;
         }
-        hausdorff_within(&self.points, &other.points, delta)
+        hausdorff_within_views(self.points(), other.points(), delta)
+    }
+}
+
+impl PartialEq for SnapshotCluster {
+    /// Logical equality: same timestamp, members and coordinates.  Two
+    /// clusters compare equal regardless of which arena holds their data or
+    /// where their ranges start.
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+            && self.members() == other.members()
+            && self.points().xs() == other.points().xs()
+            && self.points().ys() == other.points().ys()
+    }
+}
+
+/// Incrementally builds one tick's [`SnapshotClusterSet`] with all clusters
+/// sharing a single column arena.
+///
+/// Feed clusters either whole ([`Self::push_cluster`]) or member by member
+/// ([`Self::push_member`] / [`Self::end_cluster`]); `finish()` freezes the
+/// arenas behind `Arc`s and computes each cluster's cached MBR and centroid
+/// from its column range.
+#[derive(Debug)]
+pub struct SnapshotClusterSetBuilder {
+    time: Timestamp,
+    ids: Vec<ObjectId>,
+    cols: PointColumns,
+    ranges: Vec<(u32, u32)>,
+    /// The cluster currently being fed, buffered so its members can be
+    /// sorted by object id before being appended to the arenas.
+    pending: Vec<(ObjectId, f64, f64)>,
+}
+
+impl SnapshotClusterSetBuilder {
+    /// Starts a builder for timestamp `time`.
+    pub fn new(time: Timestamp) -> Self {
+        SnapshotClusterSetBuilder {
+            time,
+            ids: Vec::new(),
+            cols: PointColumns::new(),
+            ranges: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adds one member to the cluster currently being built.
+    pub fn push_member(&mut self, id: ObjectId, x: f64, y: f64) {
+        self.pending.push((id, x, y));
+    }
+
+    /// Seals the cluster currently being built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no member was pushed since the last seal.
+    pub fn end_cluster(&mut self) {
+        assert!(
+            !self.pending.is_empty(),
+            "a snapshot cluster cannot be empty"
+        );
+        // Stable sort by id, matching `SnapshotCluster::new`'s ordering for
+        // duplicate ids.
+        self.pending.sort_by_key(|&(id, _, _)| id);
+        let start = self.ids.len() as u32;
+        for &(id, x, y) in &self.pending {
+            self.ids.push(id);
+            self.cols.push_xy(x, y);
+        }
+        self.ranges.push((start, self.ids.len() as u32));
+        self.pending.clear();
+    }
+
+    /// Appends a whole cluster from parallel member/point sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences are empty or have different lengths.
+    pub fn push_cluster<P: PointAccess>(&mut self, members: &[ObjectId], points: P) {
+        assert_eq!(
+            members.len(),
+            points.len(),
+            "members and points must be parallel"
+        );
+        for (k, &id) in members.iter().enumerate() {
+            self.push_member(id, points.x(k), points.y(k));
+        }
+        self.end_cluster();
+    }
+
+    /// Freezes the arenas and returns the finished set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster is still being fed (members pushed without a
+    /// sealing [`Self::end_cluster`]).
+    pub fn finish(self) -> SnapshotClusterSet {
+        assert!(
+            self.pending.is_empty(),
+            "unfinished cluster: call end_cluster() before finish()"
+        );
+        let ids: Arc<[ObjectId]> = self.ids.into();
+        let cols = Arc::new(self.cols);
+        let clusters = self
+            .ranges
+            .iter()
+            .map(|&(start, end)| {
+                let view = cols.slice(start as usize..end as usize);
+                SnapshotCluster {
+                    time: self.time,
+                    ids: Arc::clone(&ids),
+                    cols: Arc::clone(&cols),
+                    start,
+                    end,
+                    mbr: view.mbr().expect("non-empty"),
+                    centroid: view.centroid().expect("non-empty"),
+                }
+            })
+            .collect();
+        SnapshotClusterSet {
+            time: self.time,
+            clusters,
+        }
     }
 }
 
@@ -147,6 +284,25 @@ impl SnapshotClusterSet {
             .iter()
             .enumerate()
             .map(move |(i, c)| (ClusterId::new(self.time, i), c))
+    }
+
+    /// Bytes of member-id and coordinate payload held live by this set's
+    /// arenas.
+    ///
+    /// Clusters sharing one arena (the normal case: one arena per tick) are
+    /// counted once; the arena pointers are deduplicated.  This is the
+    /// figure the out-of-core ingest layer budgets against.
+    pub fn arena_bytes(&self) -> usize {
+        let mut seen: Vec<*const PointColumns> = Vec::new();
+        let mut bytes = 0;
+        for c in &self.clusters {
+            let ptr = Arc::as_ptr(&c.cols);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                bytes += c.cols.payload_bytes() + c.ids.len() * std::mem::size_of::<ObjectId>();
+            }
+        }
+        bytes
     }
 }
 
@@ -239,21 +395,21 @@ impl ClusterDatabase {
         scratch: &mut DbscanScratch,
     ) -> SnapshotClusterSet {
         let snapshot = db.snapshot(t);
-        let points: Vec<Point> = snapshot.positions.iter().map(|(_, p)| *p).collect();
-        let result = dbscan_with(&points, params, scratch);
-        let clusters = result
-            .clusters
-            .into_iter()
-            .map(|member_indices| {
-                let members: Vec<ObjectId> = member_indices
-                    .iter()
-                    .map(|&i| snapshot.positions[i].0)
-                    .collect();
-                let pts: Vec<Point> = member_indices.iter().map(|&i| points[i]).collect();
-                SnapshotCluster::new(t, members, pts)
-            })
-            .collect();
-        SnapshotClusterSet { time: t, clusters }
+        // Split the snapshot into coordinate columns once: DBSCAN scans them
+        // and the finished clusters' shared arena is filled from them.
+        let mut cols = PointColumns::with_capacity(snapshot.positions.len());
+        for (_, p) in &snapshot.positions {
+            cols.push(*p);
+        }
+        let result = dbscan_columns_with(cols.view(), params, scratch);
+        let mut builder = SnapshotClusterSetBuilder::new(t);
+        for member_indices in &result.clusters {
+            for &i in member_indices {
+                builder.push_member(snapshot.positions[i].0, cols.xs()[i], cols.ys()[i]);
+            }
+            builder.end_cluster();
+        }
+        builder.finish()
     }
 
     /// Creates a database directly from per-timestamp cluster sets.
@@ -316,6 +472,22 @@ impl ClusterDatabase {
     /// Total number of snapshot clusters across all timestamps.
     pub fn total_clusters(&self) -> usize {
         self.sets.iter().map(|s| s.clusters.len()).sum()
+    }
+
+    /// Bytes of cluster-arena payload held live across all timestamps
+    /// (see [`SnapshotClusterSet::arena_bytes`]).
+    pub fn arena_bytes(&self) -> usize {
+        self.sets.iter().map(|s| s.arena_bytes()).sum()
+    }
+
+    /// Consumes the database into its per-timestamp sets, in time order.
+    ///
+    /// The out-of-core ingest driver uses this to feed a pre-built database
+    /// to an engine batch by batch while *dropping* each batch from the
+    /// source side, so the engine's retention policy actually frees arena
+    /// memory instead of keeping it alive through the source's `Arc` clones.
+    pub fn into_sets(self) -> Vec<SnapshotClusterSet> {
+        self.sets
     }
 
     /// Drops every cluster set strictly older than `t` and returns how many
@@ -386,8 +558,8 @@ mod tests {
             &[ObjectId::new(1), ObjectId::new(5), ObjectId::new(9)]
         );
         // Points stay parallel to their member after sorting.
-        assert_eq!(c.points()[0], Point::new(1.0, 0.0));
-        assert_eq!(c.points()[2], Point::new(9.0, 0.0));
+        assert_eq!(c.points().point(0), Point::new(1.0, 0.0));
+        assert_eq!(c.points().point(2), Point::new(9.0, 0.0));
         assert!(c.contains(ObjectId::new(5)));
         assert!(!c.contains(ObjectId::new(2)));
         assert_eq!(c.len(), 3);
@@ -553,6 +725,81 @@ mod tests {
         assert_eq!(cdb.evict_before(10), 2);
         assert!(cdb.is_empty());
         assert_eq!(cdb.evict_before(10), 0);
+    }
+
+    #[test]
+    fn builder_shares_one_arena_per_tick() {
+        let mut b = SnapshotClusterSetBuilder::new(2);
+        b.push_member(ObjectId::new(3), 3.0, 0.0);
+        b.push_member(ObjectId::new(1), 1.0, 0.0);
+        b.end_cluster();
+        b.push_cluster(
+            &[ObjectId::new(7), ObjectId::new(5)],
+            [Point::new(7.0, 0.0), Point::new(5.0, 0.0)].as_slice(),
+        );
+        let set = b.finish();
+        assert_eq!(set.len(), 2);
+        // Members are sorted within each cluster, points stay parallel.
+        assert_eq!(
+            set.clusters[0].members(),
+            &[ObjectId::new(1), ObjectId::new(3)]
+        );
+        assert_eq!(set.clusters[0].points().xs(), &[1.0, 3.0]);
+        assert_eq!(
+            set.clusters[1].members(),
+            &[ObjectId::new(5), ObjectId::new(7)]
+        );
+        // Both clusters reference the same arena...
+        assert!(Arc::ptr_eq(&set.clusters[0].cols, &set.clusters[1].cols));
+        // ...so the arena is counted once: 4 points × (16 coord + 4 id) bytes.
+        assert_eq!(set.arena_bytes(), 4 * 20);
+        // Logical equality is layout-independent: a standalone cluster with
+        // its own arena compares equal to the arena-backed one.
+        let standalone = cluster(2, &[1, 3], &[(1.0, 0.0), (3.0, 0.0)]);
+        assert_eq!(set.clusters[0], standalone);
+        // A clone shares its arena (counted once); a separately built twin
+        // does not (counted again).
+        let twin = cluster(2, &[1, 3], &[(1.0, 0.0), (3.0, 0.0)]);
+        let shared = SnapshotClusterSet {
+            time: 2,
+            clusters: vec![standalone.clone(), standalone],
+        };
+        assert_eq!(shared.arena_bytes(), 2 * 20);
+        let distinct = SnapshotClusterSet {
+            time: 2,
+            clusters: vec![shared.clusters[0].clone(), twin],
+        };
+        assert_eq!(distinct.arena_bytes(), 2 * 2 * 20);
+    }
+
+    #[test]
+    fn built_sets_share_arena_and_match_new() {
+        let db = dense_blob_db();
+        let params = ClusteringParams::new(15.0, 3);
+        let cdb = ClusterDatabase::build(&db, &params);
+        assert!(cdb.arena_bytes() > 0);
+        for set in cdb.iter() {
+            for w in set.clusters.windows(2) {
+                assert!(Arc::ptr_eq(&w[0].cols, &w[1].cols));
+            }
+            for c in &set.clusters {
+                // Rebuilding through SnapshotCluster::new (private arena)
+                // reproduces the identical cluster, cached fields included.
+                let rebuilt =
+                    SnapshotCluster::new(c.time(), c.members().to_vec(), c.points().to_points());
+                assert_eq!(&rebuilt, c);
+                assert_eq!(rebuilt.mbr(), c.mbr());
+                assert_eq!(rebuilt.centroid(), c.centroid());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished cluster")]
+    fn builder_rejects_unsealed_cluster() {
+        let mut b = SnapshotClusterSetBuilder::new(0);
+        b.push_member(ObjectId::new(1), 0.0, 0.0);
+        let _ = b.finish();
     }
 
     #[test]

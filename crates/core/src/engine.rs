@@ -287,6 +287,20 @@ impl GatheringEngine {
         &self.finalized
     }
 
+    /// Removes and returns the finalized crowd records accumulated so far.
+    ///
+    /// Discovery only ever reads the cluster database and the frontier, so
+    /// draining is invisible to future ingests.  It is the memory-bounding
+    /// counterpart of [`Self::finalized_records`]: an out-of-core driver
+    /// moves each batch's finalized records into a durable store *before*
+    /// the next ingest evicts the cluster ticks they reference, and the
+    /// engine stops retaining the (unbounded) record history in RAM.
+    /// Aggregate accessors such as [`Self::closed_crowds`] subsequently
+    /// cover only the records still held; the caller owns the full history.
+    pub fn drain_finalized(&mut self) -> Vec<CrowdRecord> {
+        std::mem::take(&mut self.finalized)
+    }
+
     /// The extension frontier (the paper's `CS`): every cluster sequence
     /// ending at the last ingested timestamp, paired with its cached
     /// gatherings (empty for sequences still shorter than `kc`).

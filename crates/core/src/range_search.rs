@@ -136,10 +136,12 @@ impl<'a> TickSearcher<'a> {
             }
             RangeSearchStrategy::Grid => {
                 let geometry = GridGeometry::for_delta(delta);
-                let point_sets: Vec<&[gpdt_geo::Point]> =
+                // Columnar views straight out of the tick's shared arena —
+                // no per-cluster point copies.
+                let point_sets: Vec<gpdt_geo::PointsView<'_>> =
                     set.clusters.iter().map(|c| c.points()).collect();
                 TickIndex::Grid {
-                    index: GridClusterIndex::build_with(geometry, &point_sets, &mut scratch.grid),
+                    index: GridClusterIndex::build_access(geometry, &point_sets, &mut scratch.grid),
                 }
             }
         };
@@ -190,7 +192,7 @@ impl<'a> TickSearcher<'a> {
             }
             TickIndex::Grid { index } => {
                 // Bucket the query once; every candidate refinement reuses it.
-                let prepared = index.prepare_query(query.points());
+                let prepared = index.prepare_query_access(query.points());
                 let candidate_ids = index.candidates(prepared.cells());
                 let candidates = candidate_ids.len();
                 out.extend(

@@ -92,9 +92,18 @@ impl GridGeometry {
     /// The cell containing point `p`.
     #[inline]
     pub fn cell_of(&self, p: &Point) -> CellCoord {
+        self.cell_of_xy(p.x, p.y)
+    }
+
+    /// The cell containing the point `(x, y)` given as raw coordinates.
+    ///
+    /// Columnar twin of [`GridGeometry::cell_of`] for callers scanning
+    /// `xs`/`ys` columns.
+    #[inline]
+    pub fn cell_of_xy(&self, x: f64, y: f64) -> CellCoord {
         CellCoord {
-            col: ((p.x - self.origin.x) / self.cell_size).floor() as i64,
-            row: ((p.y - self.origin.y) / self.cell_size).floor() as i64,
+            col: ((x - self.origin.x) / self.cell_size).floor() as i64,
+            row: ((y - self.origin.y) / self.cell_size).floor() as i64,
         }
     }
 

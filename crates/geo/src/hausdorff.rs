@@ -22,12 +22,21 @@
 //! a single entry point.
 
 use crate::point::Point;
+use crate::soa::{PointAccess, PointsView};
 
 /// Directed Hausdorff distance `h(P → Q) = max_{p∈P} min_{q∈Q} d(p, q)`.
 ///
 /// Returns `0.0` when `from` is empty (there is nothing to be far away) and
 /// `f64::INFINITY` when `from` is non-empty but `to` is empty.
 pub fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
+    directed_hausdorff_access(from, to)
+}
+
+/// [`directed_hausdorff`] generic over the point layout.
+///
+/// Monomorphised per layout: the same early-exit kernel serves `&[Point]`
+/// (AoS) and [`PointsView`] (SoA).
+pub fn directed_hausdorff_access<P: PointAccess, Q: PointAccess>(from: P, to: Q) -> f64 {
     if from.is_empty() {
         return 0.0;
     }
@@ -35,10 +44,13 @@ pub fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
         return f64::INFINITY;
     }
     let mut worst_sq: f64 = 0.0;
-    for p in from {
+    for i in 0..from.len() {
+        let (px, py) = (from.x(i), from.y(i));
         let mut best_sq = f64::INFINITY;
-        for q in to {
-            let d = p.distance_sq(q);
+        for j in 0..to.len() {
+            let dx = to.x(j) - px;
+            let dy = to.y(j) - py;
+            let d = dx * dx + dy * dy;
             if d < best_sq {
                 best_sq = d;
                 // The minimum for this `p` can only shrink further; if it is
@@ -64,6 +76,11 @@ pub fn hausdorff_distance(p: &[Point], q: &[Point]) -> f64 {
     directed_hausdorff(p, q).max(directed_hausdorff(q, p))
 }
 
+/// [`hausdorff_distance`] over columnar point sets.
+pub fn hausdorff_distance_views(p: PointsView<'_>, q: PointsView<'_>) -> f64 {
+    directed_hausdorff_access(p, q).max(directed_hausdorff_access(q, p))
+}
+
 /// Below this many point *pairs*, the brute-force scan beats building grid
 /// buckets (measured on the `micro` benchmark's elongated-cluster shapes;
 /// the break-even sits around 512 points per side).  The scan's early exit
@@ -80,16 +97,35 @@ const BUCKETED_PAIR_CUTOFF: usize = 1 << 18;
 /// ([`hausdorff_within_bruteforce`]).  Both are exact — the choice never
 /// changes the answer.
 pub fn hausdorff_within(p: &[Point], q: &[Point], threshold: f64) -> bool {
+    hausdorff_within_access(p, q, threshold)
+}
+
+/// [`hausdorff_within`] over columnar point sets.
+pub fn hausdorff_within_views(p: PointsView<'_>, q: PointsView<'_>, threshold: f64) -> bool {
+    hausdorff_within_access(p, q, threshold)
+}
+
+/// [`hausdorff_within`] generic over the point layout.
+pub fn hausdorff_within_access<P: PointAccess, Q: PointAccess>(p: P, q: Q, threshold: f64) -> bool {
     if p.len().saturating_mul(q.len()) >= BUCKETED_PAIR_CUTOFF {
-        hausdorff_within_bucketed(p, q, threshold)
+        hausdorff_within_bucketed_access(p, q, threshold)
     } else {
-        hausdorff_within_bruteforce(p, q, threshold)
+        hausdorff_within_bruteforce_access(p, q, threshold)
     }
 }
 
 /// Threshold test by direct scan over all point pairs (with early exit).
 pub fn hausdorff_within_bruteforce(p: &[Point], q: &[Point], threshold: f64) -> bool {
-    directed_within(p, q, threshold) && directed_within(q, p, threshold)
+    hausdorff_within_bruteforce_access(p, q, threshold)
+}
+
+/// [`hausdorff_within_bruteforce`] generic over the point layout.
+pub fn hausdorff_within_bruteforce_access<P: PointAccess, Q: PointAccess>(
+    p: P,
+    q: Q,
+    threshold: f64,
+) -> bool {
+    directed_within_access(p, q, threshold) && directed_within_access(q, p, threshold)
 }
 
 /// Threshold test with each side bucketed into a uniform grid of cell side
@@ -98,9 +134,18 @@ pub fn hausdorff_within_bruteforce(p: &[Point], q: &[Point], threshold: f64) -> 
 ///
 /// Exact — agrees with [`hausdorff_within_bruteforce`] on every input.
 pub fn hausdorff_within_bucketed(p: &[Point], q: &[Point], threshold: f64) -> bool {
+    hausdorff_within_bucketed_access(p, q, threshold)
+}
+
+/// [`hausdorff_within_bucketed`] generic over the point layout.
+pub fn hausdorff_within_bucketed_access<P: PointAccess, Q: PointAccess>(
+    p: P,
+    q: Q,
+    threshold: f64,
+) -> bool {
     if !(threshold.is_finite() && threshold > 0.0) {
         // Degenerate thresholds cannot define a grid; the scan handles them.
-        return hausdorff_within_bruteforce(p, q, threshold);
+        return hausdorff_within_bruteforce_access(p, q, threshold);
     }
     if p.is_empty() || q.is_empty() {
         return p.is_empty() && q.is_empty();
@@ -115,6 +160,15 @@ pub fn hausdorff_within_bucketed(p: &[Point], q: &[Point], threshold: f64) -> bo
 
 /// Directed threshold test: is `h(from → to) ≤ threshold`?
 pub fn directed_within(from: &[Point], to: &[Point], threshold: f64) -> bool {
+    directed_within_access(from, to, threshold)
+}
+
+/// [`directed_within`] generic over the point layout.
+pub fn directed_within_access<P: PointAccess, Q: PointAccess>(
+    from: P,
+    to: Q,
+    threshold: f64,
+) -> bool {
     if from.is_empty() {
         return true;
     }
@@ -122,9 +176,12 @@ pub fn directed_within(from: &[Point], to: &[Point], threshold: f64) -> bool {
         return false;
     }
     let thr_sq = threshold * threshold;
-    'outer: for p in from {
-        for q in to {
-            if p.distance_sq(q) <= thr_sq {
+    'outer: for i in 0..from.len() {
+        let (px, py) = (from.x(i), from.y(i));
+        for j in 0..to.len() {
+            let dx = to.x(j) - px;
+            let dy = to.y(j) - py;
+            if dx * dx + dy * dy <= thr_sq {
                 continue 'outer;
             }
         }
@@ -135,49 +192,54 @@ pub fn directed_within(from: &[Point], to: &[Point], threshold: f64) -> bool {
 
 /// One side of the bucketed threshold test: the points copied into cell
 /// order (CSR-style — contiguous per-cell slices under sorted unique cell
-/// keys), so every probe is a straight-line scan.
+/// keys), so every probe is a straight-line scan.  The copy is columnar
+/// (`xs`/`ys`), so probes stream two dense coordinate arrays regardless of
+/// the caller's layout.
 struct CellBuckets {
     threshold: f64,
     thr_sq: f64,
-    /// The points, grouped by cell.
-    points: Vec<Point>,
+    /// The point coordinates, grouped by cell, as parallel columns.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     /// Sorted unique cell keys, parallel to `starts`.
     cells: Vec<(i64, i64)>,
-    /// Offsets into `points` (one trailing sentinel).
+    /// Offsets into `xs`/`ys` (one trailing sentinel).
     starts: Vec<u32>,
 }
 
 impl CellBuckets {
-    fn build(input: &[Point], threshold: f64) -> Self {
+    fn build<P: PointAccess>(input: P, threshold: f64) -> Self {
         // Cell keys are cached up front: computing them inside the sort
         // comparator would redo the float division O(n log n) times.
-        let keys: Vec<(i64, i64)> = input
-            .iter()
-            .map(|p| {
+        let keys: Vec<(i64, i64)> = (0..input.len())
+            .map(|i| {
                 (
-                    (p.x / threshold).floor() as i64,
-                    (p.y / threshold).floor() as i64,
+                    (input.x(i) / threshold).floor() as i64,
+                    (input.y(i) / threshold).floor() as i64,
                 )
             })
             .collect();
         let mut order: Vec<u32> = (0..input.len() as u32).collect();
         order.sort_unstable_by_key(|&i| keys[i as usize]);
-        let mut points: Vec<Point> = Vec::with_capacity(input.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(input.len());
+        let mut ys: Vec<f64> = Vec::with_capacity(input.len());
         let mut cells: Vec<(i64, i64)> = Vec::new();
         let mut starts: Vec<u32> = Vec::new();
         for &i in &order {
             let k = keys[i as usize];
             if cells.last() != Some(&k) {
                 cells.push(k);
-                starts.push(points.len() as u32);
+                starts.push(xs.len() as u32);
             }
-            points.push(input[i as usize]);
+            xs.push(input.x(i as usize));
+            ys.push(input.y(i as usize));
         }
         starts.push(input.len() as u32);
         CellBuckets {
             threshold,
             thr_sq: threshold * threshold,
-            points,
+            xs,
+            ys,
             cells,
             starts,
         }
@@ -185,7 +247,7 @@ impl CellBuckets {
 
     /// `true` if every point of `from` has a bucketed point within the
     /// threshold, i.e. the directed test `h(from → bucketed) ≤ threshold`.
-    fn covers(&self, from: &[Point]) -> bool {
+    fn covers<P: PointAccess>(&self, from: P) -> bool {
         // Probe the point's own cell first: when the sets overlap, the
         // nearest neighbour is usually right there, and the ring cells hold
         // mostly too-far points.
@@ -200,17 +262,21 @@ impl CellBuckets {
             (1, 0),
             (1, 1),
         ];
-        'outer: for p in from {
-            let cx = (p.x / self.threshold).floor() as i64;
-            let cy = (p.y / self.threshold).floor() as i64;
+        'outer: for i in 0..from.len() {
+            let (px, py) = (from.x(i), from.y(i));
+            let cx = (px / self.threshold).floor() as i64;
+            let cy = (py / self.threshold).floor() as i64;
             for (dx, dy) in PROBES {
                 let Ok(cell) = self.cells.binary_search(&(cx + dx, cy + dy)) else {
                     continue;
                 };
-                let bucket =
-                    &self.points[self.starts[cell] as usize..self.starts[cell + 1] as usize];
-                if bucket.iter().any(|q| q.distance_sq(p) <= self.thr_sq) {
-                    continue 'outer;
+                let (lo, hi) = (self.starts[cell] as usize, self.starts[cell + 1] as usize);
+                for k in lo..hi {
+                    let qx = self.xs[k] - px;
+                    let qy = self.ys[k] - py;
+                    if qx * qx + qy * qy <= self.thr_sq {
+                        continue 'outer;
+                    }
                 }
             }
             return false;
@@ -403,6 +469,52 @@ mod proptests {
             &[Point::new(3.0, 4.0)],
             f64::NAN
         ));
+    }
+
+    /// The SoA (columnar) entry points agree with the AoS slice kernels on
+    /// arbitrary inputs and thresholds — exact equality, not tolerance: the
+    /// monomorphised kernels perform the identical float operations in the
+    /// identical order.
+    #[test]
+    fn columnar_views_match_slices() {
+        use crate::soa::PointColumns;
+        let mut rng = StdRng::seed_from_u64(0x77);
+        for round in 0..512 {
+            let p = random_points(&mut rng, 24);
+            let q = random_points(&mut rng, 24);
+            let pc = PointColumns::from_points(&p);
+            let qc = PointColumns::from_points(&q);
+            let (pv, qv) = (pc.view(), qc.view());
+            assert_eq!(
+                hausdorff_distance_views(pv, qv),
+                hausdorff_distance(&p, &q),
+                "round {round}"
+            );
+            assert_eq!(
+                directed_hausdorff_access(pv, qv),
+                directed_hausdorff(&p, &q)
+            );
+            let thr = match round % 3 {
+                0 => rng.gen_range(1.0..100.0),
+                1 => rng.gen_range(100.0..3000.0),
+                _ => hausdorff_distance(&p, &q),
+            };
+            assert_eq!(
+                hausdorff_within_views(pv, qv, thr),
+                hausdorff_within(&p, &q, thr),
+                "round {round} thr {thr}"
+            );
+            assert_eq!(
+                hausdorff_within_bucketed_access(pv, qv, thr),
+                hausdorff_within_bucketed(&p, &q, thr),
+                "round {round} thr {thr}"
+            );
+            // Mixed layouts also agree: AoS on one side, SoA on the other.
+            assert_eq!(
+                hausdorff_within_bruteforce_access(p.as_slice(), qv, thr),
+                hausdorff_within_bruteforce(&p, &q, thr)
+            );
+        }
     }
 
     /// Lemma 2 and Lemma 3: dmin ≤ dside ≤ dH for the sets' MBRs.

@@ -13,7 +13,10 @@
 //! * [`grid`] — the uniform grid geometry (cell side = √2/2·δ) and the
 //!   *affect region* of a cell (Definition 5),
 //! * [`bvs`] — bit-vector signatures with word-parallel population count and
-//!   set operations, shared by TAD\* and the swarm miner.
+//!   set operations, shared by TAD\* and the swarm miner,
+//! * [`soa`] — structure-of-arrays point storage ([`PointColumns`] /
+//!   [`PointsView`]) and the [`PointAccess`] trait the hot kernels are
+//!   generic over.
 //!
 //! All distances are plain Euclidean distances in metres; the workspace
 //! treats trajectory coordinates as already projected onto a local planar
@@ -24,12 +27,14 @@ pub mod grid;
 pub mod hausdorff;
 pub mod mbr;
 pub mod point;
+pub mod soa;
 
 pub use bvs::BitVector;
 pub use grid::{CellCoord, GridGeometry};
 pub use hausdorff::{
-    directed_hausdorff, hausdorff_distance, hausdorff_within, hausdorff_within_bruteforce,
-    hausdorff_within_bucketed,
+    directed_hausdorff, hausdorff_distance, hausdorff_distance_views, hausdorff_within,
+    hausdorff_within_bruteforce, hausdorff_within_bucketed, hausdorff_within_views,
 };
 pub use mbr::Mbr;
 pub use point::Point;
+pub use soa::{PointAccess, PointColumns, PointsView};

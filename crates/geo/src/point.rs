@@ -81,6 +81,25 @@ impl Point {
         Some(Point::new(sx / n, sy / n))
     }
 
+    /// The centroid of a point set given as parallel coordinate columns.
+    ///
+    /// Columnar twin of [`Point::centroid`]; the two must agree bit-for-bit
+    /// on the same point set, so both accumulate in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns differ in length.
+    pub fn centroid_columns(xs: &[f64], ys: &[f64]) -> Option<Point> {
+        assert_eq!(xs.len(), ys.len(), "coordinate columns must be parallel");
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let sx: f64 = xs.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        Some(Point::new(sx / n, sy / n))
+    }
+
     /// Perpendicular distance from `self` to the segment `a`–`b`.
     ///
     /// If the projection of `self` falls outside the segment the distance to

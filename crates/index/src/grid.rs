@@ -35,7 +35,7 @@
 //! query once with [`GridClusterIndex::prepare_query`] and refine through
 //! [`GridClusterIndex::within_delta_prepared`].
 
-use gpdt_geo::{CellCoord, GridGeometry, Point};
+use gpdt_geo::{CellCoord, GridGeometry, Point, PointAccess};
 
 /// Reusable scratch buffers for [`GridClusterIndex::build_with`]: the
 /// per-cluster sort order and cell keys.  Hold one per worker and reuse it
@@ -54,12 +54,15 @@ pub struct GridClusterIndex {
     cluster_cells: Vec<(u32, u32)>,
     /// Occupied cells, sorted within each cluster's range (`c.cl`).
     cells: Vec<CellCoord>,
-    /// Parallel to `cells`: start of the cell's points in `points`; the end
-    /// is the next entry (cells of one cluster cover a contiguous point
-    /// range, and a trailing sentinel closes the last cell).
+    /// Parallel to `cells`: start of the cell's points in the coordinate
+    /// columns; the end is the next entry (cells of one cluster cover a
+    /// contiguous point range, and a trailing sentinel closes the last
+    /// cell).
     cell_point_starts: Vec<u32>,
-    /// All clusters' points, grouped by (cluster, cell).
-    points: Vec<Point>,
+    /// All clusters' point coordinates, grouped by (cluster, cell), as
+    /// parallel columns (SoA) so refinement probes stream dense `f64` runs.
+    pxs: Vec<f64>,
+    pys: Vec<f64>,
     /// Inverted list (`g.inv`): sorted unique cells …
     inv_cells: Vec<CellCoord>,
     /// … with offset ranges into `inv_ids` (one trailing sentinel).
@@ -74,10 +77,11 @@ pub struct GridClusterIndex {
 pub struct PreparedQuery {
     /// Sorted unique cells of the query cluster (`ci.cl`).
     cells: Vec<CellCoord>,
-    /// Offsets into `points` (one trailing sentinel).
+    /// Offsets into the coordinate columns (one trailing sentinel).
     starts: Vec<u32>,
-    /// The query's points, grouped by cell.
-    points: Vec<Point>,
+    /// The query's point coordinates, grouped by cell, as parallel columns.
+    qxs: Vec<f64>,
+    qys: Vec<f64>,
 }
 
 impl PreparedQuery {
@@ -103,33 +107,45 @@ impl GridClusterIndex {
         clusters: &[S],
         scratch: &mut GridBuildScratch,
     ) -> Self {
-        let total_points: usize = clusters.iter().map(|c| c.as_ref().len()).sum();
+        let slices: Vec<&[Point]> = clusters.iter().map(|c| c.as_ref()).collect();
+        Self::build_access(geometry, &slices, scratch)
+    }
+
+    /// Like [`GridClusterIndex::build_with`], generic over the point layout
+    /// of the input clusters (`&[Point]` or columnar `PointsView`s).
+    pub fn build_access<P: PointAccess>(
+        geometry: GridGeometry,
+        clusters: &[P],
+        scratch: &mut GridBuildScratch,
+    ) -> Self {
+        let total_points: usize = clusters.iter().map(|c| c.len()).sum();
         let mut index = GridClusterIndex {
             geometry,
             cluster_cells: Vec::with_capacity(clusters.len()),
             cells: Vec::new(),
             cell_point_starts: Vec::new(),
-            points: Vec::with_capacity(total_points),
+            pxs: Vec::with_capacity(total_points),
+            pys: Vec::with_capacity(total_points),
             inv_cells: Vec::new(),
             inv_starts: Vec::new(),
             inv_ids: Vec::new(),
         };
         for cluster in clusters {
-            let cluster_points = cluster.as_ref();
             let cell_start = index.cells.len() as u32;
             bucket_points(
                 &geometry,
-                cluster_points,
+                *cluster,
                 scratch,
                 &mut index.cells,
                 &mut index.cell_point_starts,
-                &mut index.points,
+                &mut index.pxs,
+                &mut index.pys,
             );
             index
                 .cluster_cells
                 .push((cell_start, index.cells.len() as u32));
         }
-        index.cell_point_starts.push(index.points.len() as u32);
+        index.cell_point_starts.push(index.pxs.len() as u32);
 
         // Inverted list: (cell, cluster) pairs sorted by cell then cluster.
         let mut pairs: Vec<(CellCoord, u32)> = Vec::with_capacity(index.cells.len());
@@ -174,7 +190,14 @@ impl GridClusterIndex {
     /// Computes the cell list of an external (query) cluster under this
     /// index's geometry.
     pub fn cell_list_of(&self, points: &[Point]) -> Vec<CellCoord> {
-        let mut cells: Vec<CellCoord> = points.iter().map(|p| self.geometry.cell_of(p)).collect();
+        self.cell_list_of_access(points)
+    }
+
+    /// [`GridClusterIndex::cell_list_of`] generic over the point layout.
+    pub fn cell_list_of_access<P: PointAccess>(&self, points: P) -> Vec<CellCoord> {
+        let mut cells: Vec<CellCoord> = (0..points.len())
+            .map(|i| self.geometry.cell_of_xy(points.x(i), points.y(i)))
+            .collect();
         cells.sort();
         cells.dedup();
         cells
@@ -183,25 +206,36 @@ impl GridClusterIndex {
     /// Buckets a query cluster's points by cell for repeated refinement
     /// probes (one sort instead of one rebucketing per candidate).
     pub fn prepare_query(&self, points: &[Point]) -> PreparedQuery {
+        self.prepare_query_access(points)
+    }
+
+    /// [`GridClusterIndex::prepare_query`] generic over the point layout.
+    pub fn prepare_query_access<P: PointAccess>(&self, points: P) -> PreparedQuery {
         // Sort (cell, point) pairs directly: refinement probes only scan
         // buckets, so the within-cell point order is irrelevant and no index
         // indirection (or scratch buffer) is needed.
-        let mut pairs: Vec<(CellCoord, Point)> = points
-            .iter()
-            .map(|p| (self.geometry.cell_of(p), *p))
+        let mut pairs: Vec<(CellCoord, Point)> = (0..points.len())
+            .map(|i| {
+                (
+                    self.geometry.cell_of_xy(points.x(i), points.y(i)),
+                    points.point(i),
+                )
+            })
             .collect();
         pairs.sort_unstable_by_key(|&(cell, _)| cell);
         let mut query = PreparedQuery {
             cells: Vec::new(),
             starts: Vec::new(),
-            points: Vec::with_capacity(points.len()),
+            qxs: Vec::with_capacity(points.len()),
+            qys: Vec::with_capacity(points.len()),
         };
         for &(cell, p) in &pairs {
             if query.cells.last() != Some(&cell) {
                 query.cells.push(cell);
-                query.starts.push(query.points.len() as u32);
+                query.starts.push(query.qxs.len() as u32);
             }
-            query.points.push(p);
+            query.qxs.push(p.x);
+            query.qys.push(p.y);
         }
         query.starts.push(points.len() as u32);
         query
@@ -273,9 +307,14 @@ impl GridClusterIndex {
             if candidate_cells.binary_search(&cell).is_ok() {
                 continue;
             }
-            let bucket = &query.points[query.starts[qi] as usize..query.starts[qi + 1] as usize];
-            for p in bucket {
-                if !self.candidate_has_point_near(candidate, p, &cell, delta_sq) {
+            for k in query.starts[qi] as usize..query.starts[qi + 1] as usize {
+                if !self.candidate_has_point_near(
+                    candidate,
+                    query.qxs[k],
+                    query.qys[k],
+                    &cell,
+                    delta_sq,
+                ) {
                     return false;
                 }
             }
@@ -288,10 +327,8 @@ impl GridClusterIndex {
             if query.cells.binary_search(&cell).is_ok() {
                 continue;
             }
-            let bucket = &self.points
-                [self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize];
-            for p in bucket {
-                if !query_has_point_near(query, p, &cell, delta_sq) {
+            for k in self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize {
+                if !query_has_point_near(query, self.pxs[k], self.pys[k], &cell, delta_sq) {
                     return false;
                 }
             }
@@ -311,12 +348,13 @@ impl GridClusterIndex {
             .collect()
     }
 
-    /// Does `candidate` have a point within `√delta_sq` of `p`?  Only the
-    /// affect region of `p`'s cell can contain one.
+    /// Does `candidate` have a point within `√delta_sq` of `(px, py)`?  Only
+    /// the affect region of the point's cell can contain one.
     fn candidate_has_point_near(
         &self,
         candidate: usize,
-        p: &Point,
+        px: f64,
+        py: f64,
         cell: &CellCoord,
         delta_sq: f64,
     ) -> bool {
@@ -328,45 +366,57 @@ impl GridClusterIndex {
                 continue;
             };
             let ci = cand_start as usize + local;
-            let bucket = &self.points
-                [self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize];
-            if bucket.iter().any(|q| p.distance_sq(q) <= delta_sq) {
-                return true;
+            for k in self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize {
+                let dx = self.pxs[k] - px;
+                let dy = self.pys[k] - py;
+                if dx * dx + dy * dy <= delta_sq {
+                    return true;
+                }
             }
         }
         false
     }
 }
 
-/// Does the prepared query have a point within `√delta_sq` of `p`?
-fn query_has_point_near(query: &PreparedQuery, p: &Point, cell: &CellCoord, delta_sq: f64) -> bool {
+/// Does the prepared query have a point within `√delta_sq` of `(px, py)`?
+fn query_has_point_near(
+    query: &PreparedQuery,
+    px: f64,
+    py: f64,
+    cell: &CellCoord,
+    delta_sq: f64,
+) -> bool {
     for (dc, dr) in GridGeometry::AFFECT_OFFSETS {
         let probe = CellCoord::new(cell.col + dc, cell.row + dr);
         let Ok(qi) = query.cells.binary_search(&probe) else {
             continue;
         };
-        let bucket = &query.points[query.starts[qi] as usize..query.starts[qi + 1] as usize];
-        if bucket.iter().any(|q| p.distance_sq(q) <= delta_sq) {
-            return true;
+        for k in query.starts[qi] as usize..query.starts[qi + 1] as usize {
+            let dx = query.qxs[k] - px;
+            let dy = query.qys[k] - py;
+            if dx * dx + dy * dy <= delta_sq {
+                return true;
+            }
         }
     }
     false
 }
 
 /// Sorts `points` by cell and appends the cluster's sorted unique cells, the
-/// per-cell point offsets and the grouped points to the output buffers.
-fn bucket_points(
+/// per-cell point offsets and the grouped coordinates to the output columns.
+fn bucket_points<P: PointAccess>(
     geometry: &GridGeometry,
-    points: &[Point],
+    points: P,
     scratch: &mut GridBuildScratch,
     cells_out: &mut Vec<CellCoord>,
     starts_out: &mut Vec<u32>,
-    points_out: &mut Vec<Point>,
+    xs_out: &mut Vec<f64>,
+    ys_out: &mut Vec<f64>,
 ) {
     scratch.keys.clear();
     scratch
         .keys
-        .extend(points.iter().map(|p| geometry.cell_of(p)));
+        .extend((0..points.len()).map(|i| geometry.cell_of_xy(points.x(i), points.y(i))));
     scratch.order.clear();
     scratch.order.extend(0..points.len() as u32);
     let keys = &scratch.keys;
@@ -378,10 +428,11 @@ fn bucket_points(
         let cell = scratch.keys[i as usize];
         if prev != Some(cell) {
             cells_out.push(cell);
-            starts_out.push(points_out.len() as u32);
+            starts_out.push(xs_out.len() as u32);
             prev = Some(cell);
         }
-        points_out.push(points[i as usize]);
+        xs_out.push(points.x(i as usize));
+        ys_out.push(points.y(i as usize));
     }
 }
 
@@ -597,6 +648,42 @@ mod proptests {
                     assert!(candidates.contains(&i), "true result {i} was pruned");
                 }
             }
+        }
+    }
+
+    /// Building from columnar views gives exactly the answers of building
+    /// from AoS slices, and columnar prepared queries agree with slice
+    /// queries.
+    #[test]
+    fn columnar_build_and_query_match_slices() {
+        use gpdt_geo::PointColumns;
+        let mut rng = StdRng::seed_from_u64(0xa4);
+        let mut scratch = GridBuildScratch::default();
+        for _ in 0..128 {
+            let clusters = random_clusters(&mut rng);
+            let query = random_cluster(&mut rng);
+            let delta = rng.gen_range(20.0..400.0);
+            let geometry = GridGeometry::for_delta(delta);
+            let cols: Vec<PointColumns> = clusters
+                .iter()
+                .map(|c| PointColumns::from_points(c))
+                .collect();
+            let views: Vec<_> = cols.iter().map(|c| c.view()).collect();
+            let qcols = PointColumns::from_points(&query);
+            let from_views = GridClusterIndex::build_access(geometry, &views, &mut scratch);
+            let from_slices = GridClusterIndex::build(geometry, &clusters);
+            assert_eq!(
+                from_views.cell_list_of_access(qcols.view()),
+                from_slices.cell_list_of(&query)
+            );
+            let prepared = from_views.prepare_query_access(qcols.view());
+            let expected = from_slices.range_search(&query, delta);
+            let got: Vec<usize> = from_views
+                .candidates(prepared.cells())
+                .into_iter()
+                .filter(|&c| from_views.within_delta_prepared(&prepared, c, delta))
+                .collect();
+            assert_eq!(got, expected);
         }
     }
 

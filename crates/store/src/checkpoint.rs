@@ -63,7 +63,15 @@ use crate::codec::{read_header, write_header, Decode, DecodeError, Encode};
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"GPDTCKP\0";
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u16 = 1;
+///
+/// Version history:
+///
+/// * **1** — row-oriented cluster frames (one header per cluster, points as
+///   interleaved x/y pairs).
+/// * **2** — columnar cluster-set frames: each tick writes per-cluster
+///   lengths followed by flat member-id, x and y columns, mirroring the
+///   in-memory shared-arena layout.  v1 checkpoints are still restorable.
+pub const CHECKPOINT_VERSION: u16 = 2;
 
 /// Checkpoint/restore hooks for the discovery engine.
 ///
@@ -105,11 +113,17 @@ impl EngineCheckpoint for GatheringEngine {
     }
 
     fn restore<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
-        read_header(r, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+        let version = read_header(r, &CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
         let config = GatheringConfig::decode(r)?;
         let strategy = RangeSearchStrategy::decode(r)?;
         let variant = TadVariant::decode(r)?;
-        let cdb = ClusterDatabase::decode(r)?;
+        // The cluster database is the only section whose layout changed
+        // across versions; everything around it decodes identically.
+        let cdb = if version == 1 {
+            crate::model::decode_cluster_database_v1(r)?
+        } else {
+            ClusterDatabase::decode(r)?
+        };
         let finalized: Vec<CrowdRecord> = Vec::decode(r)?;
         let frontier: Vec<(Crowd, Vec<Gathering>)> = Vec::decode(r)?;
 
@@ -399,5 +413,42 @@ mod tests {
             restore_from_slice(&bytes),
             Err(DecodeError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn v1_checkpoints_still_restore() {
+        let db = lingering_db(5, 12);
+        let mut engine = GatheringEngine::new(config());
+        engine.ingest_trajectories_until(&db, 7);
+        assert!(!engine.cluster_database().is_empty());
+
+        // Forge the same state in the v1 layout: header version 1 with the
+        // row-oriented per-cluster frames.
+        let mut v1 = Vec::new();
+        write_header(&mut v1, &CHECKPOINT_MAGIC, 1).unwrap();
+        engine.config().encode(&mut v1).unwrap();
+        engine.strategy().encode(&mut v1).unwrap();
+        engine.variant().encode(&mut v1).unwrap();
+        crate::model::encode_cluster_database_v1(engine.cluster_database(), &mut v1).unwrap();
+        engine.finalized_records().encode(&mut v1).unwrap();
+        engine.frontier().encode(&mut v1).unwrap();
+
+        let back = restore_from_slice(&v1).unwrap();
+        assert_eq!(back.time_domain(), engine.time_domain());
+        assert_eq!(back.closed_crowds(), engine.closed_crowds());
+        assert_eq!(back.gatherings(), engine.gatherings());
+        assert_eq!(
+            checkpoint_to_vec(&back),
+            checkpoint_to_vec(&engine),
+            "state restored from v1 must re-checkpoint identically to native v2"
+        );
+
+        // Truncated v1 inputs fail cleanly through the legacy decoder too.
+        for cut in 0..v1.len() {
+            assert!(
+                restore_from_slice(&v1[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 }

@@ -13,7 +13,9 @@
 
 use std::io::{self, Read, Write};
 
-use gpdt_clustering::{ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet};
+use gpdt_clustering::{
+    ClusterDatabase, ClusterId, SnapshotCluster, SnapshotClusterSet, SnapshotClusterSetBuilder,
+};
 use gpdt_core::{
     Crowd, CrowdParams, CrowdRecord, Gathering, GatheringConfig, GatheringParams,
     RangeSearchStrategy, TadVariant,
@@ -285,10 +287,18 @@ impl Decode for ClusterId {
 }
 
 impl Encode for SnapshotCluster {
+    /// Standalone (row-oriented) cluster frame: time, member list, point
+    /// list.  Cluster *sets* use the columnar frame below instead; this frame
+    /// remains for values encoded outside a set and matches the v1 layout.
     fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
         self.time().encode(w)?;
         self.members().encode(w)?;
-        self.points().encode(w)
+        let points = self.points();
+        points.len().encode(w)?;
+        for i in 0..points.len() {
+            points.point(i).encode(w)?;
+        }
+        Ok(())
     }
 }
 
@@ -310,22 +320,81 @@ impl Decode for SnapshotCluster {
 }
 
 impl Encode for SnapshotClusterSet {
+    /// Columnar set frame (checkpoint v2): timestamp, cluster count,
+    /// per-cluster lengths, then the tick's shared arenas as flat columns —
+    /// all member ids, all x coordinates, all y coordinates.  One length
+    /// prefix and three homogeneous streams instead of a header per cluster.
     fn encode<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
         self.time.encode(w)?;
-        self.clusters.encode(w)
+        self.clusters.len().encode(w)?;
+        for c in &self.clusters {
+            c.len().encode(w)?;
+        }
+        for c in &self.clusters {
+            for &id in c.members() {
+                id.encode(w)?;
+            }
+        }
+        for c in &self.clusters {
+            for &x in c.points().xs() {
+                x.encode(w)?;
+            }
+        }
+        for c in &self.clusters {
+            for &y in c.points().ys() {
+                y.encode(w)?;
+            }
+        }
+        Ok(())
     }
 }
 
 impl Decode for SnapshotClusterSet {
     fn decode<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
         let time = u32::decode(r)?;
-        let clusters: Vec<SnapshotCluster> = Vec::decode(r)?;
-        if clusters.iter().any(|c| c.time() != time) {
-            return Err(DecodeError::Corrupt(
-                "cluster timestamp differs from its set's timestamp",
-            ));
+        let count = usize::decode(r)?;
+        // Bounded initial capacities, as in `Vec::decode`: corrupt lengths
+        // surface as truncation errors instead of huge allocations.
+        let mut lens = Vec::with_capacity(count.min(4096));
+        let mut total = 0usize;
+        for _ in 0..count {
+            let len = usize::decode(r)?;
+            if len == 0 {
+                return Err(DecodeError::Corrupt("empty snapshot cluster"));
+            }
+            total = total
+                .checked_add(len)
+                .filter(|&t| t <= u32::MAX as usize)
+                .ok_or(DecodeError::Corrupt("cluster arena length overflows"))?;
+            lens.push(len);
         }
-        Ok(SnapshotClusterSet { time, clusters })
+        let mut ids = Vec::with_capacity(total.min(4096));
+        for _ in 0..total {
+            ids.push(ObjectId::decode(r)?);
+        }
+        let read_coords = |r: &mut R| -> Result<Vec<f64>, DecodeError> {
+            let mut out = Vec::with_capacity(total.min(4096));
+            for _ in 0..total {
+                let v = f64::decode(r)?;
+                if !v.is_finite() {
+                    return Err(DecodeError::Corrupt("non-finite point coordinate"));
+                }
+                out.push(v);
+            }
+            Ok(out)
+        };
+        let xs = read_coords(r)?;
+        let ys = read_coords(r)?;
+        let mut builder = SnapshotClusterSetBuilder::new(time);
+        let mut offset = 0;
+        for len in lens {
+            for i in offset..offset + len {
+                builder.push_member(ids[i], xs[i], ys[i]);
+            }
+            builder.end_cluster();
+            offset += len;
+        }
+        Ok(builder.finish())
     }
 }
 
@@ -349,6 +418,54 @@ impl Decode for ClusterDatabase {
         }
         Ok(ClusterDatabase::from_sets(sets))
     }
+}
+
+/// Decodes a v1 (row-oriented) cluster-set frame: timestamp followed by a
+/// `Vec` of standalone cluster frames.  Kept so checkpoints written before
+/// the columnar format remain restorable.
+pub(crate) fn decode_cluster_set_v1<R: Read + ?Sized>(
+    r: &mut R,
+) -> Result<SnapshotClusterSet, DecodeError> {
+    let time = u32::decode(r)?;
+    let clusters: Vec<SnapshotCluster> = Vec::decode(r)?;
+    if clusters.iter().any(|c| c.time() != time) {
+        return Err(DecodeError::Corrupt(
+            "cluster timestamp differs from its set's timestamp",
+        ));
+    }
+    Ok(SnapshotClusterSet { time, clusters })
+}
+
+/// Decodes a v1 cluster database: length prefix followed by v1 set frames.
+pub(crate) fn decode_cluster_database_v1<R: Read + ?Sized>(
+    r: &mut R,
+) -> Result<ClusterDatabase, DecodeError> {
+    let len = usize::decode(r)?;
+    let mut sets = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        sets.push(decode_cluster_set_v1(r)?);
+    }
+    if sets.windows(2).any(|w| w[1].time != w[0].time + 1) {
+        return Err(DecodeError::Corrupt(
+            "cluster sets do not cover contiguous timestamps",
+        ));
+    }
+    Ok(ClusterDatabase::from_sets(sets))
+}
+
+/// Encodes a cluster database in the v1 layout.  Only used by tests to forge
+/// old-format checkpoints; production code always writes the current format.
+#[cfg(test)]
+pub(crate) fn encode_cluster_database_v1<W: Write + ?Sized>(
+    cdb: &ClusterDatabase,
+    w: &mut W,
+) -> io::Result<()> {
+    cdb.len().encode(w)?;
+    for set in cdb.iter() {
+        set.time.encode(w)?;
+        set.clusters.encode(w)?;
+    }
+    Ok(())
 }
 
 impl Encode for Crowd {
@@ -672,6 +789,83 @@ mod tests {
         assert!(matches!(
             decode_from_slice::<Point>(&bytes),
             Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn columnar_set_decode_rebuilds_one_shared_arena() {
+        let mut rng = StdRng::seed_from_u64(0xA7);
+        let clusters: Vec<SnapshotCluster> = (0..4).map(|_| random_cluster(&mut rng, 3)).collect();
+        let set = SnapshotClusterSet { time: 3, clusters };
+        let back: SnapshotClusterSet = decode_from_slice(&encode_to_vec(&set)).unwrap();
+        assert_eq!(back.time, set.time);
+        assert_eq!(back.clusters, set.clusters);
+        // The decoded clusters must live back to back in a single tick
+        // arena: each cluster's coordinate slice starts exactly where the
+        // previous one ends.
+        for pair in back.clusters.windows(2) {
+            let (a, b) = (pair[0].points(), pair[1].points());
+            assert_eq!(a.xs().as_ptr_range().end, b.xs().as_ptr_range().start);
+            assert_eq!(a.ys().as_ptr_range().end, b.ys().as_ptr_range().start);
+        }
+    }
+
+    #[test]
+    fn v1_cluster_frames_decode_to_the_same_database() {
+        let mut rng = StdRng::seed_from_u64(0xA8);
+        for _ in 0..32 {
+            let cdb = random_cdb(&mut rng);
+            let mut v1 = Vec::new();
+            encode_cluster_database_v1(&cdb, &mut v1).unwrap();
+            let back = decode_cluster_database_v1(&mut v1.as_slice()).unwrap();
+            assert_eq!(back.time_domain(), cdb.time_domain());
+            for (a, b) in back.iter().zip(cdb.iter()) {
+                assert_eq!(a, b);
+            }
+            // And the legacy bytes really differ from the columnar frame
+            // whenever the database holds a multi-point cluster (the layouts
+            // only coincide on trivial content).
+            let v2 = encode_to_vec(&cdb);
+            if cdb.iter().any(|s| s.clusters.len() > 1) {
+                assert_ne!(v1, v2);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_columnar_set_frames_are_rejected() {
+        // A zero cluster length.
+        let mut bytes = Vec::new();
+        7u32.encode(&mut bytes).unwrap();
+        1usize.encode(&mut bytes).unwrap();
+        0usize.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<SnapshotClusterSet>(&bytes),
+            Err(DecodeError::Corrupt("empty snapshot cluster"))
+        ));
+
+        // A non-finite coordinate in the x column.
+        let mut bytes = Vec::new();
+        7u32.encode(&mut bytes).unwrap();
+        1usize.encode(&mut bytes).unwrap();
+        1usize.encode(&mut bytes).unwrap();
+        ObjectId::new(1).encode(&mut bytes).unwrap();
+        f64::INFINITY.encode(&mut bytes).unwrap();
+        0.0f64.encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<SnapshotClusterSet>(&bytes),
+            Err(DecodeError::Corrupt("non-finite point coordinate"))
+        ));
+
+        // Cluster lengths whose sum overflows the u32 arena range.
+        let mut bytes = Vec::new();
+        7u32.encode(&mut bytes).unwrap();
+        2usize.encode(&mut bytes).unwrap();
+        (u32::MAX as usize).encode(&mut bytes).unwrap();
+        (u32::MAX as usize).encode(&mut bytes).unwrap();
+        assert!(matches!(
+            decode_from_slice::<SnapshotClusterSet>(&bytes),
+            Err(DecodeError::Corrupt("cluster arena length overflows"))
         ));
     }
 }

@@ -61,7 +61,11 @@ use crate::codec::{read_header, write_header, Decode, DecodeError, Encode};
 pub const SHARDED_CHECKPOINT_MAGIC: [u8; 8] = *b"GPDTSHC\0";
 
 /// Current sharded-checkpoint format version.
-pub const SHARDED_CHECKPOINT_VERSION: u16 = 1;
+///
+/// Moves in lockstep with [`crate::CHECKPOINT_VERSION`]: v2 switches the
+/// merged cluster database to the columnar set frames (the embedded per-shard
+/// engine checkpoints carry their own versioned headers).
+pub const SHARDED_CHECKPOINT_VERSION: u16 = 2;
 
 /// An upper bound nobody reasonable exceeds; a corrupt shard count must not
 /// drive a decode loop for billions of engines.
@@ -122,12 +126,16 @@ impl EngineCheckpoint for ShardedEngine {
     }
 
     fn restore<R: Read + ?Sized>(r: &mut R) -> Result<Self, DecodeError> {
-        read_header(r, &SHARDED_CHECKPOINT_MAGIC, SHARDED_CHECKPOINT_VERSION)?;
+        let version = read_header(r, &SHARDED_CHECKPOINT_MAGIC, SHARDED_CHECKPOINT_VERSION)?;
         let config = GatheringConfig::decode(r)?;
         let strategy = RangeSearchStrategy::decode(r)?;
         let variant = TadVariant::decode(r)?;
         let partitioner = Partitioner::decode(r)?;
-        let cdb = ClusterDatabase::decode(r)?;
+        let cdb = if version == 1 {
+            crate::model::decode_cluster_database_v1(r)?
+        } else {
+            ClusterDatabase::decode(r)?
+        };
         let merge: Vec<Crowd> = Vec::decode(r)?;
         let cross_in: Vec<ClusterId> = Vec::decode(r)?;
         let cross_out: Vec<ClusterId> = Vec::decode(r)?;
