@@ -13,6 +13,8 @@
 //! | `GPDT_BENCH_DIR` | [`report_dir`] | directory receiving the `BENCH_*.json` reports (default: cwd) |
 //! | `GPDT_SCRATCH_DIR` | [`scratch_dir`] | parent for throwaway on-disk state (stores, checkpoints); default: the system temp dir |
 //! | `GPDT_MEM_BUDGET` | [`mem_budget`] | cluster-arena byte budget for out-of-core ingest, with optional `k`/`m`/`g` suffix (default: a conservative share of the machine's memory) |
+//! | `GPDT_SIMD` | `gpdt_geo::simd::dispatch` | pins the geometry kernel level: `off`/`scalar`, `sse2`, `avx2`, or `auto` (default: best level the CPU supports; every level is bit-identical, so this only affects speed) |
+//! | `GPDT_HAUSDORFF_CUTOFF` | `gpdt_geo::bucketed_pair_cutoff` | pins the brute→bucketed `hausdorff_within` crossover as a pair count (`0` = always bucketed; default: a one-shot timing probe on first use) |
 
 use std::path::PathBuf;
 

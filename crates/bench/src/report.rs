@@ -222,8 +222,14 @@ impl BenchReport {
     }
 
     /// Writes the report to [`Self::path`] and returns the path written.
+    ///
+    /// Creates `GPDT_BENCH_DIR` if it does not exist yet, so pointing a run
+    /// at a fresh directory (as the CI `cmp` steps do) just works.
     pub fn write(&self) -> io::Result<PathBuf> {
         let path = self.path();
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }

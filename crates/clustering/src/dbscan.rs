@@ -180,14 +180,22 @@ impl DbscanScratch {
         let (px, py) = (points.x(idx), points.y(idx));
         let eps_sq = eps * eps;
         self.neighbors.clear();
+        // The bucketed copies are columnar regardless of the input layout,
+        // so the ε-scan always runs on the dispatched SIMD kernel.  It
+        // pushes matches in bucket order with an exact comparison, so the
+        // neighbour list is identical to a scalar scan at every level.
+        let d = gpdt_geo::simd::dispatch();
         for &(lo, hi) in &self.neighbor_ranges[self.cell_of_point[idx] as usize] {
-            for k in lo as usize..hi as usize {
-                let dx = self.bxs[k] - px;
-                let dy = self.bys[k] - py;
-                if dx * dx + dy * dy <= eps_sq {
-                    self.neighbors.push(self.bidx[k]);
-                }
-            }
+            let (lo, hi) = (lo as usize, hi as usize);
+            d.filter_within(
+                &self.bxs[lo..hi],
+                &self.bys[lo..hi],
+                &self.bidx[lo..hi],
+                px,
+                py,
+                eps_sq,
+                &mut self.neighbors,
+            );
         }
     }
 }

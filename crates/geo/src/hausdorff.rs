@@ -22,7 +22,9 @@
 //! a single entry point.
 
 use crate::point::Point;
+use crate::simd::dispatch;
 use crate::soa::{PointAccess, PointsView};
+use std::sync::OnceLock;
 
 /// Directed Hausdorff distance `h(P → Q) = max_{p∈P} min_{q∈Q} d(p, q)`.
 ///
@@ -44,6 +46,21 @@ pub fn directed_hausdorff_access<P: PointAccess, Q: PointAccess>(from: P, to: Q)
         return f64::INFINITY;
     }
     let mut worst_sq: f64 = 0.0;
+    if let Some((txs, tys)) = to.columns() {
+        // Columnar target: the inner min-reduction runs on the SIMD kernel.
+        // An early-exited minimum may differ across levels but is always
+        // ≤ `worst_sq`, in which case it is discarded below — exactly like
+        // the scalar loop's `break` — so the returned distance is
+        // bit-identical to the generic path.
+        let d = dispatch();
+        for i in 0..from.len() {
+            let best_sq = d.min_dist_sq_bounded(txs, tys, from.x(i), from.y(i), worst_sq);
+            if best_sq > worst_sq {
+                worst_sq = best_sq;
+            }
+        }
+        return worst_sq.sqrt();
+    }
     for i in 0..from.len() {
         let (px, py) = (from.x(i), from.y(i));
         let mut best_sq = f64::INFINITY;
@@ -81,12 +98,111 @@ pub fn hausdorff_distance_views(p: PointsView<'_>, q: PointsView<'_>) -> f64 {
     directed_hausdorff_access(p, q).max(directed_hausdorff_access(q, p))
 }
 
-/// Below this many point *pairs*, the brute-force scan beats building grid
-/// buckets (measured on the `micro` benchmark's elongated-cluster shapes;
-/// the break-even sits around 512 points per side).  The scan's early exit
-/// makes it excellent on small compact clusters; the buckets take over where
-/// its O(|P|·|Q|) worst case can actually hurt.
-const BUCKETED_PAIR_CUTOFF: usize = 1 << 18;
+/// Pair-count ceiling used when the calibration probe never sees the
+/// bucketed kernel win: well beyond the largest probed size the brute-force
+/// scan's O(|P|·|Q|) worst case is ruinous regardless of what the probe's
+/// shapes measured, so bucketing takes over there no matter what.
+const MAX_PAIR_CUTOFF_FALLBACK: usize = 2 * 4096 * 4096;
+
+/// Sizes (points per side) probed by [`calibrate_pair_cutoff`].  The top
+/// size sits above the largest cluster the benchmarks exercise: the SIMD
+/// min-reduction moves the brute/bucketed crossover surprisingly high, so
+/// the probe has to look there to find it.
+const CALIBRATION_SIZES: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// The pair-count cutoff above which [`hausdorff_within_access`] switches
+/// from the brute-force scan to the grid-bucketed test.
+///
+/// Resolved once per process: the `GPDT_HAUSDORFF_CUTOFF` environment
+/// variable pins it (an integer number of point *pairs*; `0` forces
+/// always-bucketed); otherwise a one-shot calibration probe measures both
+/// kernels on this machine and picks the crossover.  Both kernels are
+/// exact, so the cutoff affects speed only — never answers.
+pub fn bucketed_pair_cutoff() -> usize {
+    static CUTOFF: OnceLock<usize> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        if let Some(pinned) = std::env::var("GPDT_HAUSDORFF_CUTOFF")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return pinned;
+        }
+        calibrate_pair_cutoff()
+    })
+}
+
+/// One-shot calibration: times the brute-force and bucketed threshold tests
+/// on deterministic elongated-cluster ("snake") shapes — the adversarial
+/// case for the scan's early exit — at increasing per-side sizes, and
+/// returns `s²` for the smallest size `s` where bucketing won, or a large
+/// ceiling when it never did.  Takes a few milliseconds, runs at most once
+/// per process (first threshold test), and the choice cannot change any
+/// result because both kernels are exact.
+fn calibrate_pair_cutoff() -> usize {
+    use std::time::Instant;
+    let delta = 300.0;
+    for &n in &CALIBRATION_SIZES {
+        let (pxs, pys) = calibration_snake(n, 0x9e37_79b9_7f4a_7c15, delta, 0.0);
+        let (qxs, qys) = calibration_snake(n, 0xd1b5_4a32_d192_ed03, delta, delta / 3.0);
+        let p = PointsView::new(&pxs, &pys);
+        let q = PointsView::new(&qxs, &qys);
+        // Alternate the kernels over several rounds and keep each one's best
+        // time, so a stray scheduler blip on one round cannot flip the
+        // comparison.
+        let (mut brute_best, mut bucketed_best) = (u128::MAX, u128::MAX);
+        for _ in 0..5 {
+            let t = Instant::now();
+            std::hint::black_box(hausdorff_within_bruteforce_access(p, q, delta));
+            brute_best = brute_best.min(t.elapsed().as_nanos());
+            let t = Instant::now();
+            std::hint::black_box(hausdorff_within_bucketed_access(p, q, delta));
+            bucketed_best = bucketed_best.min(t.elapsed().as_nanos());
+        }
+        if bucketed_best < brute_best {
+            return n * n;
+        }
+    }
+    MAX_PAIR_CUTOFF_FALLBACK
+}
+
+/// A deterministic elongated cluster for the calibration probe: points
+/// strung along a line at `delta / 2` spacing with bounded jitter, visited
+/// in shuffled order (matching the `micro` benchmark's adversarial snake
+/// shape, including its ±`delta`/7.5 jitter and the `y0` offset between the
+/// two sides of a pair).  Plain xorshift so the probe needs no RNG
+/// dependency and produces the same shapes in every process.
+fn calibration_snake(n: usize, seed: u64, delta: f64, y0: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let jitter_amp = delta / 7.5;
+    let mut jitter = move || ((next() % 2048) as f64 / 1024.0 - 1.0) * jitter_amp;
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        xs.push(i as f64 * (delta / 2.0) + jitter());
+        ys.push(y0 + jitter());
+    }
+    // Fisher–Yates so the scan order is not the spatial order (the
+    // early-exit scan would otherwise look unrealistically good).
+    let mut state2 = seed ^ 0x5bf0_3635;
+    let mut next2 = move || {
+        state2 ^= state2 << 13;
+        state2 ^= state2 >> 7;
+        state2 ^= state2 << 17;
+        state2
+    };
+    for i in (1..n).rev() {
+        let j = (next2() % (i as u64 + 1)) as usize;
+        xs.swap(i, j);
+        ys.swap(i, j);
+    }
+    (xs, ys)
+}
 
 /// Threshold test: is `dH(P, Q) ≤ threshold`?
 ///
@@ -107,7 +223,7 @@ pub fn hausdorff_within_views(p: PointsView<'_>, q: PointsView<'_>, threshold: f
 
 /// [`hausdorff_within`] generic over the point layout.
 pub fn hausdorff_within_access<P: PointAccess, Q: PointAccess>(p: P, q: Q, threshold: f64) -> bool {
-    if p.len().saturating_mul(q.len()) >= BUCKETED_PAIR_CUTOFF {
+    if p.len().saturating_mul(q.len()) >= bucketed_pair_cutoff() {
         hausdorff_within_bucketed_access(p, q, threshold)
     } else {
         hausdorff_within_bruteforce_access(p, q, threshold)
@@ -176,6 +292,18 @@ pub fn directed_within_access<P: PointAccess, Q: PointAccess>(
         return false;
     }
     let thr_sq = threshold * threshold;
+    if let Some((txs, tys)) = to.columns() {
+        // Columnar target: the "has a neighbour within δ" scan runs on the
+        // SIMD kernel.  The comparison is exact at every level, so the
+        // boolean cannot diverge from the generic loop below.
+        let d = dispatch();
+        for i in 0..from.len() {
+            if !d.any_within(txs, tys, from.x(i), from.y(i), thr_sq) {
+                return false;
+            }
+        }
+        return true;
+    }
     'outer: for i in 0..from.len() {
         let (px, py) = (from.x(i), from.y(i));
         for j in 0..to.len() {
@@ -262,6 +390,9 @@ impl CellBuckets {
             (1, 0),
             (1, 1),
         ];
+        // The per-cell slices are columnar by construction, so every probe
+        // runs on the SIMD kernel (exact comparison — level-independent).
+        let d = dispatch();
         'outer: for i in 0..from.len() {
             let (px, py) = (from.x(i), from.y(i));
             let cx = (px / self.threshold).floor() as i64;
@@ -271,12 +402,8 @@ impl CellBuckets {
                     continue;
                 };
                 let (lo, hi) = (self.starts[cell] as usize, self.starts[cell + 1] as usize);
-                for k in lo..hi {
-                    let qx = self.xs[k] - px;
-                    let qy = self.ys[k] - py;
-                    if qx * qx + qy * qy <= self.thr_sq {
-                        continue 'outer;
-                    }
+                if d.any_within(&self.xs[lo..hi], &self.ys[lo..hi], px, py, self.thr_sq) {
+                    continue 'outer;
                 }
             }
             return false;

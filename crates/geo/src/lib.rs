@@ -16,7 +16,11 @@
 //!   set operations, shared by TAD\* and the swarm miner,
 //! * [`soa`] — structure-of-arrays point storage ([`PointColumns`] /
 //!   [`PointsView`]) and the [`PointAccess`] trait the hot kernels are
-//!   generic over.
+//!   generic over,
+//! * [`simd`] — runtime-dispatched AVX2/SSE2/scalar kernels for the hot
+//!   column loops (ε-neighbourhood filtering, nearest-point reductions,
+//!   min/max/sum column folds), bit-identical across levels and pinnable
+//!   via `GPDT_SIMD`.
 //!
 //! All distances are plain Euclidean distances in metres; the workspace
 //! treats trajectory coordinates as already projected onto a local planar
@@ -27,14 +31,17 @@ pub mod grid;
 pub mod hausdorff;
 pub mod mbr;
 pub mod point;
+pub mod simd;
 pub mod soa;
 
 pub use bvs::BitVector;
 pub use grid::{CellCoord, GridGeometry};
 pub use hausdorff::{
-    directed_hausdorff, hausdorff_distance, hausdorff_distance_views, hausdorff_within,
-    hausdorff_within_bruteforce, hausdorff_within_bucketed, hausdorff_within_views,
+    bucketed_pair_cutoff, directed_hausdorff, hausdorff_distance, hausdorff_distance_views,
+    hausdorff_within, hausdorff_within_bruteforce, hausdorff_within_bucketed,
+    hausdorff_within_views,
 };
 pub use mbr::Mbr;
 pub use point::Point;
+pub use simd::{available_levels, dispatch, KernelDispatch, SimdLevel};
 pub use soa::{PointAccess, PointColumns, PointsView};

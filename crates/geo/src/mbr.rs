@@ -64,28 +64,20 @@ impl Mbr {
     /// The tightest rectangle enclosing a point set given as parallel
     /// coordinate columns.
     ///
-    /// Columnar twin of [`Mbr::from_points`]; each column is reduced with a
-    /// dense min/max sweep that the compiler can vectorise.  Returns `None`
-    /// for empty columns.
+    /// Columnar twin of [`Mbr::from_points`]; each column is reduced by the
+    /// dispatched SIMD min/max kernel ([`crate::simd::dispatch`]).  Min/max
+    /// is order-independent on the finite coordinates stored here, so this
+    /// agrees exactly with the expanding AoS sweep.  Returns `None` for
+    /// empty columns.
     ///
     /// # Panics
     ///
     /// Panics if the columns differ in length.
     pub fn from_columns(xs: &[f64], ys: &[f64]) -> Option<Self> {
         assert_eq!(xs.len(), ys.len(), "coordinate columns must be parallel");
-        if xs.is_empty() {
-            return None;
-        }
-        let (mut min_x, mut max_x) = (xs[0], xs[0]);
-        for &x in &xs[1..] {
-            min_x = min_x.min(x);
-            max_x = max_x.max(x);
-        }
-        let (mut min_y, mut max_y) = (ys[0], ys[0]);
-        for &y in &ys[1..] {
-            min_y = min_y.min(y);
-            max_y = max_y.max(y);
-        }
+        let d = crate::simd::dispatch();
+        let (min_x, max_x) = d.column_min_max(xs)?;
+        let (min_y, max_y) = d.column_min_max(ys)?;
         Some(Mbr {
             min_x,
             min_y,

@@ -74,17 +74,22 @@ impl Point {
         if points.is_empty() {
             return None;
         }
+        // Accumulate in the canonical striped order shared by every SIMD
+        // level so the AoS centroid stays bit-identical to
+        // [`Point::centroid_columns`] (sums are associativity-sensitive;
+        // min/max reductions are not).
         let n = points.len() as f64;
-        let (sx, sy) = points
-            .iter()
-            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        let sx = crate::simd::sum_striped_by(points.len(), |i| points[i].x);
+        let sy = crate::simd::sum_striped_by(points.len(), |i| points[i].y);
         Some(Point::new(sx / n, sy / n))
     }
 
     /// The centroid of a point set given as parallel coordinate columns.
     ///
     /// Columnar twin of [`Point::centroid`]; the two must agree bit-for-bit
-    /// on the same point set, so both accumulate in the same order.
+    /// on the same point set, so both accumulate in the canonical striped
+    /// order of [`crate::simd`] (which every dispatched sum kernel
+    /// reproduces exactly).
     ///
     /// # Panics
     ///
@@ -94,9 +99,10 @@ impl Point {
         if xs.is_empty() {
             return None;
         }
+        let d = crate::simd::dispatch();
         let n = xs.len() as f64;
-        let sx: f64 = xs.iter().sum();
-        let sy: f64 = ys.iter().sum();
+        let sx = d.column_sum(xs);
+        let sy = d.column_sum(ys);
         Some(Point::new(sx / n, sy / n))
     }
 

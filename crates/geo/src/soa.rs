@@ -49,6 +49,18 @@ pub trait PointAccess: Copy {
     fn point(&self, i: usize) -> Point {
         Point::new(self.x(i), self.y(i))
     }
+
+    /// The underlying coordinate columns, when this layout has them.
+    ///
+    /// [`PointsView`] returns its parallel slices; the AoS layout returns
+    /// `None`.  Kernels use this to route columnar inputs through the SIMD
+    /// dispatch table ([`crate::simd::dispatch`]) while keeping a scalar
+    /// generic body for interleaved layouts — the results are bit-identical
+    /// either way, so the specialisation is invisible to callers.
+    #[inline]
+    fn columns(&self) -> Option<(&[f64], &[f64])> {
+        None
+    }
 }
 
 impl PointAccess for &[Point] {
@@ -183,6 +195,11 @@ impl PointAccess for PointsView<'_> {
     #[inline]
     fn y(&self, i: usize) -> f64 {
         self.ys[i]
+    }
+
+    #[inline]
+    fn columns(&self) -> Option<(&[f64], &[f64])> {
+        Some((self.xs, self.ys))
     }
 }
 

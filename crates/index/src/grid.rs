@@ -366,12 +366,21 @@ impl GridClusterIndex {
                 continue;
             };
             let ci = cand_start as usize + local;
-            for k in self.cell_point_starts[ci] as usize..self.cell_point_starts[ci + 1] as usize {
-                let dx = self.pxs[k] - px;
-                let dy = self.pys[k] - py;
-                if dx * dx + dy * dy <= delta_sq {
-                    return true;
-                }
+            let (lo, hi) = (
+                self.cell_point_starts[ci] as usize,
+                self.cell_point_starts[ci + 1] as usize,
+            );
+            // The CSR point copies are columnar, so the refinement probe
+            // runs on the dispatched SIMD kernel (exact comparison —
+            // identical verdict at every level).
+            if gpdt_geo::simd::dispatch().any_within(
+                &self.pxs[lo..hi],
+                &self.pys[lo..hi],
+                px,
+                py,
+                delta_sq,
+            ) {
+                return true;
             }
         }
         false
@@ -391,12 +400,15 @@ fn query_has_point_near(
         let Ok(qi) = query.cells.binary_search(&probe) else {
             continue;
         };
-        for k in query.starts[qi] as usize..query.starts[qi + 1] as usize {
-            let dx = query.qxs[k] - px;
-            let dy = query.qys[k] - py;
-            if dx * dx + dy * dy <= delta_sq {
-                return true;
-            }
+        let (lo, hi) = (query.starts[qi] as usize, query.starts[qi + 1] as usize);
+        if gpdt_geo::simd::dispatch().any_within(
+            &query.qxs[lo..hi],
+            &query.qys[lo..hi],
+            px,
+            py,
+            delta_sq,
+        ) {
+            return true;
         }
     }
     false
