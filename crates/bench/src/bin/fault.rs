@@ -1,0 +1,112 @@
+//! Deterministic fault sweep — the CI durability gate.
+//!
+//! Runs the crash lattice of [`gpdt_bench::fault_sweep`] twice over a
+//! deterministic workload:
+//!
+//! 1. **kills only** — ≥200 seeded kill points, every mutating VFS
+//!    operation a candidate crash site, each recovery compared
+//!    byte-for-byte against the uninterrupted run;
+//! 2. **kills + transient faults** — the same lattice with injected short
+//!    writes and failed fsyncs layered on top, exercising the
+//!    restart-from-cursor path a supervisor would drive.
+//!
+//! The seed comes from `GPDT_FAULT_SEED` (default below) so a red run is
+//! reproducible by exporting the printed seed.  Results land in
+//! `BENCH_fault.json`; any violated invariant is printed to stderr and the
+//! process exits nonzero, failing the CI job.
+//!
+//! Run with `cargo run -p gpdt-bench --release --bin fault`.
+
+use gpdt_bench::env;
+use gpdt_bench::fault_sweep::{crash_lattice, sweep_workload, LatticeConfig, LatticeOutcome};
+use gpdt_bench::report::{BenchReport, Table};
+
+fn add_row(table: &mut Table, name: &str, outcome: &LatticeOutcome) {
+    table.add_row(vec![
+        name.into(),
+        outcome.points.to_string(),
+        outcome.kills_fired.to_string(),
+        outcome.incarnations.to_string(),
+        outcome.transient_restarts.to_string(),
+        outcome.violations.len().to_string(),
+    ]);
+}
+
+fn main() {
+    let seed = env::fault_seed().unwrap_or(0x1CDE_2013);
+    let (config, sets) = sweep_workload(8, 135);
+    let mut report = BenchReport::new("fault");
+    let mut table = Table::new(
+        format!("Crash lattice — seed {seed:#x}"),
+        &[
+            "sweep",
+            "kill points",
+            "kills fired",
+            "incarnations",
+            "transient restarts",
+            "violations",
+        ],
+    );
+
+    let start = std::time::Instant::now();
+    let kills = crash_lattice(
+        &LatticeConfig {
+            seed,
+            points: 200,
+            ..LatticeConfig::default()
+        },
+        &config,
+        &sets,
+    );
+    add_row(&mut table, "kills only", &kills);
+    eprintln!(
+        "[fault] kills-only lattice: {} points, {} kills fired, {} violations in {:.1?}",
+        kills.points,
+        kills.kills_fired,
+        kills.violations.len(),
+        start.elapsed()
+    );
+
+    let start = std::time::Instant::now();
+    let noisy = crash_lattice(
+        &LatticeConfig {
+            seed: seed.rotate_left(17),
+            points: 64,
+            transient_write_one_in: Some(7),
+            transient_sync_one_in: Some(11),
+            ..LatticeConfig::default()
+        },
+        &config,
+        &sets,
+    );
+    add_row(&mut table, "kills + transient faults", &noisy);
+    eprintln!(
+        "[fault] noisy lattice: {} points, {} kills fired, {} transient restarts, \
+         {} violations in {:.1?}",
+        noisy.points,
+        noisy.kills_fired,
+        noisy.transient_restarts,
+        noisy.violations.len(),
+        start.elapsed()
+    );
+
+    report.print_and_add(table);
+    report.write_logged();
+
+    let violations: Vec<&String> = kills
+        .violations
+        .iter()
+        .chain(noisy.violations.iter())
+        .collect();
+    if !violations.is_empty() {
+        eprintln!("[fault] FAILED under seed {seed:#x}:");
+        for v in &violations {
+            eprintln!("[fault]   {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "All {} kill points recovered byte-identically.",
+        kills.points + noisy.points
+    );
+}

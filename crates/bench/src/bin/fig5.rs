@@ -14,6 +14,7 @@ use gpdt_baselines::{
     discover_closed_swarms_from_clusters, discover_convoys_from_clusters, ConvoyParams, SwarmParams,
 };
 use gpdt_bench::env;
+use gpdt_bench::fault_sweep::mine_under_faults;
 use gpdt_bench::out_of_core::ingest_bounded;
 use gpdt_bench::report::{BenchReport, Table};
 use gpdt_bench::scenarios::{clustered_day, scaled};
@@ -77,23 +78,56 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
     // bounded retention, finalized patterns spill to a scratch pattern
     // store, and the counts are read back from the store.  Keeps the
     // engine-resident arenas bounded so a full-scale day fits in RAM.
+    //
+    // With `GPDT_FAULT_SEED` set the same mining runs on the fault-injection
+    // VFS instead: the backend is killed mid-run (plus injected short writes
+    // and fsync failures), recovered and resumed until completion.  Recovery
+    // is byte-identical, so the records — and therefore the BENCH JSON —
+    // must equal the fault-free run's; CI diffs the two outputs.
     let budget = env::mem_budget();
-    let mut engine = GatheringEngine::new(GatheringConfig {
+    let config = GatheringConfig {
         clustering: cs.clustering,
         crowd: th.crowd,
         gathering: th.gathering,
-    })
-    .with_retention(RetentionPolicy::Bounded);
-    let store_dir = env::scratch_dir(&format!("fig5-{seed}"));
-    let mut store = PatternStore::open(&store_dir).expect("open scratch pattern store");
-    let ooc = ingest_bounded(&mut engine, cs.clusters.into_sets(), budget, &mut store)
-        .expect("spill finalized patterns");
-    store
-        .archive_closed_frontier(&engine)
-        .expect("archive frontier");
-    let crowds: Vec<TimeInterval> = store.records().iter().map(|r| r.interval()).collect();
-    let gatherings: Vec<(TimeInterval, usize)> = store
-        .records()
+    };
+    let records = if let Some(fault_seed) = env::fault_seed() {
+        let (records, incarnations, transient_restarts) =
+            mine_under_faults(fault_seed ^ seed, &config, &cs.clusters.into_sets(), budget);
+        eprintln!(
+            "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?} under injected \
+             faults ({incarnations} incarnations, {transient_restarts} transient restarts, \
+             {} records recovered)",
+            day_start.elapsed(),
+            records.len(),
+        );
+        records
+    } else {
+        let mut engine = GatheringEngine::new(config).with_retention(RetentionPolicy::Bounded);
+        let store_dir = env::scratch_dir(&format!("fig5-{seed}"));
+        let mut store = PatternStore::open(&store_dir).expect("open scratch pattern store");
+        let ooc = ingest_bounded(&mut engine, cs.clusters.into_sets(), budget, &mut store)
+            .expect("spill finalized patterns");
+        store
+            .archive_closed_frontier(&engine)
+            .expect("archive frontier");
+        let records = store.records().to_vec();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&store_dir);
+        // One progress line per simulated day: the full run mines four days
+        // and swarm mining dominates, so silence would look like a hang.
+        eprintln!(
+            "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?} \
+             ({} ingest batches under a {:.0} MiB budget, peak arenas {:.1} MiB, {} records spilled)",
+            day_start.elapsed(),
+            ooc.batches,
+            budget as f64 / (1 << 20) as f64,
+            ooc.peak_arena_bytes as f64 / (1 << 20) as f64,
+            ooc.spilled_records,
+        );
+        records
+    };
+    let crowds: Vec<TimeInterval> = records.iter().map(|r| r.interval()).collect();
+    let gatherings: Vec<(TimeInterval, usize)> = records
         .iter()
         .flat_map(|r| {
             r.gatherings
@@ -101,19 +135,6 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
                 .map(|g| (g.interval, g.participators.len()))
         })
         .collect();
-    drop(store);
-    let _ = std::fs::remove_dir_all(&store_dir);
-    // One progress line per simulated day: the full run mines four days and
-    // swarm mining dominates, so silence would look like a hang.
-    eprintln!(
-        "[fig5] mined one {weather:?} day ({num_taxis} taxis) in {:.1?} \
-         ({} ingest batches under a {:.0} MiB budget, peak arenas {:.1} MiB, {} records spilled)",
-        day_start.elapsed(),
-        ooc.batches,
-        budget as f64 / (1 << 20) as f64,
-        ooc.peak_arena_bytes as f64 / (1 << 20) as f64,
-        ooc.spilled_records,
-    );
 
     let regime_of_interval = |interval: &TimeInterval| -> Regime {
         let mid = start_of_day + (interval.start + interval.end) / 2;

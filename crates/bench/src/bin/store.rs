@@ -106,6 +106,7 @@ fn log_throughput(report: &mut BenchReport, records: &[PatternRecord]) {
             &dir,
             StoreOptions {
                 max_segment_bytes: 4 * 1024 * 1024,
+                ..StoreOptions::default()
             },
         )
         .expect("open bench store");

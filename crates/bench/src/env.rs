@@ -15,6 +15,10 @@
 //! | `GPDT_MEM_BUDGET` | [`mem_budget`] | cluster-arena byte budget for out-of-core ingest, with optional `k`/`m`/`g` suffix (default: a conservative share of the machine's memory) |
 //! | `GPDT_SIMD` | `gpdt_geo::simd::dispatch` | pins the geometry kernel level: `off`/`scalar`, `sse2`, `avx2`, or `auto` (default: best level the CPU supports; every level is bit-identical, so this only affects speed) |
 //! | `GPDT_HAUSDORFF_CUTOFF` | `gpdt_geo::bucketed_pair_cutoff` | pins the brute→bucketed `hausdorff_within` crossover as a pair count (`0` = always bucketed; default: a one-shot timing probe on first use) |
+//! | `GPDT_FAULT_SEED` | [`fault_seed`] | arms the fault-injection VFS in binaries that support it (`fig5`, `fault`) with this deterministic seed; unset = real filesystem, no faults |
+//! | `GPDT_BACKOFF_BASE_MS` | `gpdt_store::SupervisorPolicy::from_env` | base retry backoff for transient store faults, in milliseconds (default 1) |
+//! | `GPDT_BACKOFF_MAX_MS` | `gpdt_store::SupervisorPolicy::from_env` | backoff ceiling for transient store faults, in milliseconds (default 50) |
+//! | `GPDT_BACKOFF_RETRIES` | `gpdt_store::SupervisorPolicy::from_env` | transient-fault retries before the monitor service degrades (default 4) |
 
 use std::path::PathBuf;
 
@@ -76,6 +80,18 @@ pub fn mem_budget() -> usize {
         .unwrap_or_else(default_mem_budget)
 }
 
+/// The fault-injection seed from `GPDT_FAULT_SEED`, or `None` when unset
+/// or unparsable (the default: run on the real filesystem, no faults).
+///
+/// Binaries that support fault injection (`fig5`, `fault`) use this seed to
+/// build a deterministic [`gpdt_store::FaultVfs`] plan, so a failing sweep
+/// is reproducible by exporting the same seed.
+pub fn fault_seed() -> Option<u64> {
+    std::env::var("GPDT_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 /// Parses a byte count with an optional binary suffix (`k`, `m`, `g`).
 fn parse_bytes(s: &str) -> Option<usize> {
     let t = s.trim();
@@ -130,6 +146,7 @@ mod tests {
         assert!(!warmup(1));
         assert!(report_dir().as_os_str().is_empty() || report_dir().is_dir());
         assert!(mem_budget() >= 64 << 20);
+        assert_eq!(fault_seed(), None);
     }
 
     #[test]

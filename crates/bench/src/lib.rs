@@ -18,12 +18,14 @@
 //! ([`report`]).
 
 pub mod env;
+pub mod fault_sweep;
 pub mod out_of_core;
 pub mod report;
 pub mod scenarios;
 pub mod synth;
 
-pub use out_of_core::{ingest_bounded, OutOfCoreReport};
+pub use fault_sweep::{crash_lattice, LatticeConfig, LatticeOutcome};
+pub use out_of_core::{ingest_bounded, ingest_resilient, OutOfCoreReport, ResilientCursor};
 pub use report::{measure, measure_with, BenchReport, MeasureOpts, Table};
 pub use scenarios::{clustered_scenario, ClusteredScenario};
 pub use synth::{synthetic_crowd, SyntheticCrowdSpec};

@@ -68,7 +68,7 @@ use crate::pipeline::DiscoveryResult;
 use crate::range_search::RangeSearchStrategy;
 
 /// One closed crowd together with its closed gatherings.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrowdRecord {
     /// The closed crowd.
     pub crowd: Crowd,
@@ -147,7 +147,7 @@ pub struct EngineStats {
 ///
 /// See the [module documentation](self) for the data flow and a usage
 /// example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GatheringEngine {
     config: GatheringConfig,
     strategy: RangeSearchStrategy,
@@ -222,6 +222,11 @@ impl GatheringEngine {
     /// The configured retention policy.
     pub fn retention(&self) -> RetentionPolicy {
         self.retention
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// A snapshot of the engine's internal load.

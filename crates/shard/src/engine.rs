@@ -25,7 +25,9 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use gpdt_clustering::{ClusterDatabase, ClusterId, SnapshotClusterSet, StreamingClusterer};
 use gpdt_core::par::par_map;
@@ -107,6 +109,45 @@ fn remap_crowd(layouts: &VecDeque<TickLayout>, crowd: &Crowd, shard: usize) -> C
     )
 }
 
+/// Ingests one shard's partitioned batch into its engine, collecting the
+/// per-tick boundary-candidate log the merge replay splices from.  The one
+/// ingest body both the parallel workers and the supervisor's rebuild path
+/// run, so a rebuilt shard is byte-identical to an undisturbed one.
+///
+/// `fault`, if armed, fires at the first observer callback — mid-ingest by
+/// design, leaving the engine half-mutated for the supervisor to discard.
+fn ingest_with_boundary_log(
+    engine: &mut GatheringEngine,
+    sets: Vec<SnapshotClusterSet>,
+    bits: &[Vec<bool>],
+    batch_start: Timestamp,
+    fault: Option<ShardFault>,
+) -> Vec<(Timestamp, Vec<Crowd>)> {
+    let mut log: Vec<(Timestamp, Vec<Crowd>)> = Vec::new();
+    let mut fired = false;
+    let mut observer = |t: Timestamp, candidates: &[Crowd]| {
+        if !fired {
+            fired = true;
+            match fault {
+                Some(ShardFault::PanicOnce) => panic!("injected shard worker fault"),
+                Some(ShardFault::StallOnce(pause)) => std::thread::sleep(pause),
+                None => {}
+            }
+        }
+        let tick_bits = &bits[(t - batch_start) as usize];
+        let kept: Vec<Crowd> = candidates
+            .iter()
+            .filter(|c| tick_bits[c.last().index])
+            .cloned()
+            .collect();
+        if !kept.is_empty() {
+            log.push((t, kept));
+        }
+    };
+    engine.ingest_clusters_observed(ClusterDatabase::from_sets(sets), Some(&mut observer));
+    log
+}
+
 /// Sorted-vec membership sets for cross-edge endpoints.  Small (only
 /// boundary clusters actually incident to a cross edge enter), queried on
 /// every merge decision, pruned by retention.
@@ -158,6 +199,47 @@ pub struct ShardLoad {
     /// Objects clustered on this shard at the last ingested tick — the
     /// instantaneous balance indicator.
     pub last_tick_objects: usize,
+    /// Times this shard's worker was rebuilt from its in-memory snapshot
+    /// after a panic or a deadline overrun.
+    pub restarts: u64,
+}
+
+/// Supervision policy for the per-shard ingest workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSupervision {
+    /// Wall-clock budget for one batch's parallel shard ingestion.  A worker
+    /// that has not reported back when it expires is abandoned and its shard
+    /// rebuilt from the retained snapshot; `None` (the default) waits
+    /// indefinitely — panics are still caught and recovered either way.
+    pub worker_deadline: Option<Duration>,
+    /// Snapshots of the shard engines are refreshed after this many batches;
+    /// the coordinator retains the partitioned inputs of every batch since
+    /// the last snapshot, so a rebuilt shard replays at most this many
+    /// batches.
+    pub snapshot_interval: u64,
+}
+
+impl Default for ShardSupervision {
+    fn default() -> Self {
+        ShardSupervision {
+            worker_deadline: None,
+            snapshot_interval: 16,
+        }
+    }
+}
+
+/// A fault injected into one shard's next ingest worker (chaos testing —
+/// see [`ShardedEngine::inject_shard_fault`]).  Fires mid-ingest, at the
+/// worker's first per-tick observer callback, so the abandoned engine is
+/// genuinely half-mutated when the supervisor rebuilds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Panic once inside the worker.
+    PanicOnce,
+    /// Stall the worker for this long before continuing normally (pair with
+    /// a shorter [`ShardSupervision::worker_deadline`] to exercise the
+    /// abandon-and-rebuild path).
+    StallOnce(Duration),
 }
 
 /// A point-in-time snapshot of the sharded engine's load and merge cost.
@@ -230,6 +312,18 @@ pub struct ShardedEngine {
     merge: Vec<Crowd>,
     finalized: Vec<CrowdRecord>,
     counters: Counters,
+    supervision: ShardSupervision,
+    /// Per-shard engine clones taken at the last snapshot point; `None`
+    /// until the first supervised ingest (or after a builder invalidated
+    /// them).
+    snapshots: Option<Vec<GatheringEngine>>,
+    /// Partitioned inputs of every batch since the last snapshot, indexed
+    /// `[batch][shard]` — what a rebuilt shard replays.
+    retained_batches: Vec<Vec<Vec<SnapshotClusterSet>>>,
+    /// Per-shard worker rebuild counts.
+    restarts: Vec<u64>,
+    /// Chaos hooks: a fault each shard's next worker fires mid-ingest.
+    pending_faults: Vec<Option<ShardFault>>,
 }
 
 impl ShardedEngine {
@@ -268,7 +362,20 @@ impl ShardedEngine {
             merge: Vec::new(),
             finalized: Vec::new(),
             counters: Counters::default(),
+            supervision: ShardSupervision::default(),
+            snapshots: None,
+            retained_batches: Vec::new(),
+            restarts: vec![0; shard_count],
+            pending_faults: vec![None; shard_count],
         }
+    }
+
+    /// Drops the supervision snapshots: the builders below reconfigure the
+    /// shard engines, so clones taken earlier no longer match them.  A fresh
+    /// snapshot is taken at the next ingest.
+    fn invalidate_snapshots(&mut self) {
+        self.snapshots = None;
+        self.retained_batches.clear();
     }
 
     /// Overrides the range-search strategy (propagated to every shard).
@@ -278,6 +385,7 @@ impl ShardedEngine {
             .into_iter()
             .map(|e| e.with_strategy(strategy))
             .collect();
+        self.invalidate_snapshots();
         self
     }
 
@@ -288,6 +396,7 @@ impl ShardedEngine {
             .into_iter()
             .map(|e| e.with_variant(variant))
             .collect();
+        self.invalidate_snapshots();
         self
     }
 
@@ -301,6 +410,7 @@ impl ShardedEngine {
             .map(|e| e.with_threads(per_shard))
             .collect();
         self.clusterer = self.clusterer.clone().with_threads(self.threads);
+        self.invalidate_snapshots();
         self
     }
 
@@ -313,6 +423,14 @@ impl ShardedEngine {
             .into_iter()
             .map(|e| e.with_retention(retention))
             .collect();
+        self.invalidate_snapshots();
+        self
+    }
+
+    /// Overrides the worker supervision policy (see [`ShardSupervision`]).
+    /// Like the thread budget, a host choice: it never changes results.
+    pub fn with_supervision(mut self, supervision: ShardSupervision) -> Self {
+        self.supervision = supervision;
         self
     }
 
@@ -334,6 +452,39 @@ impl ShardedEngine {
     /// The configured partitioner.
     pub fn partitioner(&self) -> &Partitioner {
         &self.partitioner
+    }
+
+    /// The configured total worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// The configured worker supervision policy.
+    pub fn supervision(&self) -> ShardSupervision {
+        self.supervision
+    }
+
+    /// Per-shard worker rebuild counts (panics caught + deadline overruns),
+    /// indexed by shard.
+    pub fn restarts(&self) -> &[u64] {
+        &self.restarts
+    }
+
+    /// Arms a one-shot fault that `shard`'s next ingest worker fires
+    /// mid-ingest — the chaos hook the supervision tests drive.  Output is
+    /// unaffected: the supervisor rebuilds the shard and the batch completes
+    /// byte-identical to an undisturbed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn inject_shard_fault(&mut self, shard: usize, fault: ShardFault) {
+        self.pending_faults[shard] = Some(fault);
     }
 
     /// Number of shards.
@@ -398,7 +549,8 @@ impl ShardedEngine {
             per_shard: self
                 .shards
                 .iter()
-                .map(|engine| {
+                .enumerate()
+                .map(|(s, engine)| {
                     let cdb = engine.cluster_database();
                     let last_tick_objects = cdb
                         .time_domain()
@@ -410,6 +562,7 @@ impl ShardedEngine {
                         open_sequences: engine.frontier().len(),
                         finalized_records: engine.finalized_records().len(),
                         last_tick_objects,
+                        restarts: self.restarts[s],
                     }
                 })
                 .collect(),
@@ -523,39 +676,89 @@ impl ShardedEngine {
         self.counters.ticks += u64::from(batch_domain.len());
 
         // 3. Parallel shard ingestion, each shard logging its boundary
-        // candidates per tick through the observer tap.
+        // candidates per tick through the observer tap.  Workers own their
+        // engine for the batch: a panicking or deadline-overrunning worker
+        // is abandoned and its shard rebuilt from the retained snapshot plus
+        // a replay of the batches since, so one bad worker cannot poison the
+        // coordinator and the rebuilt shard is byte-identical.
         let t1 = Instant::now();
         let batch_start = batch_domain.start;
-        {
-            let bits_ref = &boundary_bits;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shard_count);
-                for ((engine, sets), (s, log)) in self
-                    .shards
-                    .iter_mut()
-                    .zip(local_sets)
-                    .zip(logs.iter_mut().enumerate())
-                {
-                    handles.push(scope.spawn(move || {
-                        let local_batch = ClusterDatabase::from_sets(sets);
-                        let mut observer = |t: Timestamp, candidates: &[Crowd]| {
-                            let tick_bits = &bits_ref[s][(t - batch_start) as usize];
-                            let kept: Vec<Crowd> = candidates
-                                .iter()
-                                .filter(|c| tick_bits[c.last().index])
-                                .cloned()
-                                .collect();
-                            if !kept.is_empty() {
-                                log.push((t, kept));
-                            }
-                        };
-                        engine.ingest_clusters_observed(local_batch, Some(&mut observer));
-                    }));
-                }
-                for handle in handles {
-                    handle.join().expect("shard ingest workers never panic");
-                }
+        if self.snapshots.is_none() {
+            self.snapshots = Some(self.shards.clone());
+            self.retained_batches.clear();
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut engines: Vec<Option<GatheringEngine>> = self.shards.drain(..).map(Some).collect();
+        for (s, sets) in local_sets.iter().enumerate() {
+            let mut engine = engines[s].take().expect("each shard engine is taken once");
+            let sets = sets.clone();
+            let bits = boundary_bits[s].clone();
+            let fault = self.pending_faults[s].take();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    ingest_with_boundary_log(&mut engine, sets, &bits, batch_start, fault)
+                }));
+                // The receiver hangs up once the deadline passes; a failed
+                // send is exactly the abandoned-worker case.
+                let _ = tx.send((s, outcome.ok().map(|log| (engine, log))));
             });
+        }
+        drop(tx);
+        let mut results: Vec<Option<(GatheringEngine, Vec<(Timestamp, Vec<Crowd>)>)>> =
+            (0..shard_count).map(|_| None).collect();
+        let mut seen = vec![false; shard_count];
+        let mut pending = shard_count;
+        while pending > 0 {
+            let message = match self.supervision.worker_deadline {
+                None => rx.recv().ok(),
+                Some(budget) => match budget.checked_sub(t1.elapsed()) {
+                    None => None,
+                    Some(left) => rx.recv_timeout(left).ok(),
+                },
+            };
+            let Some((s, payload)) = message else { break };
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            pending -= 1;
+            results[s] = payload;
+        }
+        drop(rx);
+        for (s, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some((engine, log)) => {
+                    self.shards.push(engine);
+                    logs[s].extend(log);
+                }
+                None => {
+                    // Panicked, stalled past the deadline, or never reported:
+                    // rebuild from the snapshot, replay the retained batches,
+                    // then run the current batch inline — with its boundary
+                    // log, which the merge replay below still needs.
+                    let snapshots = self.snapshots.as_ref().expect("snapshot taken above");
+                    let mut engine = snapshots[s].clone();
+                    for past in &self.retained_batches {
+                        engine.ingest_clusters(ClusterDatabase::from_sets(past[s].clone()));
+                    }
+                    let log = ingest_with_boundary_log(
+                        &mut engine,
+                        local_sets[s].clone(),
+                        &boundary_bits[s],
+                        batch_start,
+                        None,
+                    );
+                    self.shards.push(engine);
+                    logs[s].extend(log);
+                    self.restarts[s] += 1;
+                }
+            }
+        }
+        self.retained_batches.push(local_sets);
+        if self.retained_batches.len() as u64 >= self.supervision.snapshot_interval.max(1) {
+            self.snapshots = Some(self.shards.clone());
+            self.retained_batches.clear();
         }
         self.counters.shard_nanos += t1.elapsed().as_nanos() as u64;
 
@@ -968,6 +1171,11 @@ impl ShardedEngine {
             merge,
             finalized,
             counters: Counters::default(),
+            supervision: ShardSupervision::default(),
+            snapshots: None,
+            retained_batches: Vec::new(),
+            restarts: vec![0; shard_count],
+            pending_faults: vec![None; shard_count],
         })
     }
 }
@@ -1229,5 +1437,86 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("merge path"));
+    }
+
+    #[test]
+    fn panicking_shard_worker_is_rebuilt_byte_identically() {
+        let db = drifting_db(14);
+        let partitioner = Partitioner::Grid(GridPartitioner::new(150.0));
+        let mut clean = ShardedEngine::new(config(), 3, partitioner);
+        let mut faulty = ShardedEngine::new(config(), 3, partitioner);
+        let domain = db.time_domain().unwrap();
+        for (batch, end) in [3u32, 7, 10, domain.end].into_iter().enumerate() {
+            if batch == 2 {
+                faulty.inject_shard_fault(0, ShardFault::PanicOnce);
+                faulty.inject_shard_fault(2, ShardFault::PanicOnce);
+            }
+            clean.ingest_trajectories_until(&db, end);
+            faulty.ingest_trajectories_until(&db, end);
+        }
+        assert_eq!(outputs(&faulty), outputs(&clean));
+        assert_eq!(faulty.finalized_records(), clean.finalized_records());
+        assert_eq!(faulty.restarts(), &[1, 0, 1]);
+        assert_eq!(clean.restarts(), &[0, 0, 0]);
+        let stats = faulty.stats();
+        assert_eq!(
+            stats.per_shard.iter().map(|l| l.restarts).sum::<u64>(),
+            2,
+            "restart counts surface in the per-shard load report"
+        );
+    }
+
+    #[test]
+    fn stalled_shard_worker_is_abandoned_and_rebuilt() {
+        let db = drifting_db(12);
+        let partitioner = Partitioner::Grid(GridPartitioner::new(150.0));
+        let mut clean = ShardedEngine::new(config(), 2, partitioner);
+        clean.ingest_trajectories(&db);
+
+        let supervision = ShardSupervision {
+            worker_deadline: Some(Duration::from_millis(40)),
+            snapshot_interval: 2,
+        };
+        let mut stalled =
+            ShardedEngine::new(config(), 2, partitioner).with_supervision(supervision);
+        let domain = db.time_domain().unwrap();
+        let mut fired = false;
+        for end in [2u32, 5, 8, domain.end] {
+            if !fired {
+                stalled.inject_shard_fault(1, ShardFault::StallOnce(Duration::from_secs(5)));
+                fired = true;
+            }
+            stalled.ingest_trajectories_until(&db, end);
+        }
+        assert_eq!(outputs(&stalled), outputs(&clean));
+        assert_eq!(stalled.restarts(), &[0, 1]);
+    }
+
+    #[test]
+    fn snapshot_interval_refresh_keeps_rebuilds_exact() {
+        // A tiny snapshot interval forces several snapshot refreshes across
+        // the batches, and a late fault exercises the replay-from-refresh
+        // path rather than replay-from-genesis.
+        let db = drifting_db(16);
+        let partitioner = Partitioner::Grid(GridPartitioner::new(150.0));
+        let mut clean = ShardedEngine::new(config(), 3, partitioner);
+        clean.ingest_trajectories(&db);
+
+        let supervision = ShardSupervision {
+            worker_deadline: None,
+            snapshot_interval: 1,
+        };
+        let mut faulty = ShardedEngine::new(config(), 3, partitioner).with_supervision(supervision);
+        let domain = db.time_domain().unwrap();
+        let ends = [1u32, 3, 5, 7, 9, 11, 13, domain.end];
+        for (batch, end) in ends.into_iter().enumerate() {
+            if batch == 6 {
+                faulty.inject_shard_fault(1, ShardFault::PanicOnce);
+            }
+            faulty.ingest_trajectories_until(&db, end);
+        }
+        assert_eq!(outputs(&faulty), outputs(&clean));
+        assert_eq!(faulty.finalized_records(), clean.finalized_records());
+        assert_eq!(faulty.restarts(), &[0, 1, 0]);
     }
 }

@@ -72,5 +72,7 @@
 pub mod engine;
 pub mod partition;
 
-pub use engine::{ShardLoad, ShardedEngine, ShardedStats, ShardedUpdate};
+pub use engine::{
+    ShardFault, ShardLoad, ShardSupervision, ShardedEngine, ShardedStats, ShardedUpdate,
+};
 pub use partition::{GridPartitioner, Partitioner};

@@ -28,7 +28,12 @@
 //!   thread feeds the engine (single or sharded, via [`MonitoredEngine`])
 //!   and the store while any number of caller threads run queries (std
 //!   scoped threads + channels, no runtime), with a [`ServiceStats`]
-//!   observability snapshot.
+//!   observability snapshot, retry/backoff on transient store faults, and
+//!   a degraded mode that queues ingest while storage is down.
+//! * [`vfs`] — the pluggable storage backend: [`RealVfs`] maps to `std::fs`,
+//!   the seeded [`FaultVfs`] injects short writes, torn frames, fsync
+//!   failures, `ENOSPC` and crash points deterministically, so every
+//!   durability claim is tested under real fault schedules.
 //!
 //! The workspace-root tests `checkpoint_restore.rs` and `store_queries.rs`
 //! verify the two load-bearing equivalences: restore-at-any-boundary ≡
@@ -40,13 +45,15 @@ pub mod model;
 pub mod service;
 pub mod sharded;
 pub mod store;
+pub mod vfs;
 
 pub use checkpoint::{
     checkpoint_to_vec, restore_from_slice, EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use codec::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode, CODEC_VERSION};
 pub use service::{
-    EngineLoad, MonitorOutcome, MonitorService, MonitoredEngine, ServiceHandle, ServiceStats,
+    EngineLoad, MonitorOutcome, MonitorService, MonitoredEngine, ServiceError, ServiceHandle,
+    ServiceStats, SupervisorPolicy,
 };
 pub use sharded::{
     restore_sharded_from_slice, sharded_checkpoint_to_vec, SHARDED_CHECKPOINT_MAGIC,
@@ -56,3 +63,4 @@ pub use store::{
     GatheringHit, PatternRecord, PatternStore, RecordId, StoreError, StoreOptions, StoredGathering,
     TailRepair, SEGMENT_MAGIC, SEGMENT_VERSION,
 };
+pub use vfs::{read_file_opt, write_file_atomic, FaultPlan, FaultVfs, RealVfs, Vfs, VfsFile};

@@ -1,4 +1,4 @@
-//! The monitoring façade: one ingestion thread feeding a
+//! The monitoring façade: one supervised ingestion thread feeding a
 //! [`GatheringEngine`] and a [`PatternStore`], while any number of caller
 //! threads run store queries concurrently.
 //!
@@ -16,6 +16,36 @@
 //! queries never block each other; a query racing an ingest sees either the
 //! store before or after that batch's records, never a torn state.  Call
 //! [`ServiceHandle::flush`] first for deterministic results.
+//!
+//! # Supervision
+//!
+//! The worker classifies every store fault through
+//! [`StoreError::is_transient`] and reacts accordingly:
+//!
+//! * **Transient faults** (interrupted writes, racing I/O) are retried in
+//!   place with bounded exponential backoff and seeded jitter, governed by
+//!   the [`SupervisorPolicy`].  Successful retries are invisible except for
+//!   the [`ServiceStats::retries`] counter.
+//! * **Exhausted retries** flip the service into *degraded mode*: ingest is
+//!   queued (up to [`SupervisorPolicy::max_queued_batches`]), queries and
+//!   checkpoints are rejected with [`ServiceError::Degraded`], and the next
+//!   batch or an explicit [`ServiceHandle::try_recover`] re-probes the
+//!   store.  On recovery the queue drains in order, so the engine and store
+//!   end up exactly where an undisturbed run would.
+//! * **Fatal faults** (invalid records, a store that diverges from the
+//!   engine's finalized feed) halt durable storage for the session while
+//!   discovery continues — retrying could never succeed.
+//! * **Worker panics** during ingestion are caught: the engine is restored
+//!   from an in-memory recovery checkpoint (refreshed every
+//!   [`SupervisorPolicy::checkpoint_interval`] batches), the batches since
+//!   are replayed, and the offending batch is retried once.  The output is
+//!   byte-identical to a run without the panic.
+//!
+//! A store *ahead* of its engine (the engine restarted from an older
+//! checkpoint) is resumed by verification: each re-finalized record is
+//! compared against the stored record at the same index and skipped when
+//! they match, so recovery never duplicates records; a mismatch halts
+//! durable storage (that store is not this engine's history).
 //!
 //! ```
 //! use gpdt_clustering::ClusterDatabase;
@@ -60,16 +90,18 @@
 //!     }
 //!     // ...and query the durable history at any point.
 //!     handle.flush();
-//!     handle.top_k(3).len()
+//!     handle.top_k(3).unwrap().len()
 //! });
 //! assert!(outcome.errors.is_empty());
 //! assert_eq!(outcome.value, 1);
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
-use std::io;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Mutex, RwLock};
+use std::time::Duration;
 
 use gpdt_clustering::ClusterDatabase;
 use gpdt_core::{CrowdRecord, GatheringEngine};
@@ -77,7 +109,8 @@ use gpdt_geo::Mbr;
 use gpdt_shard::ShardedEngine;
 use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp};
 
-use crate::store::{GatheringHit, PatternStore, RecordId};
+use crate::codec::DecodeError;
+use crate::store::{GatheringHit, PatternRecord, PatternStore, RecordId, StoreError};
 
 /// Commands processed by the ingest worker, in FIFO order.
 enum Command {
@@ -87,9 +120,11 @@ enum Command {
     Flush(SyncSender<()>),
     /// Serialise the engine state (after flushing the store so checkpoint
     /// and store stay in lockstep).
-    Checkpoint(SyncSender<io::Result<Vec<u8>>>),
+    Checkpoint(SyncSender<Result<Vec<u8>, ServiceError>>),
     /// Snapshot the service/engine counters.
     Stats(SyncSender<ServiceStats>),
+    /// Probe a degraded store and drain the ingest queue on success.
+    TryRecover(SyncSender<bool>),
 }
 
 /// The engine kinds [`MonitorService::run`] can drive: the single
@@ -97,7 +132,8 @@ enum Command {
 /// [`ShardedEngine`].  The service only needs the
 /// streaming surface they share — expected next tick, batch ingestion, the
 /// append-only finalized-record feed, the database those records resolve
-/// against, checkpoint serialisation and a load snapshot.
+/// against, checkpoint serialisation, restore (for panic recovery) and a
+/// load snapshot.
 pub trait MonitoredEngine: Send {
     /// The tick the next batch must start at (`None` accepts any start).
     fn expected_next_tick(&self) -> Option<Timestamp>;
@@ -109,6 +145,16 @@ pub trait MonitoredEngine: Send {
     fn resolve_database(&self) -> &ClusterDatabase;
     /// Serialises a checkpoint of the complete discovery state.
     fn checkpoint_bytes(&self) -> Vec<u8>;
+    /// Rebuilds an engine from [`MonitoredEngine::checkpoint_bytes`] output,
+    /// carrying over `self`'s host-side knobs (threads, retention) that a
+    /// checkpoint deliberately does not pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's [`DecodeError`] for malformed bytes.
+    fn restore_bytes(&self, bytes: &[u8]) -> Result<Self, DecodeError>
+    where
+        Self: Sized;
     /// Engine-side load numbers for [`ServiceStats`].
     fn load(&self) -> EngineLoad;
 }
@@ -134,12 +180,20 @@ impl MonitoredEngine for GatheringEngine {
         crate::checkpoint::checkpoint_to_vec(self)
     }
 
+    fn restore_bytes(&self, bytes: &[u8]) -> Result<Self, DecodeError> {
+        crate::checkpoint::restore_from_slice(bytes).map(|e| {
+            e.with_threads(self.threads())
+                .with_retention(self.retention())
+        })
+    }
+
     fn load(&self) -> EngineLoad {
         let stats = self.stats();
         EngineLoad {
             open_sequences: stats.open_sequences,
             resident_ticks: stats.resident_ticks,
             per_shard_clusters: Vec::new(),
+            per_shard_restarts: Vec::new(),
         }
     }
 }
@@ -165,6 +219,14 @@ impl MonitoredEngine for ShardedEngine {
         crate::sharded::sharded_checkpoint_to_vec(self)
     }
 
+    fn restore_bytes(&self, bytes: &[u8]) -> Result<Self, DecodeError> {
+        crate::sharded::restore_sharded_from_slice(bytes).map(|e| {
+            e.with_threads(self.threads())
+                .with_retention(self.retention())
+                .with_supervision(self.supervision())
+        })
+    }
+
     fn load(&self) -> EngineLoad {
         let stats = self.stats();
         EngineLoad {
@@ -185,6 +247,7 @@ impl MonitoredEngine for ShardedEngine {
                 .iter()
                 .map(|s| s.resident_clusters)
                 .collect(),
+            per_shard_restarts: stats.per_shard.iter().map(|s| s.restarts).collect(),
         }
     }
 }
@@ -200,6 +263,9 @@ pub struct EngineLoad {
     pub resident_ticks: usize,
     /// Per-shard resident cluster counts; empty for a single engine.
     pub per_shard_clusters: Vec<usize>,
+    /// Per-shard worker restart counts (see
+    /// [`gpdt_shard::ShardLoad::restarts`]); empty for a single engine.
+    pub per_shard_restarts: Vec<u64>,
 }
 
 /// A consistent snapshot of the service's ingestion counters and the
@@ -209,7 +275,7 @@ pub struct EngineLoad {
 pub struct ServiceStats {
     /// Cluster batches applied so far.
     pub batches_ingested: u64,
-    /// Batches rejected (non-adjacent start).
+    /// Batches rejected (non-adjacent start, or twice-panicking).
     pub batches_rejected: u64,
     /// Ticks applied so far.
     pub ticks_ingested: u64,
@@ -218,8 +284,120 @@ pub struct ServiceStats {
     /// Records durably stored (trails `finalized_records` only transiently,
     /// or when durable storage halted).
     pub stored_records: usize,
+    /// Store appends retried after a transient fault.
+    pub retries: u64,
+    /// Ingestion panics recovered from the in-memory checkpoint.
+    pub panics_recovered: u64,
+    /// If degraded, the batch count when degradation began.
+    pub degraded_since: Option<u64>,
+    /// Batches queued while degraded.
+    pub queued_batches: usize,
     /// Engine-side load.
     pub engine: EngineLoad,
+}
+
+/// Typed rejections surfaced by [`ServiceHandle`] queries and checkpoints.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Durable storage is degraded: transient faults exhausted the retry
+    /// budget.  Ingest is queued and queries are rejected until a batch or
+    /// [`ServiceHandle::try_recover`] brings the store back.
+    Degraded {
+        /// The batch count when degradation began.
+        since_batch: u64,
+        /// The fault that exhausted the retry budget.
+        reason: String,
+    },
+    /// The request cannot be served in the current state (halted or lagging
+    /// durable storage); retrying without intervention will not help.
+    Refused(String),
+    /// A store fault surfaced directly (e.g. the fsync of a checkpoint).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Degraded {
+                since_batch,
+                reason,
+            } => write!(f, "service degraded since batch {since_batch}: {reason}"),
+            ServiceError::Refused(reason) => write!(f, "{reason}"),
+            ServiceError::Store(err) => write!(f, "store error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Store(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(err: StoreError) -> Self {
+        ServiceError::Store(err)
+    }
+}
+
+/// How the ingest worker reacts to faults: retry budget and backoff curve
+/// for transient store errors, the recovery-checkpoint cadence for panic
+/// recovery, and the ingest-queue bound for degraded mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Transient-fault retries before entering degraded mode.
+    pub max_retries: u32,
+    /// First retry delay; attempt `n` waits up to `base * 2^(n-1)`.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Seed for the backoff jitter (each delay is drawn from 50–100% of the
+    /// exponential ceiling, so colliding retries de-synchronise).
+    pub jitter_seed: u64,
+    /// Batches between refreshes of the in-memory recovery checkpoint used
+    /// for panic recovery (smaller = cheaper replay, more serialisation).
+    pub checkpoint_interval: u64,
+    /// Most batches queued while degraded; beyond this, batches are dropped
+    /// (and reported) rather than exhausting memory.
+    pub max_queued_batches: usize,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            checkpoint_interval: 16,
+            max_queued_batches: 4096,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// Builds a policy from the environment: `GPDT_BACKOFF_BASE_MS`,
+    /// `GPDT_BACKOFF_MAX_MS` and `GPDT_BACKOFF_RETRIES` override the
+    /// defaults (unset or unparsable values keep them).
+    pub fn from_env() -> Self {
+        fn parse(key: &str) -> Option<u64> {
+            std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+        }
+        let mut policy = SupervisorPolicy::default();
+        if let Some(ms) = parse("GPDT_BACKOFF_BASE_MS") {
+            policy.base_backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = parse("GPDT_BACKOFF_MAX_MS") {
+            policy.max_backoff = Duration::from_millis(ms);
+        }
+        if let Some(n) = parse("GPDT_BACKOFF_RETRIES") {
+            policy.max_retries = n.min(u64::from(u32::MAX)) as u32;
+        }
+        policy
+    }
 }
 
 /// Everything [`MonitorService::run`] hands back: the engine and store (for
@@ -233,9 +411,9 @@ pub struct MonitorOutcome<T, E = GatheringEngine> {
     pub store: PatternStore,
     /// The closure's return value.
     pub value: T,
-    /// Ingestion-side errors (rejected batches, store I/O failures), in
-    /// occurrence order.  Ingestion continues past errors; an empty list
-    /// means every batch was applied and stored.
+    /// Ingestion-side errors (rejected batches, store faults, recovered
+    /// panics), in occurrence order.  Ingestion continues past errors; an
+    /// empty list means every batch was applied and stored undisturbed.
     pub errors: Vec<String>,
 }
 
@@ -244,17 +422,17 @@ pub struct MonitorOutcome<T, E = GatheringEngine> {
 pub struct MonitorService;
 
 impl MonitorService {
-    /// Runs the service for the duration of `f`.
+    /// Runs the service for the duration of `f` with the default
+    /// [`SupervisorPolicy`].
     ///
-    /// The engine must be the producer of the store's existing records (a
-    /// freshly restored checkpoint next to its store, or a fresh engine next
-    /// to an empty store): on startup the worker appends any finalized
-    /// records the store does not hold yet, so a store lagging its engine's
-    /// checkpoint catches up automatically.  A store holding records the
-    /// engine never finalized — e.g. frontier crowds archived into it at a
-    /// final shutdown — is detected at startup and excluded from further
-    /// appends (reported via [`MonitorOutcome::errors`]); such an archive is
-    /// an end state for queries, not a resumable companion.
+    /// The engine must be the producer of the store's existing records: a
+    /// freshly restored checkpoint next to its store (even an *older*
+    /// checkpoint — re-finalized records are verified against the stored
+    /// ones and skipped), or a fresh engine next to an empty store.  A store
+    /// whose records diverge from what the engine finalizes is detected and
+    /// excluded from further appends (reported via
+    /// [`MonitorOutcome::errors`]); such an archive is an end state for
+    /// queries, not a resumable companion.
     ///
     /// Sharded mode is the same call with a
     /// [`ShardedEngine`]: the engine fans every
@@ -264,31 +442,50 @@ impl MonitorService {
     ///
     /// # Panics
     ///
-    /// Panics if the ingest worker panicked (it does not panic on malformed
-    /// batches or I/O errors — those are reported via
-    /// [`MonitorOutcome::errors`]).
+    /// Panics if the ingest worker itself panicked (panics raised *inside*
+    /// batch ingestion are caught and recovered; malformed batches and store
+    /// faults are reported via [`MonitorOutcome::errors`]).
     pub fn run<E, T, F>(engine: E, store: PatternStore, f: F) -> MonitorOutcome<T, E>
     where
         E: MonitoredEngine,
         F: FnOnce(&ServiceHandle<'_>) -> T,
     {
-        let stored = store.len();
+        Self::run_with(engine, store, SupervisorPolicy::default(), f)
+    }
+
+    /// [`MonitorService::run`] with an explicit [`SupervisorPolicy`].
+    pub fn run_with<E, T, F>(
+        engine: E,
+        store: PatternStore,
+        policy: SupervisorPolicy,
+        f: F,
+    ) -> MonitorOutcome<T, E>
+    where
+        E: MonitoredEngine,
+        F: FnOnce(&ServiceHandle<'_>) -> T,
+    {
         let store = RwLock::new(store);
         let errors = Mutex::new(Vec::new());
+        let degraded = RwLock::new(None);
         let (tx, rx) = mpsc::channel::<Command>();
 
         let (value, engine) = std::thread::scope(|scope| {
             let store_ref = &store;
             let errors_ref = &errors;
-            let worker =
-                scope.spawn(move || ingest_loop(engine, rx, store_ref, errors_ref, stored));
+            let degraded_ref = &degraded;
+            let worker = scope.spawn(move || {
+                IngestWorker::new(engine, store_ref, errors_ref, degraded_ref, policy).run(rx)
+            });
             let handle = ServiceHandle {
                 tx: &tx,
                 store: &store,
+                degraded: &degraded,
             };
             let value = f(&handle);
             drop(tx); // closes the channel; the worker drains and exits
-            let engine = worker.join().expect("the ingest worker never panics");
+            let engine = worker
+                .join()
+                .expect("the ingest worker catches in-batch panics and never panics itself");
             (value, engine)
         });
 
@@ -301,177 +498,517 @@ impl MonitorService {
     }
 }
 
-/// The ingest worker: drains commands, feeds the engine, mirrors newly
-/// finalized records into the store.
-fn ingest_loop<E: MonitoredEngine>(
-    mut engine: E,
-    rx: Receiver<Command>,
-    store: &RwLock<PatternStore>,
-    errors: &Mutex<Vec<String>>,
-    mut stored: usize,
-) -> E {
-    let report = |message: String| {
-        errors
+/// Why one store-sync pass could not complete.
+enum SyncFailure {
+    /// Fatal: durable storage halted for the session (already reported).
+    Halted,
+    /// Transient: the cursor stopped at the failed record; retry later.
+    Transient(StoreError),
+}
+
+/// The ingest worker: drains commands, feeds the engine (recovering from
+/// panics), mirrors newly finalized records into the store (retrying
+/// transient faults, degrading when they persist).
+struct IngestWorker<'a, E: MonitoredEngine> {
+    engine: E,
+    store: &'a RwLock<PatternStore>,
+    errors: &'a Mutex<Vec<String>>,
+    degraded: &'a RwLock<Option<(u64, String)>>,
+    policy: SupervisorPolicy,
+    /// Jitter rng state (xorshift64; never zero).
+    rng: u64,
+    /// Engine-finalized records accounted for in the store, as a prefix:
+    /// either appended by us or verified equal to a pre-existing record.
+    accounted: usize,
+    /// `false` once a fatal fault halted durable storage for the session.
+    storing: bool,
+    /// Batches queued while degraded, drained in order on recovery.
+    queue: VecDeque<ClusterDatabase>,
+    /// In-memory engine checkpoint panic recovery restores from.
+    recovery_ckpt: Vec<u8>,
+    /// Batches ingested since `recovery_ckpt` was taken, for replay.
+    replay: Vec<ClusterDatabase>,
+    batches_ingested: u64,
+    batches_rejected: u64,
+    ticks_ingested: u64,
+    retries: u64,
+    panics_recovered: u64,
+}
+
+impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
+    fn new(
+        engine: E,
+        store: &'a RwLock<PatternStore>,
+        errors: &'a Mutex<Vec<String>>,
+        degraded: &'a RwLock<Option<(u64, String)>>,
+        policy: SupervisorPolicy,
+    ) -> Self {
+        let recovery_ckpt = engine.checkpoint_bytes();
+        let rng = policy.jitter_seed | 1;
+        IngestWorker {
+            engine,
+            store,
+            errors,
+            degraded,
+            policy,
+            rng,
+            accounted: 0,
+            storing: true,
+            queue: VecDeque::new(),
+            recovery_ckpt,
+            replay: Vec::new(),
+            batches_ingested: 0,
+            batches_rejected: 0,
+            ticks_ingested: 0,
+            retries: 0,
+            panics_recovered: 0,
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Command>) -> E {
+        // Startup reconciliation: the store may lag the engine (a fresh
+        // store next to a restored checkpoint — backfill) or lead it (the
+        // engine restored from an *older* checkpoint — the overlap will be
+        // verified record by record as the engine re-finalizes it).
+        let stored = self.store_len();
+        let finalized = self.engine.finalized_feed().len();
+        self.accounted = stored.min(finalized);
+        if stored < finalized {
+            if let Err(reason) = self.catch_up() {
+                self.enter_degraded(reason);
+            }
+        }
+
+        while let Ok(command) = rx.recv() {
+            match command {
+                Command::Clusters(batch) => {
+                    if self.is_degraded() {
+                        // Each incoming batch re-probes the store once (no
+                        // backoff — the channel must keep draining).
+                        if self.probe_recovery(false) {
+                            self.apply_batch(batch);
+                        } else {
+                            self.enqueue(batch);
+                        }
+                    } else {
+                        self.apply_batch(batch);
+                    }
+                }
+                Command::Flush(ack) => {
+                    let _ = ack.send(());
+                }
+                Command::Stats(reply) => {
+                    let _ = reply.send(self.snapshot());
+                }
+                Command::TryRecover(reply) => {
+                    let _ = reply.send(self.probe_recovery(true));
+                }
+                Command::Checkpoint(reply) => {
+                    let _ = reply.send(self.handle_checkpoint());
+                }
+            }
+        }
+        self.engine
+    }
+
+    fn report(&self, message: String) {
+        self.errors
             .lock()
             .expect("error list lock is never poisoned")
             .push(message);
-    };
+    }
 
-    // A restored engine may be ahead of its store (e.g. the store file is
-    // fresh); catch up before serving.  The reverse — a store holding *more*
-    // records than the engine has finalized — means the store is not this
-    // engine's companion (e.g. frontier crowds were archived into it at a
-    // clean shutdown); appending to it would interleave unrelated records,
-    // so durable storage halts instead.
-    let mut storing = if stored > engine.finalized_feed().len() {
-        report(format!(
-            "store holds {stored} records but the engine has only {} finalized — \
-             not this engine's companion store; durable storage halted, discovery continues",
-            engine.finalized_feed().len()
+    fn store_len(&self) -> usize {
+        self.store
+            .read()
+            .expect("store lock is never poisoned")
+            .len()
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded
+            .read()
+            .expect("degraded flag lock is never poisoned")
+            .is_some()
+    }
+
+    fn enter_degraded(&mut self, reason: String) {
+        self.report(format!(
+            "durable storage degraded after batch {}: {reason}; queueing ingest until recovery",
+            self.batches_ingested
         ));
-        false
-    } else {
-        store_new_finalized(&engine, store, &mut stored, &report)
-    };
+        *self
+            .degraded
+            .write()
+            .expect("degraded flag lock is never poisoned") = Some((self.batches_ingested, reason));
+    }
 
-    let mut batches_ingested: u64 = 0;
-    let mut batches_rejected: u64 = 0;
-    let mut ticks_ingested: u64 = 0;
-    while let Ok(command) = rx.recv() {
-        match command {
-            Command::Clusters(batch) => {
-                let Some(batch_domain) = batch.time_domain() else {
-                    continue; // empty batches are no-ops
-                };
-                // `ingest_clusters` treats a non-adjacent batch as a
-                // programmer error and panics; a long-running service
-                // rejects it instead and keeps serving.
-                if let Some(expected) = engine.expected_next_tick() {
-                    if batch_domain.start != expected {
-                        report(format!(
-                            "rejected batch starting at t={} (expected t={expected})",
-                            batch_domain.start
-                        ));
-                        batches_rejected += 1;
-                        continue;
+    fn exit_degraded(&mut self) {
+        *self
+            .degraded
+            .write()
+            .expect("degraded flag lock is never poisoned") = None;
+    }
+
+    fn enqueue(&mut self, batch: ClusterDatabase) {
+        if self.queue.len() >= self.policy.max_queued_batches {
+            self.report(format!(
+                "degraded ingest queue full ({} batches); dropping incoming batch",
+                self.queue.len()
+            ));
+            self.batches_rejected += 1;
+        } else {
+            self.queue.push_back(batch);
+        }
+    }
+
+    /// While degraded: probe the store (with the full retry budget when
+    /// `patient`), and on success drain the queue in order.  Returns whether
+    /// the service left degraded mode with storage working.
+    fn probe_recovery(&mut self, patient: bool) -> bool {
+        if !self.is_degraded() {
+            return self.storing;
+        }
+        let outcome = if patient {
+            self.catch_up()
+        } else {
+            match self.sync_store() {
+                Ok(()) => Ok(()),
+                Err(SyncFailure::Halted) => Ok(()),
+                Err(SyncFailure::Transient(err)) => Err(err.to_string()),
+            }
+        };
+        match outcome {
+            Ok(()) => {
+                self.exit_degraded();
+                let drained = self.queue.len();
+                if self.storing {
+                    self.report(format!(
+                        "durable storage recovered; draining {drained} queued batches"
+                    ));
+                } else {
+                    self.report(format!(
+                        "durable storage halted permanently; draining {drained} queued \
+                         batches into the engine only"
+                    ));
+                }
+                while let Some(batch) = self.queue.pop_front() {
+                    self.apply_batch(batch);
+                    if self.is_degraded() {
+                        break; // the store failed again; keep the rest queued
                     }
                 }
-                engine.ingest_batch(batch);
-                batches_ingested += 1;
-                ticks_ingested += u64::from(batch_domain.len());
-                if storing {
-                    storing = store_new_finalized(&engine, store, &mut stored, &report);
+                self.storing && !self.is_degraded()
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The normal-path ingestion of one batch: adjacency check, panic-safe
+    /// engine ingest, then the store sync (entering degraded mode if the
+    /// retry budget runs out).
+    fn apply_batch(&mut self, batch: ClusterDatabase) {
+        let Some(batch_domain) = batch.time_domain() else {
+            return; // empty batches are no-ops
+        };
+        // `ingest_clusters` treats a non-adjacent batch as a programmer
+        // error and panics; a long-running service rejects it instead and
+        // keeps serving.
+        if let Some(expected) = self.engine.expected_next_tick() {
+            if batch_domain.start != expected {
+                self.report(format!(
+                    "rejected batch starting at t={} (expected t={expected})",
+                    batch_domain.start
+                ));
+                self.batches_rejected += 1;
+                return;
+            }
+        }
+        if !self.ingest_recovering(&batch) {
+            return;
+        }
+        self.batches_ingested += 1;
+        self.ticks_ingested += u64::from(batch_domain.len());
+        self.replay.push(batch);
+        if self.replay.len() as u64 >= self.policy.checkpoint_interval.max(1) {
+            self.refresh_recovery_ckpt();
+        }
+        if self.storing {
+            if let Err(reason) = self.catch_up() {
+                self.enter_degraded(reason);
+            }
+        }
+    }
+
+    /// Feeds one batch to the engine, recovering from a panic by restoring
+    /// the in-memory checkpoint, replaying the batches since and retrying
+    /// the batch once.  Returns whether the batch was applied.
+    fn ingest_recovering(&mut self, batch: &ClusterDatabase) -> bool {
+        let first =
+            std::panic::catch_unwind(AssertUnwindSafe(|| self.engine.ingest_batch(batch.clone())));
+        if first.is_ok() {
+            return true;
+        }
+        self.restore_and_replay();
+        let retry =
+            std::panic::catch_unwind(AssertUnwindSafe(|| self.engine.ingest_batch(batch.clone())));
+        match retry {
+            Ok(()) => {
+                self.panics_recovered += 1;
+                self.report(format!(
+                    "ingestion panicked on the batch starting at t={:?}; recovered from the \
+                     in-memory checkpoint and retried successfully",
+                    batch.time_domain().map(|d| d.start)
+                ));
+                true
+            }
+            Err(_) => {
+                // The batch panics deterministically; restore once more so
+                // the half-mutated engine never leaks into later batches.
+                self.restore_and_replay();
+                self.report(format!(
+                    "ingestion panicked twice on the batch starting at t={:?}; batch rejected",
+                    batch.time_domain().map(|d| d.start)
+                ));
+                self.batches_rejected += 1;
+                false
+            }
+        }
+    }
+
+    fn restore_and_replay(&mut self) {
+        self.engine = self
+            .engine
+            .restore_bytes(&self.recovery_ckpt)
+            .expect("the in-memory recovery checkpoint always decodes");
+        for past in &self.replay {
+            self.engine.ingest_batch(past.clone());
+        }
+    }
+
+    fn refresh_recovery_ckpt(&mut self) {
+        self.recovery_ckpt = self.engine.checkpoint_bytes();
+        self.replay.clear();
+    }
+
+    /// Brings the store in sync with the engine's finalized feed, retrying
+    /// transient faults with backoff.  `Err` carries the reason once the
+    /// retry budget is exhausted; fatal faults halt storage and return
+    /// `Ok` (there is nothing left to retry).
+    fn catch_up(&mut self) -> Result<(), String> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.sync_store() {
+                Ok(()) => return Ok(()),
+                Err(SyncFailure::Halted) => return Ok(()),
+                Err(SyncFailure::Transient(err)) => {
+                    if attempt >= self.policy.max_retries {
+                        return Err(err.to_string());
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(self.backoff_delay(attempt));
                 }
             }
-            Command::Flush(ack) => {
-                let _ = ack.send(());
+        }
+    }
+
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let ceiling = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.max_backoff);
+        let nanos = ceiling.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Jitter: a seeded draw from 50–100% of the exponential ceiling.
+        let jittered = nanos / 2 + self.next_rand() % (nanos / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// One pass over the engine's unaccounted finalized records: verify
+    /// records the store already holds (the engine is replaying past its
+    /// last checkpoint), append the rest.
+    ///
+    /// The store must always hold a *prefix* of the engine's finalized
+    /// records — crash recovery backfills `finalized[store.len()..]`, so
+    /// skipping a failed record would leave a permanent hole and duplicate
+    /// its successors.  On a transient fault the cursor therefore stops at
+    /// the failed record (a failed append rolls the log back, so that is
+    /// safe).  A fatal fault (invalid record, divergent store) halts
+    /// durable storage entirely — discovery keeps running — instead of
+    /// livelocking.
+    fn sync_store(&mut self) -> Result<(), SyncFailure> {
+        let records = self.engine.finalized_feed();
+        if self.accounted >= records.len() {
+            return Ok(());
+        }
+        let cdb = self.engine.resolve_database();
+        let mut store = self.store.write().expect("store lock is never poisoned");
+        let mut halted: Option<String> = None;
+        let mut transient: Option<StoreError> = None;
+        for record in &records[self.accounted..] {
+            // Under bounded retention a record can only outlive its clusters
+            // if the store lagged across an eviction (a halted or
+            // chronically failing store); converting it would panic, so halt
+            // explicitly.
+            let resolvable = record
+                .crowd
+                .cluster_ids()
+                .iter()
+                .chain(
+                    record
+                        .gatherings
+                        .iter()
+                        .flat_map(|g| g.crowd().cluster_ids()),
+                )
+                .all(|&id| cdb.cluster(id).is_some());
+            if !resolvable {
+                halted = Some(format!(
+                    "finalized record #{} references evicted clusters (store lagged across a \
+                     retention eviction); halting durable storage, discovery continues",
+                    self.accounted
+                ));
+                break;
             }
-            Command::Stats(reply) => {
-                let _ = reply.send(ServiceStats {
-                    batches_ingested,
-                    batches_rejected,
-                    ticks_ingested,
-                    finalized_records: engine.finalized_feed().len(),
-                    stored_records: stored,
-                    engine: engine.load(),
+            if self.accounted < store.len() {
+                // The store is ahead: the engine is re-finalizing records a
+                // previous run already persisted.  Verify instead of append.
+                let fresh = PatternRecord::from_crowd_record(record, cdb);
+                if store.records()[self.accounted] == fresh {
+                    self.accounted += 1;
+                    continue;
+                }
+                halted = Some(format!(
+                    "stored record #{} diverges from what this engine finalizes — not this \
+                     engine's history; halting durable storage, discovery continues",
+                    self.accounted
+                ));
+                break;
+            }
+            match store.append_crowd_record(record, cdb) {
+                Ok(_) => self.accounted += 1,
+                Err(err) if err.is_transient() => {
+                    transient = Some(err);
+                    break;
+                }
+                Err(err) => {
+                    halted = Some(format!(
+                        "finalized record #{} was refused by the store ({err}); halting \
+                         durable storage, discovery continues",
+                        self.accounted
+                    ));
+                    break;
+                }
+            }
+        }
+        drop(store);
+        if let Some(message) = halted {
+            self.report(message);
+            self.storing = false;
+            return Err(SyncFailure::Halted);
+        }
+        if let Some(err) = transient {
+            return Err(SyncFailure::Transient(err));
+        }
+        Ok(())
+    }
+
+    fn handle_checkpoint(&mut self) -> Result<Vec<u8>, ServiceError> {
+        if let Some((since_batch, reason)) = self
+            .degraded
+            .read()
+            .expect("degraded flag lock is never poisoned")
+            .clone()
+        {
+            return Err(ServiceError::Degraded {
+                since_batch,
+                reason,
+            });
+        }
+        // The advertised contract is a *consistent* (checkpoint, store)
+        // pair: retry any backfill a transient error left pending, and
+        // refuse the checkpoint if the store still lags the engine.
+        if self.storing {
+            if let Err(reason) = self.catch_up() {
+                self.enter_degraded(reason.clone());
+                let (since_batch, _) = self
+                    .degraded
+                    .read()
+                    .expect("degraded flag lock is never poisoned")
+                    .clone()
+                    .expect("degraded mode was just entered");
+                return Err(ServiceError::Degraded {
+                    since_batch,
+                    reason,
                 });
             }
-            Command::Checkpoint(reply) => {
-                // The advertised contract is a *consistent* (checkpoint,
-                // store) pair: retry any backfill a transient error left
-                // pending, and refuse the checkpoint if the store still
-                // lags the engine's finalized records.
-                if storing {
-                    storing = store_new_finalized(&engine, store, &mut stored, &report);
-                }
-                let result = if !storing {
-                    Err(io::Error::other(
-                        "durable storage is halted (see the service error list); checkpoint refused",
-                    ))
-                } else if stored < engine.finalized_feed().len() {
-                    Err(io::Error::other(
-                        "store is lagging the engine's finalized records; checkpoint refused",
-                    ))
-                } else {
-                    store
-                        .write()
-                        .expect("store lock is never poisoned")
-                        .sync()
-                        .map(|()| engine.checkpoint_bytes())
-                };
-                let _ = reply.send(result);
-            }
         }
-    }
-    engine
-}
-
-/// Appends every engine-finalized record the store does not hold yet;
-/// returns `false` if durable storage must halt for the rest of the session.
-///
-/// The store must always hold a *prefix* of the engine's finalized records —
-/// crash recovery backfills `finalized[store.len()..]`, so skipping a failed
-/// record would leave a permanent hole and duplicate its successors.  On a
-/// (presumed transient) I/O error the cursor therefore stops at the failed
-/// record and retries on the next batch — a failed append rolls the log
-/// back, so that is safe.  An `InvalidInput` rejection can never succeed on
-/// retry, so it halts storage entirely (discovery keeps running) instead of
-/// livelocking and flooding the error list.
-fn store_new_finalized<E: MonitoredEngine>(
-    engine: &E,
-    store: &RwLock<PatternStore>,
-    stored: &mut usize,
-    report: &impl Fn(String),
-) -> bool {
-    let records = engine.finalized_feed();
-    if *stored >= records.len() {
-        return true;
-    }
-    let cdb = engine.resolve_database();
-    let mut store = store.write().expect("store lock is never poisoned");
-    for record in &records[*stored..] {
-        // Under bounded retention a record can only outlive its clusters if
-        // the store lagged across an eviction (a halted or chronically
-        // failing store); converting it would panic, so halt explicitly.
-        let resolvable = record
-            .crowd
-            .cluster_ids()
-            .iter()
-            .chain(
-                record
-                    .gatherings
-                    .iter()
-                    .flat_map(|g| g.crowd().cluster_ids()),
-            )
-            .all(|&id| cdb.cluster(id).is_some());
-        if !resolvable {
-            report(format!(
-                "finalized record #{} references evicted clusters (store lagged across a \
-                 retention eviction); halting durable storage, discovery continues",
-                *stored
+        if !self.storing {
+            return Err(ServiceError::Refused(
+                "durable storage is halted (see the service error list); checkpoint refused"
+                    .to_string(),
             ));
-            return false;
         }
-        match store.append_crowd_record(record, cdb) {
-            Ok(_) => *stored += 1,
-            Err(err) if err.kind() == io::ErrorKind::InvalidInput => {
-                report(format!(
-                    "finalized record #{} is invalid ({err}); halting durable storage, \
-                     discovery continues",
-                    *stored
-                ));
-                return false;
+        if self.accounted < self.engine.finalized_feed().len() {
+            return Err(ServiceError::Refused(
+                "store is lagging the engine's finalized records; checkpoint refused".to_string(),
+            ));
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self
+                .store
+                .write()
+                .expect("store lock is never poisoned")
+                .sync();
+            match result {
+                Ok(()) => break,
+                Err(err) if err.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries += 1;
+                    let delay = self.backoff_delay(attempt);
+                    std::thread::sleep(delay);
+                }
+                Err(err) => return Err(ServiceError::Store(err)),
             }
-            Err(err) => {
-                report(format!(
-                    "could not store finalized record #{}: {err} (will retry)",
-                    *stored
-                ));
-                return true;
-            }
+        }
+        let bytes = self.engine.checkpoint_bytes();
+        // A successful checkpoint is also the freshest possible panic
+        // recovery point.
+        self.recovery_ckpt = bytes.clone();
+        self.replay.clear();
+        Ok(bytes)
+    }
+
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            batches_ingested: self.batches_ingested,
+            batches_rejected: self.batches_rejected,
+            ticks_ingested: self.ticks_ingested,
+            finalized_records: self.engine.finalized_feed().len(),
+            stored_records: self.store_len(),
+            retries: self.retries,
+            panics_recovered: self.panics_recovered,
+            degraded_since: self
+                .degraded
+                .read()
+                .expect("degraded flag lock is never poisoned")
+                .as_ref()
+                .map(|(since, _)| *since),
+            queued_batches: self.queue.len(),
+            engine: self.engine.load(),
         }
     }
-    true
 }
 
 /// The caller-side handle of a running [`MonitorService`].
@@ -482,6 +1019,7 @@ fn store_new_finalized<E: MonitoredEngine>(
 pub struct ServiceHandle<'a> {
     tx: &'a Sender<Command>,
     store: &'a RwLock<PatternStore>,
+    degraded: &'a RwLock<Option<(u64, String)>>,
 }
 
 impl ServiceHandle<'_> {
@@ -489,7 +1027,8 @@ impl ServiceHandle<'_> {
     ///
     /// Batches are applied in submission order.  A batch that does not start
     /// right after the engine's current time domain is rejected (reported in
-    /// [`MonitorOutcome::errors`]); empty batches are ignored.
+    /// [`MonitorOutcome::errors`]); empty batches are ignored.  While the
+    /// service is degraded, batches are queued and drained on recovery.
     pub fn ingest(&self, batch: ClusterDatabase) {
         self.tx
             .send(Command::Clusters(batch))
@@ -512,15 +1051,29 @@ impl ServiceHandle<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates store I/O errors; the engine serialisation itself cannot
-    /// fail.
-    pub fn checkpoint(&self) -> io::Result<Vec<u8>> {
+    /// [`ServiceError::Degraded`] while the store is degraded,
+    /// [`ServiceError::Refused`] when durable storage halted or lags the
+    /// engine, [`ServiceError::Store`] for a direct store fault; the engine
+    /// serialisation itself cannot fail.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, ServiceError> {
         let (reply, wait) = mpsc::sync_channel(0);
         self.tx
             .send(Command::Checkpoint(reply))
             .expect("the ingest worker outlives every handle");
         wait.recv()
             .expect("the ingest worker answers every checkpoint request")
+    }
+
+    /// Probes a degraded store with the full retry budget and drains the
+    /// ingest queue on success; returns whether the service is healthy
+    /// (never was degraded, or recovered) with durable storage working.
+    pub fn try_recover(&self) -> bool {
+        let (reply, wait) = mpsc::sync_channel(0);
+        self.tx
+            .send(Command::TryRecover(reply))
+            .expect("the ingest worker outlives every handle");
+        wait.recv()
+            .expect("the ingest worker answers every recovery probe")
     }
 
     /// Number of records currently stored.
@@ -544,26 +1097,66 @@ impl ServiceHandle<'_> {
     /// The region × time-window query (see
     /// [`PatternStore::query_gatherings`]); results are owned so the store
     /// lock is released before returning.
-    pub fn query_gatherings(&self, region: &Mbr, window: TimeInterval) -> Vec<GatheringHit> {
-        self.read().query_gatherings(region, window)
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Degraded`] while the store is degraded (the durable
+    /// history is behind the stream; answers would be stale).
+    pub fn query_gatherings(
+        &self,
+        region: &Mbr,
+        window: TimeInterval,
+    ) -> Result<Vec<GatheringHit>, ServiceError> {
+        self.guard()?;
+        Ok(self.read().query_gatherings(region, window))
     }
 
     /// Record ids of crowds active during `window`
     /// (see [`PatternStore::crowds_in_window`]).
-    pub fn crowds_in_window(&self, window: TimeInterval) -> Vec<RecordId> {
-        self.read().crowds_in_window(window)
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Degraded`] while the store is degraded.
+    pub fn crowds_in_window(&self, window: TimeInterval) -> Result<Vec<RecordId>, ServiceError> {
+        self.guard()?;
+        Ok(self.read().crowds_in_window(window))
     }
 
     /// The participation history of one object
     /// (see [`PatternStore::object_history`]).
-    pub fn object_history(&self, object: ObjectId) -> Vec<GatheringHit> {
-        self.read().object_history(object)
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Degraded`] while the store is degraded.
+    pub fn object_history(&self, object: ObjectId) -> Result<Vec<GatheringHit>, ServiceError> {
+        self.guard()?;
+        Ok(self.read().object_history(object))
     }
 
     /// The `k` most-attended stored gatherings
     /// (see [`PatternStore::top_k_gatherings`]).
-    pub fn top_k(&self, k: usize) -> Vec<GatheringHit> {
-        self.read().top_k_gatherings(k)
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Degraded`] while the store is degraded.
+    pub fn top_k(&self, k: usize) -> Result<Vec<GatheringHit>, ServiceError> {
+        self.guard()?;
+        Ok(self.read().top_k_gatherings(k))
+    }
+
+    fn guard(&self) -> Result<(), ServiceError> {
+        if let Some((since_batch, reason)) = self
+            .degraded
+            .read()
+            .expect("degraded flag lock is never poisoned")
+            .clone()
+        {
+            return Err(ServiceError::Degraded {
+                since_batch,
+                reason,
+            });
+        }
+        Ok(())
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, PatternStore> {
@@ -574,11 +1167,14 @@ impl ServiceHandle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::StoreOptions;
+    use crate::vfs::{FaultPlan, FaultVfs};
     use gpdt_core::{
         ClusteringParams, CrowdParams, GatheringConfig, GatheringParams, GatheringPipeline,
     };
     use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
     use std::path::PathBuf;
+    use std::sync::Arc;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -594,6 +1190,18 @@ mod tests {
             .gathering(GatheringParams::new(3, 3))
             .build()
             .unwrap()
+    }
+
+    /// A fast-retry policy so fault tests do not sleep for real.
+    fn snappy_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(500),
+            jitter_seed: 7,
+            checkpoint_interval: 4,
+            max_queued_batches: 64,
+        }
     }
 
     /// Two separate lingering blobs, one after the other, so at least two
@@ -645,8 +1253,8 @@ mod tests {
             handle.flush();
             (
                 handle.stored(),
-                handle.top_k(10),
-                handle.object_history(ObjectId::new(0)),
+                handle.top_k(10).unwrap(),
+                handle.object_history(ObjectId::new(0)).unwrap(),
             )
         });
         assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
@@ -693,8 +1301,8 @@ mod tests {
                             let now = handle.stored();
                             assert!(now >= last, "store count went backwards");
                             last = now;
-                            let _ = handle.top_k(3);
-                            let _ = handle.crowds_in_window(TimeInterval::new(0, 100));
+                            let _ = handle.top_k(3).unwrap();
+                            let _ = handle.crowds_in_window(TimeInterval::new(0, 100)).unwrap();
                         }
                     }));
                 }
@@ -788,8 +1396,13 @@ mod tests {
             outcome.engine.finalized_records().len()
         );
         assert_eq!(mid.stored_records, mid.finalized_records);
+        assert_eq!(mid.retries, 0);
+        assert_eq!(mid.panics_recovered, 0);
+        assert_eq!(mid.degraded_since, None);
+        assert_eq!(mid.queued_batches, 0);
         assert!(mid.engine.resident_ticks > 0);
         assert!(mid.engine.per_shard_clusters.is_empty());
+        assert!(mid.engine.per_shard_restarts.is_empty());
         assert_eq!(end.batches_rejected, 1);
         assert_eq!(end.ticks_ingested, total_ticks);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -827,7 +1440,7 @@ mod tests {
             }
             handle.flush();
             let stats = handle.stats();
-            (handle.stored(), handle.top_k(10), stats)
+            (handle.stored(), handle.top_k(10).unwrap(), stats)
         });
         assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
         let (stored, top, stats) = outcome.value;
@@ -842,6 +1455,7 @@ mod tests {
         assert_eq!(stored, single.value);
         assert!(!top.is_empty());
         assert_eq!(stats.engine.per_shard_clusters.len(), 3);
+        assert_eq!(stats.engine.per_shard_restarts, vec![0, 0, 0]);
         assert_eq!(stats.stored_records, stored);
         assert_eq!(stats.finalized_records, stored);
 
@@ -898,6 +1512,347 @@ mod tests {
         });
         assert!(outcome.errors.is_empty());
         assert_eq!(outcome.value, finalized);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Like [`scene`] but with four consecutive blobs, so several crowds
+    /// finalize (and are appended) while the stream is still running.
+    fn long_scene() -> TrajectoryDatabase {
+        let mut trajectories = Vec::new();
+        for blob in 0..4u32 {
+            let start = blob * 10;
+            for i in 0..4u32 {
+                trajectories.push(Trajectory::from_points(
+                    ObjectId::new(blob * 100 + i),
+                    (start..start + 8)
+                        .map(|t| {
+                            (
+                                t,
+                                (f64::from(blob) * 5_000.0 + f64::from(i) * 10.0, t as f64),
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                ));
+            }
+        }
+        TrajectoryDatabase::from_trajectories(trajectories)
+    }
+
+    #[test]
+    fn transient_store_faults_are_retried_invisibly() {
+        let db = long_scene();
+        let reference = GatheringPipeline::new(config()).discover(&db);
+        assert!(reference.crowd_count() >= 4);
+
+        // Tiny segments force a rotation (flush + sync + create, all VFS
+        // traffic) on nearly every append, so the one-in-two transient
+        // write and fsync faults actually bite.
+        let vfs = FaultVfs::new(0xBEEF);
+        let store = PatternStore::open_at(
+            Arc::new(vfs.clone()),
+            "/svc",
+            StoreOptions {
+                max_segment_bytes: 64,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        vfs.set_plan(FaultPlan {
+            transient_write_one_in: Some(2),
+            transient_sync_one_in: Some(2),
+            ..FaultPlan::default()
+        });
+        let policy = SupervisorPolicy {
+            max_retries: 10,
+            ..snappy_policy()
+        };
+        let outcome =
+            MonitorService::run_with(GatheringEngine::new(config()), store, policy, |handle| {
+                let domain = db.time_domain().unwrap();
+                for t in domain.iter() {
+                    handle.ingest(ClusterDatabase::build_interval(
+                        &db,
+                        &config().clustering,
+                        TimeInterval::new(t, t),
+                    ));
+                }
+                handle.flush();
+                (handle.stored(), handle.stats())
+            });
+        let (stored, stats) = outcome.value;
+        assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        assert_eq!(outcome.engine.closed_crowds(), reference.crowds);
+        assert_eq!(stored, outcome.engine.finalized_records().len());
+        assert!(stored >= 3, "several crowds must have been stored mid-run");
+        assert!(
+            stats.retries > 0,
+            "the fault schedule must have forced at least one retry"
+        );
+        assert_eq!(stats.degraded_since, None);
+    }
+
+    #[test]
+    fn persistent_faults_degrade_and_recovery_drains_the_queue() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let reference = GatheringPipeline::new(config()).discover(&db);
+
+        let vfs = FaultVfs::new(0xD1CE);
+        let store = PatternStore::open_at(
+            Arc::new(vfs.clone()),
+            "/svc",
+            StoreOptions {
+                max_segment_bytes: 256,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let outcome = MonitorService::run_with(
+            GatheringEngine::new(config()),
+            store,
+            snappy_policy(),
+            |handle| {
+                // The first batches land healthily — before any crowd
+                // finalizes (the first blob's crowd closes at t=8).
+                for batch in batches.iter().take(6).cloned() {
+                    handle.ingest(batch);
+                }
+                handle.flush();
+                assert_eq!(handle.stats().degraded_since, None);
+
+                // Now every write fails: the first crowd's record cannot be
+                // stored, the retry budget runs out, the service degrades.
+                vfs.set_plan(FaultPlan {
+                    transient_write_one_in: Some(1),
+                    ..FaultPlan::default()
+                });
+                for batch in batches.iter().skip(6).cloned() {
+                    handle.ingest(batch);
+                }
+                handle.flush();
+                let degraded = handle.stats();
+                assert!(degraded.degraded_since.is_some(), "{degraded:?}");
+                assert!(degraded.queued_batches > 0, "{degraded:?}");
+                assert!(matches!(
+                    handle.top_k(3),
+                    Err(ServiceError::Degraded { .. })
+                ));
+                assert!(matches!(
+                    handle.checkpoint(),
+                    Err(ServiceError::Degraded { .. })
+                ));
+                assert!(!handle.try_recover(), "the store is still failing");
+
+                // The weather clears: recovery drains the queue in order.
+                vfs.clear_faults();
+                assert!(handle.try_recover());
+                handle.flush();
+                let healthy = handle.stats();
+                assert_eq!(healthy.degraded_since, None);
+                assert_eq!(healthy.queued_batches, 0);
+                (handle.stored(), healthy)
+            },
+        );
+        let (stored, healthy) = outcome.value;
+        // The degradation and recovery were reported...
+        assert!(
+            outcome.errors.iter().any(|e| e.contains("degraded")),
+            "{:?}",
+            outcome.errors
+        );
+        assert!(
+            outcome.errors.iter().any(|e| e.contains("recovered")),
+            "{:?}",
+            outcome.errors
+        );
+        // ...and the end state is exactly what an undisturbed run produces.
+        assert_eq!(outcome.engine.closed_crowds(), reference.crowds);
+        assert_eq!(outcome.engine.gatherings(), reference.gatherings);
+        assert_eq!(stored, outcome.engine.finalized_records().len());
+        assert!(healthy.retries > 0);
+    }
+
+    /// A [`MonitoredEngine`] wrapper that panics on the `n`-th ingested
+    /// batch — once; the wrapper restored from a checkpoint is benign.
+    struct PanicOnNth {
+        inner: GatheringEngine,
+        panic_at: Option<u64>,
+        seen: u64,
+    }
+
+    impl MonitoredEngine for PanicOnNth {
+        fn expected_next_tick(&self) -> Option<Timestamp> {
+            self.inner.expected_next_tick()
+        }
+        fn ingest_batch(&mut self, batch: ClusterDatabase) {
+            self.seen += 1;
+            if self.panic_at == Some(self.seen) {
+                self.panic_at = None;
+                panic!("injected ingest panic");
+            }
+            self.inner.ingest_batch(batch);
+        }
+        fn finalized_feed(&self) -> &[CrowdRecord] {
+            self.inner.finalized_feed()
+        }
+        fn resolve_database(&self) -> &ClusterDatabase {
+            self.inner.resolve_database()
+        }
+        fn checkpoint_bytes(&self) -> Vec<u8> {
+            self.inner.checkpoint_bytes()
+        }
+        fn restore_bytes(&self, bytes: &[u8]) -> Result<Self, DecodeError> {
+            Ok(PanicOnNth {
+                inner: self.inner.restore_bytes(bytes)?,
+                panic_at: None,
+                seen: self.seen,
+            })
+        }
+        fn load(&self) -> EngineLoad {
+            self.inner.load()
+        }
+    }
+
+    #[test]
+    fn ingest_panic_is_recovered_with_identical_output() {
+        let db = scene();
+        let reference = GatheringPipeline::new(config()).discover(&db);
+
+        let dir = temp_dir("panic");
+        let store = PatternStore::open(&dir).unwrap();
+        let engine = PanicOnNth {
+            inner: GatheringEngine::new(config()),
+            panic_at: Some(13),
+            seen: 0,
+        };
+        let outcome = MonitorService::run_with(engine, store, snappy_policy(), |handle| {
+            for batch in tick_batches(&db) {
+                handle.ingest(batch);
+            }
+            handle.flush();
+            (handle.stored(), handle.stats())
+        });
+        let (stored, stats) = outcome.value;
+        assert_eq!(stats.panics_recovered, 1);
+        assert_eq!(outcome.errors.len(), 1, "{:?}", outcome.errors);
+        assert!(
+            outcome.errors[0].contains("recovered"),
+            "{:?}",
+            outcome.errors
+        );
+        // The panic (and the restore + replay it forced) left no trace in
+        // the discovery output or the durable history.
+        assert_eq!(outcome.engine.inner.closed_crowds(), reference.crowds);
+        assert_eq!(outcome.engine.inner.gatherings(), reference.gatherings);
+        assert_eq!(stored, outcome.engine.inner.finalized_records().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_ahead_of_engine_is_verified_and_skipped() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let dir = temp_dir("ahead");
+
+        // First run: checkpoint early, then keep streaming, so the store
+        // ends up holding records the checkpointed engine has not finalized.
+        let first = MonitorService::run(
+            GatheringEngine::new(config()),
+            PatternStore::open(&dir).unwrap(),
+            |handle| {
+                for batch in batches.iter().take(6).cloned() {
+                    handle.ingest(batch);
+                }
+                let ckpt = handle.checkpoint().unwrap();
+                for batch in batches.iter().skip(6).cloned() {
+                    handle.ingest(batch);
+                }
+                handle.flush();
+                (ckpt, handle.stored())
+            },
+        );
+        assert!(first.errors.is_empty(), "{:?}", first.errors);
+        let (ckpt, stored_after_first) = first.value;
+        drop(first.store);
+
+        // Second run resumes from the *older* checkpoint against the full
+        // store: every re-finalized record is verified against the stored
+        // one and skipped, never duplicated.
+        let engine = crate::checkpoint::restore_from_slice(&ckpt).unwrap();
+        let resumed = MonitorService::run(engine, PatternStore::open(&dir).unwrap(), |handle| {
+            for batch in batches.iter().skip(6).cloned() {
+                handle.ingest(batch);
+            }
+            handle.flush();
+            handle.stored()
+        });
+        assert!(resumed.errors.is_empty(), "{:?}", resumed.errors);
+        assert_eq!(resumed.value, stored_after_first, "no duplicates, no loss");
+        assert_eq!(resumed.engine.finalized_records().len(), stored_after_first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn divergent_store_halts_durable_storage() {
+        let db = scene();
+        let batches = tick_batches(&db);
+        let dir = temp_dir("diverge");
+
+        // Populate the store with one configuration's records...
+        let first = MonitorService::run(
+            GatheringEngine::new(config()),
+            PatternStore::open(&dir).unwrap(),
+            |handle| {
+                for batch in batches.iter().cloned() {
+                    handle.ingest(batch);
+                }
+                handle.flush();
+                handle.stored()
+            },
+        );
+        assert!(first.value >= 1);
+        drop(first.store);
+
+        // ...then resume a fresh engine over a *shifted* copy of the scene:
+        // the crowds it finalizes live at different coordinates, so the
+        // first re-finalized record diverges from the stored one.  The
+        // divergence halts storage; the store is never corrupted by appends
+        // from a foreign engine.
+        let shifted = TrajectoryDatabase::from_trajectories((0..4u32).map(|i| {
+            Trajectory::from_points(
+                ObjectId::new(i),
+                (0..8u32)
+                    .map(|t| (t, (1_000.0 + f64::from(i) * 10.0, t as f64)))
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let outcome = MonitorService::run(
+            GatheringEngine::new(config()),
+            PatternStore::open(&dir).unwrap(),
+            |handle| {
+                for t in shifted.time_domain().unwrap().iter() {
+                    handle.ingest(ClusterDatabase::build_interval(
+                        &shifted,
+                        &config().clustering,
+                        TimeInterval::new(t, t),
+                    ));
+                }
+                // One empty tick so the blob's crowd actually finalizes.
+                handle.ingest(ClusterDatabase::build_interval(
+                    &db,
+                    &config().clustering,
+                    TimeInterval::new(8, 9),
+                ));
+                handle.flush();
+                handle.stored()
+            },
+        );
+        assert!(
+            outcome.errors.iter().any(|e| e.contains("diverges")),
+            "{:?}",
+            outcome.errors
+        );
+        assert_eq!(outcome.value, first.value, "the store was left untouched");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -39,9 +39,9 @@
 //! serve the per-object and ranking paths.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use gpdt_clustering::ClusterDatabase;
 use gpdt_core::{Crowd, CrowdRecord, GatheringEngine};
@@ -53,6 +53,7 @@ use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp};
 use crate::codec::{
     decode_from_slice, encode_to_vec, fnv1a, read_header, write_header, Decode, DecodeError, Encode,
 };
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 
 /// Magic string at the start of every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"GPDTSEG\0";
@@ -234,6 +235,13 @@ pub struct StoreOptions {
     /// Segment rotation threshold: once the active segment reaches this many
     /// bytes, the next append starts a new segment.
     pub max_segment_bytes: u64,
+    /// Accept an open that salvaged *zero* records from a non-empty torn
+    /// segment (normally reported as [`StoreError::EmptySalvage`], because
+    /// "the whole log decoded to nothing" usually means the wrong directory
+    /// or wholesale corruption, not a routine crash).  Crash-recovery paths
+    /// that *know* the store was empty at the crash — a restored checkpoint
+    /// with zero finalized records — set this to proceed.
+    pub allow_empty_salvage: bool,
 }
 
 impl Default for StoreOptions {
@@ -243,14 +251,15 @@ impl Default for StoreOptions {
             // segments (the compaction unit), large enough that a segment
             // amortises its header and file-system metadata.
             max_segment_bytes: 8 * 1024 * 1024,
+            allow_empty_salvage: false,
         }
     }
 }
 
-/// Error opening or replaying a store directory.
+/// Error opening, replaying or appending to a store.
 #[derive(Debug)]
 pub enum StoreError {
-    /// An I/O error while listing, opening or truncating segments.
+    /// An I/O error while listing, opening, writing or truncating segments.
     Io(io::Error),
     /// A segment other than the last one is damaged (a torn tail in the last
     /// segment is repaired silently instead).
@@ -260,6 +269,61 @@ pub enum StoreError {
         /// What was wrong with it.
         source: DecodeError,
     },
+    /// An appended record violates the containment invariant (see
+    /// [`PatternRecord::validate`]) or exceeds the frame-size cap.  Always
+    /// fatal for *this record* — retrying cannot help — but the store itself
+    /// stays healthy.
+    InvalidRecord(&'static str),
+    /// Segment files exist but replay salvaged zero records while dropping a
+    /// torn tail: indistinguishable from opening the wrong directory or from
+    /// wholesale corruption, so it is reported instead of silently yielding
+    /// an "empty" store.  Set [`StoreOptions::allow_empty_salvage`] when the
+    /// empty result is known to be correct (e.g. restoring from a checkpoint
+    /// taken before the first append was acknowledged).
+    EmptySalvage {
+        /// The torn segment the records would have lived in.
+        segment: PathBuf,
+        /// How many bytes of undecodable tail it carried.
+        dropped_bytes: u64,
+    },
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// This is the single classification point the
+    /// [`MonitorService`](crate::service::MonitorService) retry policy keys
+    /// off: transient errors get bounded backoff-and-retry, fatal ones halt
+    /// durable storage immediately.  Damage, invalid records and empty
+    /// salvages are always fatal; I/O errors are fatal when the kind is
+    /// structural (`NotFound`, `PermissionDenied`, `AlreadyExists`,
+    /// `InvalidInput`, `InvalidData`, `Unsupported`, `UnexpectedEof`) or the
+    /// OS reports `ENOSPC`, and transient otherwise (`Interrupted`,
+    /// `TimedOut`, `WouldBlock`, unclassified OS errors).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(err) => {
+                // A full disk reports a generic kind on some platforms; the
+                // raw errno is the reliable signal.
+                if err.raw_os_error() == Some(28) {
+                    return false;
+                }
+                !matches!(
+                    err.kind(),
+                    io::ErrorKind::NotFound
+                        | io::ErrorKind::PermissionDenied
+                        | io::ErrorKind::AlreadyExists
+                        | io::ErrorKind::InvalidInput
+                        | io::ErrorKind::InvalidData
+                        | io::ErrorKind::Unsupported
+                        | io::ErrorKind::UnexpectedEof
+                )
+            }
+            StoreError::Segment { .. }
+            | StoreError::InvalidRecord(_)
+            | StoreError::EmptySalvage { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -269,6 +333,16 @@ impl std::fmt::Display for StoreError {
             StoreError::Segment { path, source } => {
                 write!(f, "damaged segment {}: {source}", path.display())
             }
+            StoreError::InvalidRecord(why) => write!(f, "invalid record: {why}"),
+            StoreError::EmptySalvage {
+                segment,
+                dropped_bytes,
+            } => write!(
+                f,
+                "segment {} salvaged zero records while dropping {dropped_bytes} torn bytes; \
+                 refusing to treat the store as empty",
+                segment.display()
+            ),
         }
     }
 }
@@ -278,6 +352,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(err) => Some(err),
             StoreError::Segment { source, .. } => Some(source),
+            StoreError::InvalidRecord(_) | StoreError::EmptySalvage { .. } => None,
         }
     }
 }
@@ -338,7 +413,7 @@ impl IntervalIndex {
 #[derive(Debug)]
 struct ActiveSegment {
     index: u32,
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VfsFile>>,
     /// Current size of the segment in bytes (header included).
     bytes: u64,
 }
@@ -365,6 +440,7 @@ pub struct TailRepair {
 /// design.
 #[derive(Debug)]
 pub struct PatternStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     options: StoreOptions,
     records: Vec<PatternRecord>,
@@ -395,37 +471,65 @@ impl PatternStore {
     ///
     /// See [`PatternStore::open`].
     pub fn open_with(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        Self::open_at(Arc::new(RealVfs), dir, options)
+    }
 
-        let segments = Self::list_segments(&dir)?;
+    /// Like [`PatternStore::open_with`] against an explicit storage backend
+    /// — the seam the fault-injection tests use to run the exact production
+    /// store code over a [`FaultVfs`](crate::vfs::FaultVfs).
+    ///
+    /// # Errors
+    ///
+    /// See [`PatternStore::open`], plus [`StoreError::EmptySalvage`] when a
+    /// torn log decodes to zero records (see
+    /// [`StoreOptions::allow_empty_salvage`]).
+    pub fn open_at(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        vfs.create_dir_all(&dir)?;
+
+        let segments = Self::list_segments(vfs.as_ref(), &dir)?;
 
         let mut replayed: Vec<PatternRecord> = Vec::new();
         let mut tail_repair = None;
         let active = match segments.last().copied() {
-            None => Self::create_segment(&dir, 1)?,
+            None => Self::create_segment(vfs.as_ref(), &dir, 1)?,
             Some(last) => {
                 let mut active = None;
                 for &index in &segments {
                     let path = segment_path(&dir, index);
                     let is_last = index == last;
-                    let valid_len = Self::replay_segment(&path, is_last, &mut replayed)?;
+                    let valid_len =
+                        Self::replay_segment(vfs.as_ref(), &path, is_last, &mut replayed)?;
                     if is_last {
                         // Reopen the tail segment for appending, dropping any
                         // torn bytes past the last intact record — and report
                         // the repair, so callers can tell a routine crash
                         // cleanup from unexpected data loss.
-                        let file = OpenOptions::new().write(true).open(&path)?;
-                        let on_disk = file.metadata()?.len();
+                        let on_disk = vfs.file_len(&path)?;
                         if on_disk > valid_len {
+                            // A torn log that decodes to *nothing* is more
+                            // likely the wrong directory or wholesale
+                            // corruption than a routine crash; refuse to
+                            // pass it off as an empty store unless the
+                            // caller opted in (and refuse *before* the
+                            // destructive truncation below).
+                            if replayed.is_empty() && !options.allow_empty_salvage {
+                                return Err(StoreError::EmptySalvage {
+                                    segment: path.clone(),
+                                    dropped_bytes: on_disk - valid_len,
+                                });
+                            }
                             tail_repair = Some(TailRepair {
                                 segment: path.clone(),
                                 dropped_bytes: on_disk - valid_len,
                             });
+                            vfs.truncate(&path, valid_len)?;
                         }
-                        file.set_len(valid_len)?;
-                        let mut writer = BufWriter::new(file);
-                        writer.seek(SeekFrom::Start(valid_len))?;
+                        let mut writer = BufWriter::new(vfs.open_append(&path)?);
                         let mut bytes = valid_len;
                         if valid_len < SEGMENT_HEADER_BYTES {
                             // Not even the header survived (crash during
@@ -447,6 +551,7 @@ impl PatternStore {
         };
 
         let mut store = PatternStore {
+            vfs,
             dir,
             options,
             records: Vec::new(),
@@ -470,11 +575,9 @@ impl PatternStore {
     /// Only exact writer-produced names (`seg-` + 8 digits + `.gpdt`) count;
     /// stray files that merely look similar are ignored rather than replayed
     /// twice under a duplicate index.
-    fn list_segments(dir: &Path) -> Result<Vec<u32>, StoreError> {
+    fn list_segments(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<u32>, StoreError> {
         let mut out = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let name = entry?.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for name in vfs.list_dir(dir)? {
             if let Some(index) = name
                 .strip_prefix("seg-")
                 .and_then(|rest| rest.strip_suffix(".gpdt"))
@@ -505,16 +608,24 @@ impl PatternStore {
     /// Creates a fresh segment file with its header written and fsynced (a
     /// crash must not be able to leave a sealed predecessor pointing at a
     /// successor with a torn header).
-    fn create_segment(dir: &Path, index: u32) -> Result<ActiveSegment, StoreError> {
+    ///
+    /// On a header-write failure the just-created file is removed again, so
+    /// a transient fault mid-rotation does not leave an orphan that would
+    /// turn the retry's `create_new` into a spurious `AlreadyExists`.
+    fn create_segment(vfs: &dyn Vfs, dir: &Path, index: u32) -> Result<ActiveSegment, StoreError> {
         let path = segment_path(dir, index);
-        let file = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(&path)?;
-        let mut writer = BufWriter::new(file);
-        write_header(&mut writer, &SEGMENT_MAGIC, SEGMENT_VERSION)?;
-        writer.flush()?;
-        writer.get_ref().sync_all()?;
+        let mut writer = BufWriter::new(vfs.create_new(&path)?);
+        let written = write_header(&mut writer, &SEGMENT_MAGIC, SEGMENT_VERSION)
+            .and_then(|()| writer.flush())
+            .and_then(|()| writer.get_mut().sync());
+        if let Err(err) = written {
+            // Drop the buffered header instead of flushing it on drop, then
+            // clean up (best-effort: a failure here only re-creates the
+            // crash-during-rotation case replay already repairs).
+            let _ = writer.into_parts();
+            let _ = vfs.remove_file(&path);
+            return Err(err.into());
+        }
         Ok(ActiveSegment {
             index,
             writer,
@@ -530,6 +641,7 @@ impl PatternStore {
     /// rotation), signalled by returning `0` so the caller rewrites the
     /// header.  For any other segment damage is an error.
     fn replay_segment(
+        vfs: &dyn Vfs,
         path: &Path,
         tolerate_tail: bool,
         out: &mut Vec<PatternRecord>,
@@ -538,7 +650,8 @@ impl PatternStore {
             path: path.to_path_buf(),
             source,
         };
-        let mut file = io::BufReader::new(File::open(path)?);
+        let data = vfs.read_file(path)?;
+        let mut file = io::Cursor::new(data.as_slice());
         if let Err(err) = read_header(&mut file, &SEGMENT_MAGIC, SEGMENT_VERSION) {
             if tolerate_tail && matches!(err, DecodeError::UnexpectedEof) {
                 return Ok(0);
@@ -644,23 +757,22 @@ impl PatternStore {
     ///
     /// # Errors
     ///
-    /// Returns `InvalidInput` if the record violates the containment
-    /// invariant (see [`PatternRecord::validate`]) and propagates I/O errors
-    /// otherwise.  Every frame is written *and flushed* before the append is
-    /// acknowledged, so `active.bytes` always equals the on-disk length of
-    /// the segment at append boundaries; on an I/O error the partial frame
-    /// is rolled back, the log stays intact, and the append can simply be
-    /// retried.  The in-memory state is only updated on success.
-    pub fn append(&mut self, record: PatternRecord) -> io::Result<RecordId> {
-        record
-            .validate()
-            .map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, why))?;
+    /// Returns [`StoreError::InvalidRecord`] if the record violates the
+    /// containment invariant (see [`PatternRecord::validate`]) and
+    /// propagates I/O errors otherwise — classify with
+    /// [`StoreError::is_transient`] before retrying.  Every frame is written
+    /// *and flushed* before the append is acknowledged, so `active.bytes`
+    /// always equals the on-disk length of the segment at append boundaries;
+    /// on an I/O error the partial frame is rolled back, the log stays
+    /// intact, and the append can simply be retried.  The in-memory state is
+    /// only updated on success.
+    pub fn append(&mut self, record: PatternRecord) -> Result<RecordId, StoreError> {
+        record.validate().map_err(StoreError::InvalidRecord)?;
         let payload = encode_to_vec(&record);
         // Mirror the reader's frame-size cap (`read_framed`): a frame the
         // replay path would refuse must never be written in the first place.
         if payload.len() as u64 > (1 << 30) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
+            return Err(StoreError::InvalidRecord(
                 "record payload exceeds the 1 GiB frame cap",
             ));
         }
@@ -680,7 +792,7 @@ impl PatternStore {
             // record as a "torn tail"; reopen the segment at its last good
             // offset so the failed append leaves no trace.
             self.rollback_active();
-            return Err(err);
+            return Err(err.into());
         }
         self.active.bytes += frame.len() as u64;
         Ok(self.index_record(record, false))
@@ -697,17 +809,13 @@ impl PatternStore {
     /// will keep failing loudly).
     fn rollback_active(&mut self) {
         let path = segment_path(&self.dir, self.active.index);
-        let Ok(file) = OpenOptions::new().write(true).open(&path) else {
+        if self.vfs.truncate(&path, self.active.bytes).is_err() {
+            return;
+        }
+        let Ok(file) = self.vfs.open_append(&path) else {
             return;
         };
-        if file.set_len(self.active.bytes).is_err() {
-            return;
-        }
-        let mut writer = BufWriter::new(file);
-        if writer.seek(SeekFrom::Start(self.active.bytes)).is_err() {
-            return;
-        }
-        let torn = std::mem::replace(&mut self.active.writer, writer);
+        let torn = std::mem::replace(&mut self.active.writer, BufWriter::new(file));
         // `into_parts` hands the buffered bytes back instead of flushing
         // them on drop, which would re-append the torn frame.
         let _ = torn.into_parts();
@@ -718,12 +826,12 @@ impl PatternStore {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors of [`PatternStore::append`].
+    /// Propagates errors of [`PatternStore::append`].
     pub fn append_crowd_record(
         &mut self,
         record: &CrowdRecord,
         cdb: &ClusterDatabase,
-    ) -> io::Result<RecordId> {
+    ) -> Result<RecordId, StoreError> {
         self.append(PatternRecord::from_crowd_record(record, cdb))
     }
 
@@ -739,9 +847,12 @@ impl PatternStore {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors of [`PatternStore::append`]; records appended
+    /// Propagates errors of [`PatternStore::append`]; records appended
     /// before the failure stay appended.
-    pub fn archive_closed_frontier(&mut self, engine: &GatheringEngine) -> io::Result<usize> {
+    pub fn archive_closed_frontier(
+        &mut self,
+        engine: &GatheringEngine,
+    ) -> Result<usize, StoreError> {
         let kc = engine.config().crowd.kc;
         let mut appended = 0;
         for (crowd, gatherings) in engine.frontier() {
@@ -758,18 +869,15 @@ impl PatternStore {
     }
 
     /// Seals the active segment durably and starts the next one.
-    fn rotate(&mut self) -> io::Result<()> {
+    fn rotate(&mut self) -> Result<(), StoreError> {
         // The sealed segment will never be written (or fsynced) again, so it
         // must hit stable storage now — otherwise a later `sync()` would
         // claim durability for records living only in the page cache of a
         // file nobody syncs.
         self.active.writer.flush()?;
-        self.active.writer.get_ref().sync_all()?;
+        self.active.writer.get_mut().sync()?;
         let next = self.active.index + 1;
-        self.active = Self::create_segment(&self.dir, next).map_err(|err| match err {
-            StoreError::Io(io) => io,
-            StoreError::Segment { .. } => unreachable!("creating a segment never decodes"),
-        })?;
+        self.active = Self::create_segment(self.vfs.as_ref(), &self.dir, next)?;
         Ok(())
     }
 
@@ -778,8 +886,9 @@ impl PatternStore {
     /// # Errors
     ///
     /// Propagates writer I/O errors.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.active.writer.flush()
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.active.writer.flush()?;
+        Ok(())
     }
 
     /// Flushes and fsyncs the active segment, making all appended records
@@ -788,14 +897,22 @@ impl PatternStore {
     /// # Errors
     ///
     /// Propagates writer I/O errors.
-    pub fn sync(&mut self) -> io::Result<()> {
+    pub fn sync(&mut self) -> Result<(), StoreError> {
         self.active.writer.flush()?;
-        self.active.writer.get_ref().sync_all()
+        self.active.writer.get_mut().sync()?;
+        Ok(())
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The storage backend this store runs against — checkpoint files that
+    /// must share the store's fate (and its injected faults) are written
+    /// through the same backend.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
     }
 
     /// The torn-tail repair performed while opening this store, if any.
@@ -926,9 +1043,11 @@ fn segment_path(dir: &Path, index: u32) -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::FaultVfs;
     use gpdt_clustering::ClusterId;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::fs::OpenOptions;
 
     /// A unique fresh directory under the system temp dir.
     fn temp_store_dir(tag: &str) -> PathBuf {
@@ -990,6 +1109,7 @@ mod tests {
         let dir = temp_store_dir("rotate");
         let options = StoreOptions {
             max_segment_bytes: 256,
+            ..StoreOptions::default()
         };
         {
             let mut store = PatternStore::open_with(&dir, options).unwrap();
@@ -1053,6 +1173,7 @@ mod tests {
         let dir = temp_store_dir("sealed-damage");
         let options = StoreOptions {
             max_segment_bytes: 256,
+            ..StoreOptions::default()
         };
         {
             let mut store = PatternStore::open_with(&dir, options).unwrap();
@@ -1108,6 +1229,7 @@ mod tests {
         let dir = temp_store_dir("gap");
         let options = StoreOptions {
             max_segment_bytes: 256,
+            ..StoreOptions::default()
         };
         {
             let mut store = PatternStore::open_with(&dir, options).unwrap();
@@ -1245,19 +1367,20 @@ mod tests {
         let mut bad = record(0, 4, 0.0, &[1, 2]);
         bad.gatherings[0].mbr = Mbr::new(-50.0, 0.0, 10.0, 10.0);
         let err = store.append(bad).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(err, StoreError::InvalidRecord(_)), "{err}");
+        assert!(!err.is_transient(), "invalid records must not be retried");
 
         // Gathering lifespan outside the crowd lifespan.
         let mut bad = record(10, 4, 0.0, &[1, 2]);
         bad.gatherings[0].interval = TimeInterval::new(9, 13);
         let err = store.append(bad).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(err, StoreError::InvalidRecord(_)), "{err}");
 
         // Unsorted participators.
         let mut bad = record(0, 4, 0.0, &[1, 2]);
         bad.gatherings[0].participators = vec![ObjectId::new(5), ObjectId::new(1)];
         let err = store.append(bad).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(err, StoreError::InvalidRecord(_)), "{err}");
 
         // Nothing was written or indexed, and good appends still work.
         assert!(store.is_empty());
@@ -1266,6 +1389,95 @@ mod tests {
         drop(store);
         assert_eq!(PatternStore::open(&dir).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_record_salvage_is_reported_not_silent() {
+        let dir = temp_store_dir("empty-salvage");
+        {
+            let mut store = PatternStore::open(&dir).unwrap();
+            store.append(record(0, 4, 0.0, &[1, 2])).unwrap();
+            store.sync().unwrap();
+        }
+        // Corrupt the single record's frame: replay now salvages nothing
+        // from a segment that clearly held data.
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[SEGMENT_HEADER_BYTES as usize + 6] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match PatternStore::open(&dir) {
+            Err(StoreError::EmptySalvage {
+                segment,
+                dropped_bytes,
+            }) => {
+                assert_eq!(segment, path);
+                assert!(dropped_bytes > 0);
+            }
+            other => panic!("expected EmptySalvage, got {other:?}"),
+        }
+        // The refusal is non-destructive: the damaged bytes are still there.
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+
+        // The escape hatch: callers that know empty is correct may proceed,
+        // and the repair is then reported the usual way.
+        let salvage = PatternStore::open_with(
+            &dir,
+            StoreOptions {
+                allow_empty_salvage: true,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(salvage.is_empty());
+        assert!(salvage.tail_repair().is_some());
+        drop(salvage);
+
+        // A genuinely empty store (header-only segment) keeps opening
+        // silently — EmptySalvage is about dropped bytes, not emptiness.
+        let empty_dir = temp_store_dir("empty-clean");
+        drop(PatternStore::open(&empty_dir).unwrap());
+        let clean = PatternStore::open(&empty_dir).unwrap();
+        assert!(clean.is_empty());
+        assert!(clean.tail_repair().is_none());
+        drop(clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty_dir).unwrap();
+    }
+
+    #[test]
+    fn fault_vfs_backed_store_round_trips_and_repairs() {
+        // The exact production store code over the in-memory fault backend:
+        // append, rotate, crash with an un-synced tail, reopen, verify the
+        // synced prefix survived intact.
+        let vfs = Arc::new(FaultVfs::new(0xF00D));
+        let dir = PathBuf::from("/store");
+        let options = StoreOptions {
+            max_segment_bytes: 256,
+            ..StoreOptions::default()
+        };
+        let mut store = PatternStore::open_at(vfs.clone(), &dir, options).unwrap();
+        for i in 0..12u32 {
+            store.append(record(i, 3, f64::from(i), &[i])).unwrap();
+        }
+        assert!(store.segment_count() > 1, "rotation must happen");
+        store.sync().unwrap();
+        let synced = store.len();
+        // More appends that are flushed but never synced, then a crash.
+        for i in 12..16u32 {
+            store.append(record(i, 3, f64::from(i), &[i])).unwrap();
+        }
+        drop(store);
+        vfs.kill_after(1);
+        let _ = vfs.create_dir_all(Path::new("/x"));
+        vfs.crash_recover();
+
+        let store = PatternStore::open_at(vfs.clone(), &dir, options).unwrap();
+        assert!(store.len() >= synced, "synced records must survive");
+        assert!(store.len() <= 16);
+        for (i, rec) in store.records().iter().enumerate() {
+            assert_eq!(rec.interval().start, i as u32, "prefix must be intact");
+        }
     }
 
     #[test]

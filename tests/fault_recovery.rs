@@ -1,0 +1,297 @@
+//! Crash-lattice and fault-recovery suite: every durability claim of the
+//! store/service stack, exercised under deterministic fault schedules.
+//!
+//! * The **crash lattice** kills the storage backend at ≥ 200 seeded
+//!   mutating-operation points — covering appends, segment rotations and
+//!   checkpoint-cursor writes — recovers, resumes, and requires the final
+//!   store to be *byte-identical* to an uninterrupted run (zero data loss
+//!   past the last acknowledged fsync).
+//! * A second lattice layers transient short writes and fsync failures on
+//!   top of the kills, driving the restart-from-cursor path.
+//! * **TailRepair** is exercised on real, current-codec (v2 columnar
+//!   payload) frames — including a torn write landing exactly on a
+//!   segment-rotation boundary — instead of hand-forged v1-era tails.
+//! * The **sharded panic lattice** injects a worker panic into every
+//!   (batch, shard) cell of a multi-batch ingest and requires in-process
+//!   recovery with output byte-identical to a single-engine run.
+
+use gpdt_bench::fault_sweep::{crash_lattice, sweep_workload, LatticeConfig};
+use gpdt_clustering::ClusterDatabase;
+use gpdt_core::{ClusteringParams, CrowdParams, GatheringConfig, GatheringEngine, GatheringParams};
+use gpdt_shard::{GridPartitioner, Partitioner, ShardFault, ShardedEngine};
+use gpdt_store::{PatternStore, StoreOptions};
+use gpdt_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpdt-fault-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Crash lattice
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_lattice_200_kill_points_recover_byte_identically() {
+    let (config, sets) = sweep_workload(8, 135);
+    let cfg = LatticeConfig {
+        seed: 0x2013_1CDE,
+        points: 200,
+        ..LatticeConfig::default()
+    };
+    let outcome = crash_lattice(&cfg, &config, &sets);
+    assert!(outcome.passed(), "violations: {:#?}", outcome.violations);
+    assert_eq!(outcome.points, 200);
+    // Every sampled point lies inside the reference op schedule, so every
+    // kill must actually fire (a lattice that never crashes proves nothing).
+    assert_eq!(outcome.kills_fired, 200);
+    assert!(outcome.incarnations > 200, "each kill costs a restart");
+}
+
+#[test]
+fn crash_lattice_with_transient_faults_still_recovers() {
+    let (config, sets) = sweep_workload(8, 135);
+    let cfg = LatticeConfig {
+        seed: 0xFA_0175,
+        points: 64,
+        transient_write_one_in: Some(7),
+        transient_sync_one_in: Some(11),
+        ..LatticeConfig::default()
+    };
+    let outcome = crash_lattice(&cfg, &config, &sets);
+    assert!(outcome.passed(), "violations: {:#?}", outcome.violations);
+    assert!(
+        outcome.transient_restarts > 0,
+        "1-in-7 write faults must actually fire somewhere in 64 runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// TailRepair on current-codec frames
+// ---------------------------------------------------------------------------
+
+/// Discovery output to feed the stores: real records with columnar
+/// cluster-set payloads, i.e. frames as today's codec writes them.
+fn store_workload() -> (GatheringEngine, usize) {
+    let (config, sets) = sweep_workload(6, 90);
+    let mut engine = GatheringEngine::new(config);
+    engine.ingest_clusters(ClusterDatabase::from_sets(sets));
+    let n = engine.finalized_records().len();
+    assert!(n >= 6, "workload must finalize several records, got {n}");
+    (engine, n)
+}
+
+/// Small segments so the record stream spans several rotations.
+fn small_segments() -> StoreOptions {
+    StoreOptions {
+        max_segment_bytes: 512,
+        ..StoreOptions::default()
+    }
+}
+
+/// Appends records `0..n` to a fresh store in `dir`, syncing each one.
+fn build_store(dir: &PathBuf, engine: &GatheringEngine, n: usize) -> PatternStore {
+    let mut store = PatternStore::open_with(dir, small_segments()).unwrap();
+    let cdb = engine.cluster_database();
+    for record in &engine.finalized_records()[..n] {
+        store.append_crowd_record(record, cdb).unwrap();
+        store.sync().unwrap();
+    }
+    store
+}
+
+/// Sorted `(name, bytes)` of every segment file in `dir`.
+fn segment_files(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn torn_v2_frame_mid_segment_is_repaired_and_rewritten_identically() {
+    let (engine, n) = store_workload();
+
+    let ref_dir = temp_dir("torn-mid-ref");
+    let reference = build_store(&ref_dir, &engine, n);
+    drop(reference);
+
+    let dir = temp_dir("torn-mid");
+    let store = build_store(&dir, &engine, n);
+    drop(store);
+
+    // Tear the last frame: drop the final 3 bytes of its checksum, exactly
+    // what a crash mid-`write` leaves behind.
+    let (last_name, last_bytes) = segment_files(&dir).pop().unwrap();
+    assert!(last_bytes.len() > 3);
+    let torn_len = last_bytes.len() as u64 - 3;
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(&last_name))
+        .unwrap()
+        .set_len(torn_len)
+        .unwrap();
+
+    let mut store = PatternStore::open_with(&dir, small_segments()).unwrap();
+    let repair = store.tail_repair().expect("the torn tail must be reported");
+    assert!(repair.segment.ends_with(&last_name));
+    assert!(repair.dropped_bytes > 0);
+    assert_eq!(store.len(), n - 1, "exactly the torn record is dropped");
+
+    // Re-appending the lost record must reproduce the reference store byte
+    // for byte — the repair truncated to a frame boundary, nothing else.
+    store
+        .append_crowd_record(
+            &engine.finalized_records()[n - 1],
+            engine.cluster_database(),
+        )
+        .unwrap();
+    store.sync().unwrap();
+    drop(store);
+    assert_eq!(segment_files(&dir), segment_files(&ref_dir));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn torn_frame_exactly_on_rotation_boundary_is_repaired() {
+    let (engine, n) = store_workload();
+
+    let ref_dir = temp_dir("torn-rot-ref");
+    drop(build_store(&ref_dir, &engine, n));
+
+    // Build record by record until an append triggers a segment rotation:
+    // record `k` is then the *first* frame of the fresh segment.
+    let dir = temp_dir("torn-rot");
+    let mut store = PatternStore::open_with(&dir, small_segments()).unwrap();
+    let cdb = engine.cluster_database();
+    let mut rotated_at = None;
+    for (k, record) in engine.finalized_records()[..n].iter().enumerate() {
+        let before = segment_files(&dir).len();
+        store.append_crowd_record(record, cdb).unwrap();
+        store.sync().unwrap();
+        if segment_files(&dir).len() > before && before > 0 {
+            rotated_at = Some(k);
+            break;
+        }
+    }
+    let k = rotated_at.expect("512-byte segments must rotate within the workload");
+    drop(store);
+
+    // Tear the rotated-into segment down to its header plus a few bytes of
+    // the first frame: the crash happened exactly on the rotation boundary,
+    // mid-way through the first write into the new segment.
+    let (last_name, last_bytes) = segment_files(&dir).pop().unwrap();
+    let header = 10u64; // magic (8) + u16 version
+    assert!(last_bytes.len() as u64 > header + 5);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join(&last_name))
+        .unwrap()
+        .set_len(header + 5)
+        .unwrap();
+
+    // The earlier segments still hold records, so this is a routine repair,
+    // not an `EmptySalvage` refusal.
+    let mut store = PatternStore::open_with(&dir, small_segments()).unwrap();
+    let repair = store
+        .tail_repair()
+        .expect("the torn boundary write must be reported");
+    assert_eq!(repair.dropped_bytes, 5);
+    assert_eq!(store.len(), k, "everything before the rotation survives");
+
+    // Resume the interrupted append stream; the result must equal a store
+    // that never crashed.
+    for record in &engine.finalized_records()[k..n] {
+        store.append_crowd_record(record, cdb).unwrap();
+        store.sync().unwrap();
+    }
+    drop(store);
+    assert_eq!(segment_files(&dir), segment_files(&ref_dir));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded panic lattice
+// ---------------------------------------------------------------------------
+
+/// Five objects drifting along +x across grid cells, so crowds keep
+/// crossing shard borders and every shard does real work.
+fn drifting_db(ticks: u32) -> TrajectoryDatabase {
+    TrajectoryDatabase::from_trajectories((0..5u32).map(|i| {
+        Trajectory::from_points(
+            ObjectId::new(i),
+            (0..ticks)
+                .map(|t| (t, (f64::from(t) * 60.0 + f64::from(i) * 8.0, f64::from(i))))
+                .collect::<Vec<_>>(),
+        )
+    }))
+}
+
+#[test]
+fn sharded_panic_lattice_recovers_in_process_byte_identically() {
+    let config = GatheringConfig::builder()
+        .clustering(ClusteringParams::new(60.0, 3))
+        .crowd(CrowdParams::new(3, 3, 120.0))
+        .gathering(GatheringParams::new(3, 3))
+        .build()
+        .unwrap();
+    let db = drifting_db(16);
+    let partitioner = Partitioner::Grid(GridPartitioner::new(150.0));
+    let shards = 3usize;
+
+    let mut single = GatheringEngine::new(config);
+    single.ingest_trajectories(&db);
+    let reference = (single.closed_crowds(), single.gatherings());
+    assert!(!reference.0.is_empty(), "the drift must form a crowd");
+
+    let mut clean = ShardedEngine::new(config, shards, partitioner);
+    clean.ingest_trajectories(&db);
+    assert_eq!((clean.closed_crowds(), clean.gatherings()), reference);
+
+    // One panic per (batch, shard) cell of the lattice, each in a fresh
+    // engine: recovery must happen inside the process (no restart), and the
+    // final output must match both the undisturbed sharded run and the
+    // single-engine oracle.
+    let ends = [2u32, 4, 6, 8, 10, 12, 14, db.time_domain().unwrap().end];
+    for batch in 0..ends.len() {
+        for shard in 0..shards {
+            let mut faulty = ShardedEngine::new(config, shards, partitioner);
+            for (b, end) in ends.iter().enumerate() {
+                if b == batch {
+                    faulty.inject_shard_fault(shard, ShardFault::PanicOnce);
+                }
+                faulty.ingest_trajectories_until(&db, *end);
+            }
+            assert_eq!(
+                (faulty.closed_crowds(), faulty.gatherings()),
+                reference,
+                "batch {batch}, shard {shard}"
+            );
+            assert_eq!(
+                faulty.finalized_records(),
+                clean.finalized_records(),
+                "batch {batch}, shard {shard}"
+            );
+            assert_eq!(
+                faulty.restarts().iter().sum::<u64>(),
+                1,
+                "exactly the injected worker is rebuilt (batch {batch}, shard {shard})"
+            );
+        }
+    }
+}

@@ -56,6 +56,7 @@ fn populated_store(dir: &PathBuf) -> PatternStore {
         dir,
         StoreOptions {
             max_segment_bytes: 2048,
+            ..StoreOptions::default()
         },
     )
     .unwrap();
