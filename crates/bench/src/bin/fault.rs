@@ -33,6 +33,7 @@ fn add_row(table: &mut Table, name: &str, outcome: &LatticeOutcome) {
 }
 
 fn main() {
+    gpdt_obs::install_panic_hook();
     let seed = env::fault_seed().unwrap_or(0x1CDE_2013);
     let (config, sets) = sweep_workload(8, 135);
     let mut report = BenchReport::new("fault");
@@ -92,6 +93,18 @@ fn main() {
 
     report.print_and_add(table);
     report.write_logged();
+    gpdt_bench::report::write_obs_sidecar("fault");
+    // The fault gate's post-mortem artifact: the flight recorder holds the
+    // tail of the injected-fault / crash-recovery event stream, and CI
+    // asserts the dump exists after a lattice run.
+    if gpdt_obs::enabled() {
+        gpdt_obs::flight().dump();
+        eprintln!(
+            "[fault] flight recorder: {} events recorded, dump at {}",
+            gpdt_obs::flight().recorded(),
+            gpdt_obs::dump_path().display()
+        );
+    }
 
     let violations: Vec<&String> = kills
         .violations

@@ -185,6 +185,8 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
 }
 
 fn main() {
+    // A crash mid-run should leave the supervision-event trail on disk.
+    gpdt_obs::install_panic_hook();
     let seed = 2013;
     let mut report = BenchReport::new("fig5");
 
@@ -235,6 +237,9 @@ fn main() {
     }
     report.print_and_add(fig5b);
     report.write_logged();
+    // Per-stage latency breakdown (dbscan/sweep/gathering/store/vfs) as a
+    // sidecar: BENCH_fig5.json itself is byte-compared across CI runs.
+    gpdt_bench::report::write_obs_sidecar("fig5");
 
     println!(
         "Expected shape (paper): most gatherings in peak time; many crowds but few gatherings in \

@@ -319,6 +319,48 @@ fn time_dispatch_tracking(rng: &mut StdRng, n: usize) -> (f64, f64, f64) {
     (best[0] as f64, best[1] as f64, best[2] as f64)
 }
 
+/// Interleaved min-of-rounds timing of one span-instrumented stage with the
+/// observability gate forced on vs off.  The stage is a real kernel (DBSCAN
+/// over a blob field) behind a [`gpdt_obs::span!`], so the measured delta is
+/// exactly what instrumentation adds to a hot path: one gate load when off,
+/// one `Instant` pair plus a histogram record when on.  Returns
+/// `(on_ns, off_ns)` best-of-rounds; the caller restores the gate.
+fn time_obs_ablation(rng: &mut StdRng) -> (f64, f64) {
+    use std::time::Instant;
+    let params = ClusteringParams::new(200.0, 5);
+    let mut scratch = DbscanScratch::new();
+    let points = blob_field(rng, 60, 60, 300.0);
+    let columns = PointColumns::from_points(&points);
+    let mut stage = || {
+        let _span = gpdt_obs::span!("micro.obs_probe");
+        black_box(dbscan_columns_with(
+            black_box(columns.view()),
+            &params,
+            &mut scratch,
+        ))
+    };
+    let mut best = [u128::MAX; 2];
+    for round in 0..12 {
+        gpdt_obs::set_enabled(true);
+        let t = Instant::now();
+        for _ in 0..4 {
+            stage();
+        }
+        let on = t.elapsed().as_nanos();
+        gpdt_obs::set_enabled(false);
+        let t = Instant::now();
+        for _ in 0..4 {
+            stage();
+        }
+        let off = t.elapsed().as_nanos();
+        if round > 0 {
+            best[0] = best[0].min(on);
+            best[1] = best[1].min(off);
+        }
+    }
+    (best[0] as f64 / 4.0, best[1] as f64 / 4.0)
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     let mut rng = StdRng::seed_from_u64(2013);
@@ -467,5 +509,50 @@ fn main() {
         );
     }
     report.print_and_add(calib);
+
+    // The calibration probe curve recorded by `gpdt_geo::hausdorff` when the
+    // cutoff is resolved by timing (one gauge per probed size, brute and
+    // bucketed): makes the decision data inspectable from BENCH_micro.json
+    // instead of requiring a rerun under a debugger.  Empty when the cutoff
+    // was pinned via `GPDT_HAUSDORFF_CUTOFF` or observability is off.
+    let mut probes = Table::new(
+        "Hausdorff calibration probes (registry gauges)",
+        &["gauge", "value"],
+    );
+    for (name, value) in &gpdt_obs::registry().snapshot().gauges {
+        if name.starts_with("hausdorff.") {
+            probes.add_row(vec![name.clone(), value.to_string()]);
+        }
+    }
+    report.print_and_add(probes);
+
+    // Observability-overhead gate: a span-instrumented kernel with GPDT_OBS
+    // forced on must stay within 5% of the same kernel with it off.  Same
+    // interleaved min-of-rounds idiom as the dispatch guard above.
+    let obs_was_enabled = gpdt_obs::enabled();
+    let (obs_on, obs_off) = time_obs_ablation(&mut rng);
+    gpdt_obs::set_enabled(obs_was_enabled);
+    let mut obs = Table::new(
+        "Observability overhead (GPDT_OBS ablation)",
+        &["quantity", "value"],
+    );
+    obs.add_row(vec![
+        "instrumented dbscan, obs on / off (ns)".to_string(),
+        format!("{obs_on:.0} / {obs_off:.0}"),
+    ]);
+    obs.add_row(vec![
+        "on vs off".to_string(),
+        format!("{:.3}x", obs_on / obs_off),
+    ]);
+    report.print_and_add(obs);
+    assert!(
+        obs_on <= obs_off * 1.05,
+        "observability-on run is {:.1}% slower than observability-off \
+         ({obs_on:.0} ns vs {obs_off:.0} ns) — the span/registry hot path \
+         regressed past the 5% budget",
+        (obs_on / obs_off - 1.0) * 100.0,
+    );
+
     report.write_logged();
+    gpdt_bench::report::write_obs_sidecar("micro");
 }

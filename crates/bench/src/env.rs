@@ -19,6 +19,8 @@
 //! | `GPDT_BACKOFF_BASE_MS` | `gpdt_store::SupervisorPolicy::from_env` | base retry backoff for transient store faults, in milliseconds (default 1) |
 //! | `GPDT_BACKOFF_MAX_MS` | `gpdt_store::SupervisorPolicy::from_env` | backoff ceiling for transient store faults, in milliseconds (default 50) |
 //! | `GPDT_BACKOFF_RETRIES` | `gpdt_store::SupervisorPolicy::from_env` | transient-fault retries before the monitor service degrades (default 4) |
+//! | `GPDT_OBS` | `gpdt_obs::enabled` | observability gate: `off`/`0`/`false` disables the metrics registry, stage spans and flight recorder (default: on; telemetry never changes results — the fig5 byte-compare CI step holds the stack to that) |
+//! | `GPDT_OBS_DUMP` | `gpdt_obs::dump_path` | destination of flight-recorder JSON dumps, written on panic, on degraded-mode entry and at the end of fault-injection runs (default: `gpdt-flightrec.json` under the system temp dir) |
 
 use std::path::PathBuf;
 

@@ -245,6 +245,32 @@ impl BenchReport {
     }
 }
 
+/// Writes the process-wide metrics-registry snapshot as the sidecar
+/// `BENCH_<name>_obs.json` next to the regular report, so every figure run
+/// leaves a per-stage latency/counter breakdown alongside its numbers.
+///
+/// A *separate* file, deliberately: CI byte-compares the primary
+/// `BENCH_<name>.json` reports across runs (out-of-core vs in-memory,
+/// SIMD on vs off, crash-kill vs clean), and per-stage timings would differ
+/// on every run.  No-op (with a note) when `GPDT_OBS=off`.
+pub fn write_obs_sidecar(name: &str) {
+    if !gpdt_obs::enabled() {
+        eprintln!("[{name}] GPDT_OBS=off; skipping metrics sidecar");
+        return;
+    }
+    let path = crate::env::report_dir().join(format!("BENCH_{name}_obs.json"));
+    let json = gpdt_obs::registry().snapshot().to_json();
+    match path
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&path, &json))
+    {
+        Ok(()) => eprintln!("[{name}] wrote {}", path.display()),
+        Err(err) => eprintln!("[{name}] could not write metrics sidecar: {err}"),
+    }
+}
+
 /// Escapes a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

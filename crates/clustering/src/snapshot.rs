@@ -401,7 +401,10 @@ impl ClusterDatabase {
         for (_, p) in &snapshot.positions {
             cols.push(*p);
         }
-        let result = dbscan_columns_with(cols.view(), params, scratch);
+        let result = {
+            let _span = gpdt_obs::span!("dbscan.snapshot");
+            dbscan_columns_with(cols.view(), params, scratch)
+        };
         let mut builder = SnapshotClusterSetBuilder::new(t);
         for member_indices in &result.clusters {
             for &i in member_indices {

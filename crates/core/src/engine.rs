@@ -142,6 +142,22 @@ pub struct EngineStats {
     pub finalized_gatherings: usize,
 }
 
+impl gpdt_obs::MetricSource for EngineStats {
+    fn metric_prefix(&self) -> &'static str {
+        "engine"
+    }
+    fn metric_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ticks_ingested", self.ticks_ingested),
+            ("resident_ticks", self.resident_ticks as u64),
+            ("resident_clusters", self.resident_clusters as u64),
+            ("open_sequences", self.open_sequences as u64),
+            ("finalized_records", self.finalized_records as u64),
+            ("finalized_gatherings", self.finalized_gatherings as u64),
+        ]
+    }
+}
+
 /// Streaming discovery engine maintaining closed crowds and gatherings over
 /// an ever-growing trajectory/cluster history.
 ///
@@ -391,7 +407,10 @@ impl GatheringEngine {
         if let Some(domain) = self.cdb.time_domain() {
             self.clusterer.seek(domain.end + 1);
         }
-        let batch = self.clusterer.advance_until(db, end);
+        let batch = {
+            let _span = gpdt_obs::span!("engine.dbscan");
+            self.clusterer.advance_until(db, end)
+        };
         self.ingest_clusters(batch)
     }
 
@@ -437,7 +456,10 @@ impl GatheringEngine {
         let old_frontier = std::mem::take(&mut self.frontier);
         let discovery =
             CrowdDiscovery::new(self.config.crowd, self.strategy).with_threads(self.threads);
-        let result = discovery.run_resumed_observed(&self.cdb, resume_at, seeds, observer);
+        let result = {
+            let _span = gpdt_obs::span!("engine.sweep");
+            discovery.run_resumed_observed(&self.cdb, resume_at, seeds, observer)
+        };
         let end = self.cdb.time_domain().expect("non-empty").end;
 
         // Closed crowds reported by the resumed run are final unless they end
@@ -461,9 +483,12 @@ impl GatheringEngine {
         // Per-crowd gathering detection is independent across crowds: fan it
         // out, preserving order.  Extensions of old frontier crowds reuse the
         // prefix gatherings via the Theorem 2 update.
-        let closed_gatherings: Vec<Vec<Gathering>> = par_map(&closed, self.threads, |crowd| {
-            self.detect_for(crowd, &old_frontier)
-        });
+        let closed_gatherings: Vec<Vec<Gathering>> = {
+            let _span = gpdt_obs::span!("engine.gathering");
+            par_map(&closed, self.threads, |crowd| {
+                self.detect_for(crowd, &old_frontier)
+            })
+        };
         let leftover_gatherings = vec![Vec::new(); leftovers.len()];
 
         let mut update = EngineUpdate::default();

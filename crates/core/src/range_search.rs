@@ -75,6 +75,18 @@ pub struct SearchStats {
     pub results: usize,
 }
 
+impl gpdt_obs::MetricSource for SearchStats {
+    fn metric_prefix(&self) -> &'static str {
+        "search"
+    }
+    fn metric_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("candidates", self.candidates as u64),
+            ("results", self.results as u64),
+        ]
+    }
+}
+
 enum TickIndex {
     Brute,
     RTree { tree: RTree, use_dside: bool },

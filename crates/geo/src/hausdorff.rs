@@ -125,6 +125,11 @@ pub fn bucketed_pair_cutoff() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
+            if gpdt_obs::enabled() {
+                gpdt_obs::registry()
+                    .gauge("hausdorff.cutoff_pairs")
+                    .set(pinned as u64);
+            }
             return pinned;
         }
         calibrate_pair_cutoff()
@@ -139,8 +144,8 @@ pub fn bucketed_pair_cutoff() -> usize {
 /// per process (first threshold test), and the choice cannot change any
 /// result because both kernels are exact.
 fn calibrate_pair_cutoff() -> usize {
-    use std::time::Instant;
     let delta = 300.0;
+    let mut cutoff = MAX_PAIR_CUTOFF_FALLBACK;
     for &n in &CALIBRATION_SIZES {
         let (pxs, pys) = calibration_snake(n, 0x9e37_79b9_7f4a_7c15, delta, 0.0);
         let (qxs, qys) = calibration_snake(n, 0xd1b5_4a32_d192_ed03, delta, delta / 3.0);
@@ -149,20 +154,40 @@ fn calibrate_pair_cutoff() -> usize {
         // Alternate the kernels over several rounds and keep each one's best
         // time, so a stray scheduler blip on one round cannot flip the
         // comparison.
-        let (mut brute_best, mut bucketed_best) = (u128::MAX, u128::MAX);
+        let (mut brute_best, mut bucketed_best) = (u64::MAX, u64::MAX);
         for _ in 0..5 {
-            let t = Instant::now();
-            std::hint::black_box(hausdorff_within_bruteforce_access(p, q, delta));
-            brute_best = brute_best.min(t.elapsed().as_nanos());
-            let t = Instant::now();
-            std::hint::black_box(hausdorff_within_bucketed_access(p, q, delta));
-            bucketed_best = bucketed_best.min(t.elapsed().as_nanos());
+            let (_, brute) = gpdt_obs::time_nanos(|| {
+                std::hint::black_box(hausdorff_within_bruteforce_access(p, q, delta))
+            });
+            brute_best = brute_best.min(brute);
+            let (_, bucketed) = gpdt_obs::time_nanos(|| {
+                std::hint::black_box(hausdorff_within_bucketed_access(p, q, delta))
+            });
+            bucketed_best = bucketed_best.min(bucketed);
         }
-        if bucketed_best < brute_best {
-            return n * n;
+        if gpdt_obs::enabled() {
+            let r = gpdt_obs::registry();
+            r.gauge(&format!("hausdorff.calib.brute_ns.{n}"))
+                .set(brute_best);
+            r.gauge(&format!("hausdorff.calib.bucketed_ns.{n}"))
+                .set(bucketed_best);
+        }
+        if cutoff == MAX_PAIR_CUTOFF_FALLBACK && bucketed_best < brute_best {
+            cutoff = n * n;
+            if !gpdt_obs::enabled() {
+                break;
+            }
+            // With observability on, keep probing the remaining sizes so the
+            // registry records the full brute/bucketed curve — the probe runs
+            // once per process, so the extra milliseconds are noise.
         }
     }
-    MAX_PAIR_CUTOFF_FALLBACK
+    if gpdt_obs::enabled() {
+        gpdt_obs::registry()
+            .gauge("hausdorff.cutoff_pairs")
+            .set(cutoff as u64);
+    }
+    cutoff
 }
 
 /// A deterministic elongated cluster for the calibration probe: points

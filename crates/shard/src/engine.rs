@@ -272,6 +272,28 @@ pub struct ShardedStats {
     pub per_shard: Vec<ShardLoad>,
 }
 
+impl gpdt_obs::MetricSource for ShardedStats {
+    fn metric_prefix(&self) -> &'static str {
+        "shard"
+    }
+    fn metric_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("shard_count", self.shard_count as u64),
+            ("ticks_ingested", self.ticks_ingested),
+            ("finalized_records", self.finalized_records as u64),
+            ("open_merge_paths", self.open_merge_paths as u64),
+            ("cross_edges", self.cross_edges),
+            ("imported_paths", self.imported_paths),
+            ("merge_finalized", self.merge_finalized),
+            ("dropped_records", self.dropped_records),
+            ("partition_nanos", self.partition_nanos),
+            ("shard_ingest_nanos", self.shard_ingest_nanos),
+            ("merge_nanos", self.merge_nanos),
+            ("restarts", self.per_shard.iter().map(|l| l.restarts).sum()),
+        ]
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Counters {
     ticks: u64,
@@ -667,7 +689,11 @@ impl ShardedEngine {
             }
             self.layouts.push_back(layout);
         }
-        self.counters.partition_nanos += t0.elapsed().as_nanos() as u64;
+        let partition_nanos = t0.elapsed().as_nanos() as u64;
+        self.counters.partition_nanos += partition_nanos;
+        if gpdt_obs::enabled() {
+            gpdt_obs::histogram!("shard.partition").record(partition_nanos);
+        }
 
         match self.cdb.time_domain() {
             None => self.cdb = batch,
@@ -752,6 +778,18 @@ impl ShardedEngine {
                     self.shards.push(engine);
                     logs[s].extend(log);
                     self.restarts[s] += 1;
+                    if gpdt_obs::enabled() {
+                        gpdt_obs::counter!("shard.rebuilds").inc();
+                        gpdt_obs::record_event(
+                            "shard.rebuild",
+                            Some(batch_start),
+                            format!(
+                                "shard {s} worker lost (panic/deadline); rebuilt from \
+                                 snapshot + {} retained batches",
+                                self.retained_batches.len()
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -760,7 +798,11 @@ impl ShardedEngine {
             self.snapshots = Some(self.shards.clone());
             self.retained_batches.clear();
         }
-        self.counters.shard_nanos += t1.elapsed().as_nanos() as u64;
+        let shard_nanos = t1.elapsed().as_nanos() as u64;
+        self.counters.shard_nanos += shard_nanos;
+        if gpdt_obs::enabled() {
+            gpdt_obs::histogram!("shard.ingest").record(shard_nanos);
+        }
 
         // 4. Merge replay: one sequential pass over the batch's ticks.
         let t2 = Instant::now();
@@ -884,7 +926,11 @@ impl ShardedEngine {
         // The replay loop above is the cost sharding *adds*; gathering
         // detection below is work a single engine performs anyway, so it is
         // excluded from the reported merge overhead.
-        counters.merge_nanos += t2.elapsed().as_nanos() as u64;
+        let merge_nanos = t2.elapsed().as_nanos() as u64;
+        counters.merge_nanos += merge_nanos;
+        if gpdt_obs::enabled() {
+            gpdt_obs::histogram!("shard.merge").record(merge_nanos);
+        }
 
         // Gathering detection for the merged crowds (no shard computed them),
         // fanned out across the thread budget.

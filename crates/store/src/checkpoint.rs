@@ -183,6 +183,7 @@ impl EngineCheckpoint for GatheringEngine {
 
 /// Convenience wrapper: checkpoints an engine into a fresh byte vector.
 pub fn checkpoint_to_vec(engine: &GatheringEngine) -> Vec<u8> {
+    let _span = gpdt_obs::span!("store.checkpoint");
     let mut out = Vec::new();
     engine
         .checkpoint(&mut out)
@@ -197,6 +198,7 @@ pub fn checkpoint_to_vec(engine: &GatheringEngine) -> Vec<u8> {
 ///
 /// Returns a [`DecodeError`] on malformed input or trailing bytes.
 pub fn restore_from_slice(mut bytes: &[u8]) -> Result<GatheringEngine, DecodeError> {
+    let _span = gpdt_obs::span!("store.restore");
     let engine = GatheringEngine::restore(&mut bytes)?;
     if !bytes.is_empty() {
         return Err(DecodeError::Corrupt("trailing bytes after checkpoint"));

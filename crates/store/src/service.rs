@@ -125,6 +125,9 @@ enum Command {
     Stats(SyncSender<ServiceStats>),
     /// Probe a degraded store and drain the ingest queue on success.
     TryRecover(SyncSender<bool>),
+    /// Dump the flight recorder as JSON, on demand (the in-band variant of
+    /// the automatic dumps on panic and degraded entry).
+    FlightRecorder(SyncSender<String>),
 }
 
 /// The engine kinds [`MonitorService::run`] can drive: the single
@@ -294,6 +297,47 @@ pub struct ServiceStats {
     pub queued_batches: usize,
     /// Engine-side load.
     pub engine: EngineLoad,
+    /// A point-in-time copy of the process-wide metrics registry (stage
+    /// latencies, VFS counters, supervision counts), merged with the
+    /// service- and engine-level numbers above under the shared
+    /// [`gpdt_obs::MetricSource`] vocabulary.  Empty when `GPDT_OBS=off`.
+    pub metrics: gpdt_obs::Snapshot,
+}
+
+impl gpdt_obs::MetricSource for ServiceStats {
+    fn metric_prefix(&self) -> &'static str {
+        "service"
+    }
+    fn metric_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("batches_ingested", self.batches_ingested),
+            ("batches_rejected", self.batches_rejected),
+            ("ticks_ingested", self.ticks_ingested),
+            ("finalized_records", self.finalized_records as u64),
+            ("stored_records", self.stored_records as u64),
+            ("retries", self.retries),
+            ("panics_recovered", self.panics_recovered),
+            ("degraded", u64::from(self.degraded_since.is_some())),
+            ("queued_batches", self.queued_batches as u64),
+        ]
+    }
+}
+
+impl gpdt_obs::MetricSource for EngineLoad {
+    fn metric_prefix(&self) -> &'static str {
+        "engine_load"
+    }
+    fn metric_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("open_sequences", self.open_sequences as u64),
+            ("resident_ticks", self.resident_ticks as u64),
+            (
+                "resident_clusters",
+                self.per_shard_clusters.iter().map(|&c| c as u64).sum(),
+            ),
+            ("restarts", self.per_shard_restarts.iter().sum()),
+        ]
+    }
 }
 
 /// Typed rejections surfaced by [`ServiceHandle`] queries and checkpoints.
@@ -533,6 +577,8 @@ struct IngestWorker<'a, E: MonitoredEngine> {
     ticks_ingested: u64,
     retries: u64,
     panics_recovered: u64,
+    /// Last tick applied, stamped onto flight-recorder events.
+    last_tick: Option<Timestamp>,
 }
 
 impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
@@ -562,6 +608,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
             ticks_ingested: 0,
             retries: 0,
             panics_recovered: 0,
+            last_tick: None,
         }
     }
 
@@ -606,6 +653,9 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
                 Command::Checkpoint(reply) => {
                     let _ = reply.send(self.handle_checkpoint());
                 }
+                Command::FlightRecorder(reply) => {
+                    let _ = reply.send(gpdt_obs::flight().to_json());
+                }
             }
         }
         self.engine
@@ -637,6 +687,17 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
             "durable storage degraded after batch {}: {reason}; queueing ingest until recovery",
             self.batches_ingested
         ));
+        if gpdt_obs::enabled() {
+            gpdt_obs::counter!("service.degraded.entries").inc();
+            gpdt_obs::record_event(
+                "service.degraded.enter",
+                self.last_tick,
+                format!("after batch {}: {reason}", self.batches_ingested),
+            );
+            // Degraded entry is a post-mortem moment: persist the event
+            // trail now, in case the process never recovers.
+            gpdt_obs::flight().dump();
+        }
         *self
             .degraded
             .write()
@@ -644,6 +705,13 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
     }
 
     fn exit_degraded(&mut self) {
+        if gpdt_obs::enabled() && self.is_degraded() {
+            gpdt_obs::record_event(
+                "service.degraded.exit",
+                self.last_tick,
+                format!("recovered at batch {}", self.batches_ingested),
+            );
+        }
         *self
             .degraded
             .write()
@@ -729,6 +797,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
         }
         self.batches_ingested += 1;
         self.ticks_ingested += u64::from(batch_domain.len());
+        self.last_tick = Some(batch_domain.end);
         self.replay.push(batch);
         if self.replay.len() as u64 >= self.policy.checkpoint_interval.max(1) {
             self.refresh_recovery_ckpt();
@@ -749,12 +818,28 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
         if first.is_ok() {
             return true;
         }
+        if gpdt_obs::enabled() {
+            gpdt_obs::counter!("service.worker_panics").inc();
+            gpdt_obs::record_event(
+                "service.worker.panic",
+                batch.time_domain().map(|d| d.start),
+                "ingestion panicked; restoring the in-memory checkpoint",
+            );
+        }
         self.restore_and_replay();
         let retry =
             std::panic::catch_unwind(AssertUnwindSafe(|| self.engine.ingest_batch(batch.clone())));
         match retry {
             Ok(()) => {
                 self.panics_recovered += 1;
+                if gpdt_obs::enabled() {
+                    gpdt_obs::counter!("service.panics_recovered").inc();
+                    gpdt_obs::record_event(
+                        "service.panic.recovered",
+                        batch.time_domain().map(|d| d.start),
+                        "checkpoint restore + replay + retry succeeded",
+                    );
+                }
                 self.report(format!(
                     "ingestion panicked on the batch starting at t={:?}; recovered from the \
                      in-memory checkpoint and retried successfully",
@@ -807,6 +892,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
                     }
                     attempt += 1;
                     self.retries += 1;
+                    self.note_retry("catch_up", attempt, &err.to_string());
                     std::thread::sleep(self.backoff_delay(attempt));
                 }
             }
@@ -823,7 +909,26 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
         let nanos = ceiling.as_nanos().min(u128::from(u64::MAX)) as u64;
         // Jitter: a seeded draw from 50–100% of the exponential ceiling.
         let jittered = nanos / 2 + self.next_rand() % (nanos / 2 + 1);
+        if gpdt_obs::enabled() {
+            gpdt_obs::record_event(
+                "service.backoff",
+                self.last_tick,
+                format!("attempt {attempt}: sleeping {jittered}ns"),
+            );
+        }
         Duration::from_nanos(jittered)
+    }
+
+    /// Journals one transient-fault retry (counter + flight event).
+    fn note_retry(&self, site: &str, attempt: u32, error: &str) {
+        if gpdt_obs::enabled() {
+            gpdt_obs::counter!("service.retries").inc();
+            gpdt_obs::record_event(
+                "service.retry",
+                self.last_tick,
+                format!("{site} attempt {attempt}: {error}"),
+            );
+        }
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -976,6 +1081,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
                 Err(err) if err.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
                     self.retries += 1;
+                    self.note_retry("checkpoint_sync", attempt, &err.to_string());
                     let delay = self.backoff_delay(attempt);
                     std::thread::sleep(delay);
                 }
@@ -991,7 +1097,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
     }
 
     fn snapshot(&self) -> ServiceStats {
-        ServiceStats {
+        let mut stats = ServiceStats {
             batches_ingested: self.batches_ingested,
             batches_rejected: self.batches_rejected,
             ticks_ingested: self.ticks_ingested,
@@ -1007,7 +1113,18 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
                 .map(|(since, _)| *since),
             queued_batches: self.queue.len(),
             engine: self.engine.load(),
+            metrics: gpdt_obs::Snapshot::default(),
+        };
+        if gpdt_obs::enabled() {
+            // One snapshot vocabulary: the process-wide registry, plus the
+            // service counters and engine load merged in as `prefix.name`
+            // gauges.
+            let mut metrics = gpdt_obs::registry().snapshot();
+            metrics.merge_source(&stats);
+            metrics.merge_source(&stats.engine);
+            stats.metrics = metrics;
         }
+        stats
     }
 }
 
@@ -1092,6 +1209,20 @@ impl ServiceHandle<'_> {
             .expect("the ingest worker outlives every handle");
         wait.recv()
             .expect("the ingest worker answers every stats request")
+    }
+
+    /// The flight recorder's JSON dump, on demand — the same document the
+    /// service writes on panic or degraded entry, but taken by the ingest
+    /// worker between commands, so it reflects every batch enqueued before
+    /// this call once they have been applied.  Returns an empty event list
+    /// when `GPDT_OBS=off`.
+    pub fn flight_recorder(&self) -> String {
+        let (reply, wait) = mpsc::sync_channel(0);
+        self.tx
+            .send(Command::FlightRecorder(reply))
+            .expect("the ingest worker outlives every handle");
+        wait.recv()
+            .expect("the ingest worker answers every flight-recorder request")
     }
 
     /// The region × time-window query (see

@@ -527,6 +527,18 @@ impl PatternStore {
                                 segment: path.clone(),
                                 dropped_bytes: on_disk - valid_len,
                             });
+                            if gpdt_obs::enabled() {
+                                gpdt_obs::counter!("store.tail_repairs").inc();
+                                gpdt_obs::record_event(
+                                    "tail.repair",
+                                    None,
+                                    format!(
+                                        "dropped {} torn bytes from {}",
+                                        on_disk - valid_len,
+                                        path.display()
+                                    ),
+                                );
+                            }
                             vfs.truncate(&path, valid_len)?;
                         }
                         let mut writer = BufWriter::new(vfs.open_append(&path)?);
@@ -767,6 +779,7 @@ impl PatternStore {
     /// intact, and the append can simply be retried.  The in-memory state is
     /// only updated on success.
     pub fn append(&mut self, record: PatternRecord) -> Result<RecordId, StoreError> {
+        let _span = gpdt_obs::span!("store.append");
         record.validate().map_err(StoreError::InvalidRecord)?;
         let payload = encode_to_vec(&record);
         // Mirror the reader's frame-size cap (`read_framed`): a frame the
@@ -870,6 +883,10 @@ impl PatternStore {
 
     /// Seals the active segment durably and starts the next one.
     fn rotate(&mut self) -> Result<(), StoreError> {
+        let _span = gpdt_obs::span!("store.rotate");
+        if gpdt_obs::enabled() {
+            gpdt_obs::counter!("store.rotations").inc();
+        }
         // The sealed segment will never be written (or fsynced) again, so it
         // must hit stable storage now — otherwise a later `sync()` would
         // claim durability for records living only in the page cache of a

@@ -67,7 +67,9 @@ struct RealFile(std::fs::File);
 
 impl Write for RealFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.write(buf)
+        let written = self.0.write(buf)?;
+        record_write(written);
+        Ok(written)
     }
     fn flush(&mut self) -> io::Result<()> {
         self.0.flush()
@@ -76,7 +78,37 @@ impl Write for RealFile {
 
 impl VfsFile for RealFile {
     fn sync(&mut self) -> io::Result<()> {
-        self.0.sync_all()
+        self.0.sync_all()?;
+        record_sync();
+        Ok(())
+    }
+}
+
+/// Registry taps shared by every [`Vfs`] implementation: each successful
+/// write/sync bumps process-wide `vfs.*` counters.  Only completed operations
+/// count, so the numbers mean "data that actually reached the file layer".
+fn record_write(bytes: usize) {
+    if gpdt_obs::enabled() {
+        gpdt_obs::counter!("vfs.write").inc();
+        gpdt_obs::counter!("vfs.bytes_written").add(bytes as u64);
+    }
+}
+
+fn record_sync() {
+    if gpdt_obs::enabled() {
+        gpdt_obs::counter!("vfs.fsync").inc();
+    }
+}
+
+/// One injected fault fired: bumps the aggregate `vfs.fault.injected`
+/// counter, a per-kind counter, and journals the kind to the flight
+/// recorder.  Never touches the fault plan's RNG, so instrumented and
+/// uninstrumented runs see identical fault schedules.
+fn record_fault(kind: &'static str) {
+    if gpdt_obs::enabled() {
+        gpdt_obs::counter!("vfs.fault.injected").inc();
+        gpdt_obs::registry().counter(kind).inc();
+        gpdt_obs::record_event(kind, None, "injected by FaultVfs plan");
     }
 }
 
@@ -307,6 +339,13 @@ impl FaultVfs {
         }
         s.killed = false;
         s.plan.kill_at = s.plan.kill_every.map(|n| s.ops + n.max(1));
+        if gpdt_obs::enabled() {
+            gpdt_obs::record_event(
+                "vfs.crash_recover",
+                None,
+                format!("rebooted after {} mutating ops", s.ops),
+            );
+        }
     }
 
     /// Drops every planned fault (the backend becomes reliable), without
@@ -341,6 +380,7 @@ impl Write for FaultFile {
         // Transient failure: nothing written, safe to retry.
         if let Some(n) = s.plan.transient_write_one_in {
             if n > 0 && s.next_rand().is_multiple_of(n) {
+                record_fault("vfs.fault.transient_write");
                 // `TimedOut` rather than `Interrupted`: std's `write_all`
                 // and `BufWriter` auto-retry `Interrupted`, which would hide
                 // the fault from the caller entirely.
@@ -356,11 +396,13 @@ impl Write for FaultFile {
             let used = s.total_bytes();
             let room = cap.saturating_sub(used);
             if room == 0 {
+                record_fault("vfs.fault.enospc");
                 return Err(io::Error::from_raw_os_error(28)); // ENOSPC
             }
             len = len.min(room);
         }
         if let Err(e) = s.mutate() {
+            record_fault("vfs.fault.kill");
             // The kill point tears this very write: a seeded prefix lands in
             // the volatile file contents even though the caller sees an
             // error.  (Without this, kills could only land on frame
@@ -377,6 +419,7 @@ impl Write for FaultFile {
         }
         let file = s.files.entry(self.path.clone()).or_default();
         file.data.extend_from_slice(&buf[..len]);
+        record_write(len);
         Ok(len)
     }
 
@@ -390,6 +433,7 @@ impl VfsFile for FaultFile {
         let mut s = self.state.lock().expect("fault vfs state poisoned");
         if let Some(n) = s.plan.transient_sync_one_in {
             if n > 0 && s.next_rand().is_multiple_of(n) {
+                record_fault("vfs.fault.transient_sync");
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     "transient fsync failure (injected)",
@@ -400,6 +444,7 @@ impl VfsFile for FaultFile {
         if let Some(file) = s.files.get_mut(&self.path) {
             file.durable_len = file.data.len();
         }
+        record_sync();
         Ok(())
     }
 }

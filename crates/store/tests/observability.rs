@@ -1,0 +1,260 @@
+//! The supervision story as seen through `gpdt-obs`: a seeded fault run
+//! must leave the same trail in the metrics registry, in the embedded
+//! [`ServiceStats::metrics`] snapshot, and in the flight recorder — with
+//! the events in causal order (retries → panic → recovery, degraded enter
+//! before exit) and the counters agreeing exactly with what the service
+//! itself reports.
+//!
+//! Everything lives in ONE `#[test]`: the registry, the gate and the
+//! flight recorder are process-wide, and a second test thread would race
+//! the counter deltas.
+
+use gpdt_clustering::{ClusterDatabase, ClusteringParams};
+use gpdt_core::{
+    CrowdParams, CrowdRecord, GatheringConfig, GatheringEngine, GatheringParams, GatheringPipeline,
+};
+use gpdt_store::{
+    DecodeError, EngineLoad, FaultPlan, FaultVfs, MonitorService, MonitoredEngine, PatternStore,
+    StoreOptions, SupervisorPolicy,
+};
+use gpdt_trajectory::{ObjectId, TimeInterval, Timestamp, Trajectory, TrajectoryDatabase};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config() -> GatheringConfig {
+    GatheringConfig::builder()
+        .clustering(ClusteringParams::new(60.0, 3))
+        .crowd(CrowdParams::new(3, 3, 100.0))
+        .gathering(GatheringParams::new(3, 3))
+        .build()
+        .unwrap()
+}
+
+fn snappy_policy() -> SupervisorPolicy {
+    SupervisorPolicy {
+        max_retries: 4,
+        base_backoff: Duration::from_micros(50),
+        max_backoff: Duration::from_micros(500),
+        jitter_seed: 7,
+        checkpoint_interval: 4,
+        max_queued_batches: 64,
+    }
+}
+
+/// Two lingering blobs, one after the other, so crowds finalize (and hit
+/// the faulty store) while the stream is still running.
+fn scene() -> TrajectoryDatabase {
+    let mut trajectories = Vec::new();
+    for i in 0..4u32 {
+        trajectories.push(Trajectory::from_points(
+            ObjectId::new(i),
+            (0..8u32)
+                .map(|t| (t, (f64::from(i) * 10.0, f64::from(t))))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    for i in 10..14u32 {
+        trajectories.push(Trajectory::from_points(
+            ObjectId::new(i),
+            (10..20u32)
+                .map(|t| (t, (5_000.0 + f64::from(i) * 10.0, f64::from(t))))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    TrajectoryDatabase::from_trajectories(trajectories)
+}
+
+fn tick_batches(db: &TrajectoryDatabase) -> Vec<ClusterDatabase> {
+    db.time_domain()
+        .unwrap()
+        .iter()
+        .map(|t| ClusterDatabase::build_interval(db, &config().clustering, TimeInterval::new(t, t)))
+        .collect()
+}
+
+/// Panics on the `n`-th ingested batch, once; the restored wrapper is
+/// benign.
+struct PanicOnNth {
+    inner: GatheringEngine,
+    panic_at: Option<u64>,
+    seen: u64,
+}
+
+impl MonitoredEngine for PanicOnNth {
+    fn expected_next_tick(&self) -> Option<Timestamp> {
+        self.inner.expected_next_tick()
+    }
+    fn ingest_batch(&mut self, batch: ClusterDatabase) {
+        self.seen += 1;
+        if self.panic_at == Some(self.seen) {
+            self.panic_at = None;
+            panic!("injected ingest panic");
+        }
+        self.inner.ingest_batch(batch);
+    }
+    fn finalized_feed(&self) -> &[CrowdRecord] {
+        self.inner.finalized_feed()
+    }
+    fn resolve_database(&self) -> &ClusterDatabase {
+        self.inner.resolve_database()
+    }
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        self.inner.checkpoint_bytes()
+    }
+    fn restore_bytes(&self, bytes: &[u8]) -> Result<Self, DecodeError> {
+        Ok(PanicOnNth {
+            inner: self.inner.restore_bytes(bytes)?,
+            panic_at: None,
+            seen: self.seen,
+        })
+    }
+    fn load(&self) -> EngineLoad {
+        self.inner.load()
+    }
+}
+
+/// Sequence number of the first flight event of `kind` at or after `from`.
+fn first_seq(events: &[gpdt_obs::FlightEvent], kind: &str, from: u64) -> Option<u64> {
+    events
+        .iter()
+        .find(|e| e.kind == kind && e.seq >= from)
+        .map(|e| e.seq)
+}
+
+#[test]
+fn seeded_fault_run_is_observable_end_to_end() {
+    // The gate and the registry are process-wide; force observability on
+    // regardless of the environment, and measure counters as deltas from
+    // whatever this process recorded before the run.
+    gpdt_obs::set_enabled(true);
+    let dump = std::env::temp_dir().join(format!("gpdt-obs-test-dump-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+    std::env::set_var("GPDT_OBS_DUMP", &dump);
+
+    let before = gpdt_obs::registry().snapshot();
+    let base = |name: &str| before.counter(name).unwrap_or(0);
+    let (retries0, panics0, recovered0, degraded0) = (
+        base("service.retries"),
+        base("service.worker_panics"),
+        base("service.panics_recovered"),
+        base("service.degraded.entries"),
+    );
+    let seq0 = gpdt_obs::flight().recorded();
+
+    let db = scene();
+    let batches = tick_batches(&db);
+    let reference = GatheringPipeline::new(config()).discover(&db);
+
+    // A seeded fault VFS under tiny segments, so every append rotates and
+    // the transient write/fsync faults actually bite.
+    let vfs = FaultVfs::new(0x0B5_2013);
+    let store = PatternStore::open_at(
+        Arc::new(vfs.clone()),
+        "/svc",
+        StoreOptions {
+            max_segment_bytes: 64,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let engine = PanicOnNth {
+        inner: GatheringEngine::new(config()),
+        panic_at: Some(5),
+        seen: 0,
+    };
+    let outcome = MonitorService::run_with(engine, store, snappy_policy(), |handle| {
+        // Act 1: transient faults force retries that succeed; batch 5
+        // panics the worker, which is rebuilt from the checkpoint.
+        vfs.set_plan(FaultPlan {
+            transient_write_one_in: Some(3),
+            transient_sync_one_in: Some(3),
+            ..FaultPlan::default()
+        });
+        // Split before the first crowd finalizes (t=8): its append — the
+        // first store traffic — must land in act 2, where writes fail.
+        let mid = 6;
+        for batch in batches.iter().take(mid).cloned() {
+            handle.ingest(batch);
+        }
+        handle.flush();
+        let act1 = handle.stats();
+        assert_eq!(act1.panics_recovered, 1, "{act1:?}");
+        assert_eq!(act1.degraded_since, None);
+
+        // Act 2: every write fails, the retry budget runs out, the
+        // service degrades — then the weather clears and it recovers.
+        vfs.set_plan(FaultPlan {
+            transient_write_one_in: Some(1),
+            ..FaultPlan::default()
+        });
+        for batch in batches.iter().skip(mid).cloned() {
+            handle.ingest(batch);
+        }
+        handle.flush();
+        assert!(handle.stats().degraded_since.is_some());
+        // On demand: the flight recorder over the service channel.
+        let journal = handle.flight_recorder();
+        assert!(journal.contains("service.degraded.enter"), "{journal}");
+
+        vfs.clear_faults();
+        assert!(handle.try_recover());
+        handle.flush();
+        handle.stats()
+    });
+    let stats = outcome.value;
+    assert_eq!(stats.degraded_since, None);
+    assert!(stats.retries > 0, "{stats:?}");
+    assert_eq!(stats.panics_recovered, 1);
+    assert_eq!(outcome.engine.inner.closed_crowds(), reference.crowds);
+    assert_eq!(outcome.engine.inner.gatherings(), reference.gatherings);
+
+    // The registry counters agree exactly with what the service reports.
+    let after = gpdt_obs::registry().snapshot();
+    let delta = |name: &str, from: u64| after.counter(name).unwrap_or(0) - from;
+    assert_eq!(delta("service.retries", retries0), stats.retries);
+    assert_eq!(delta("service.worker_panics", panics0), 1);
+    assert_eq!(
+        delta("service.panics_recovered", recovered0),
+        stats.panics_recovered
+    );
+    assert_eq!(delta("service.degraded.entries", degraded0), 1);
+
+    // The embedded snapshot speaks the same vocabulary: registry counters
+    // plus the `service.*` / `engine_load.*` gauges merged from the stats.
+    assert_eq!(
+        stats.metrics.counter("service.panics_recovered"),
+        Some(after.counter("service.panics_recovered").unwrap())
+    );
+    assert_eq!(stats.metrics.gauge("service.retries"), Some(stats.retries));
+    assert!(stats.metrics.gauge("engine_load.resident_ticks").is_some());
+
+    // The flight recorder holds the causal sequence: a retry, then the
+    // worker panic and its recovery, then degraded enter before exit.
+    let events: Vec<gpdt_obs::FlightEvent> = gpdt_obs::flight()
+        .events()
+        .into_iter()
+        .filter(|e| e.seq >= seq0)
+        .collect();
+    let retry = first_seq(&events, "service.retry", seq0).expect("retry event");
+    let panicked = first_seq(&events, "service.worker.panic", seq0).expect("panic event");
+    let recovered =
+        first_seq(&events, "service.panic.recovered", panicked).expect("recovery event");
+    let enter = first_seq(&events, "service.degraded.enter", seq0).expect("degraded-enter event");
+    let exit = first_seq(&events, "service.degraded.exit", enter).expect("degraded-exit event");
+    assert!(
+        panicked < recovered,
+        "panic #{panicked} before recovery #{recovered}"
+    );
+    assert!(recovered < enter, "act 1 recovery before act 2 degradation");
+    assert!(enter < exit, "degraded enter #{enter} before exit #{exit}");
+    assert!(
+        first_seq(&events, "service.backoff", retry.saturating_sub(1)).is_some(),
+        "retries must journal their backoff sleeps"
+    );
+
+    // Degraded-mode entry dumped the journal as a post-mortem artifact.
+    let dumped = std::fs::read_to_string(&dump).expect("degraded entry writes the dump");
+    assert!(dumped.contains("service.degraded.enter"), "{dumped}");
+    std::env::remove_var("GPDT_OBS_DUMP");
+    let _ = std::fs::remove_file(&dump);
+}

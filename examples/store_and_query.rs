@@ -26,6 +26,8 @@ use gpdt_workload::EventRates;
 use std::io::Write;
 
 fn main() {
+    // A crash in the demo should leave the flight-recorder trail on disk.
+    gpdt_obs::install_panic_hook();
     let mut config = ScenarioConfig::small_demo(23);
     config.num_taxis = 250;
     config.duration = 120;
@@ -203,6 +205,35 @@ fn main() {
             "DIFFERENT output from (this would be a bug)"
         }
     );
+    // ---- What the run recorded about itself (GPDT_OBS=off silences). ----
+    if gpdt_obs::enabled() {
+        let snap = gpdt_obs::registry().snapshot();
+        println!("\nobservability — counters:");
+        for (name, value) in &snap.counters {
+            println!("  {name:<28} {value}");
+        }
+        println!("observability — stage latencies (count / mean / p95, ns):");
+        for (name, h) in &snap.histograms {
+            println!(
+                "  {name:<28} {:>8} / {:>9} / {:>9}",
+                h.count,
+                h.mean(),
+                h.quantile(0.95)
+            );
+        }
+        let flight = gpdt_obs::flight();
+        let events = flight.events();
+        println!(
+            "flight recorder — {} event(s) recorded, last {}:",
+            flight.recorded(),
+            events.len().min(5)
+        );
+        for e in events.iter().rev().take(5).rev() {
+            let tick = e.tick.map_or_else(|| "-".into(), |t| t.to_string());
+            println!("  #{:<4} t={tick:<5} {:<24} {}", e.seq, e.kind, e.detail);
+        }
+    }
+
     std::fs::remove_dir_all(&base).expect("clean up example directory");
     assert!(ok, "restored discovery output diverged");
 }
