@@ -187,6 +187,10 @@ fn count_by_regime(seed: u64, weather: Weather, start_of_day: u32) -> [Counts; 3
 fn main() {
     // A crash mid-run should leave the supervision-event trail on disk.
     gpdt_obs::install_panic_hook();
+    // Serve /metrics + /health when GPDT_METRICS_ADDR is set (no-op without
+    // it); the CI byte-compare step holds this to "scraping never changes
+    // the report".
+    gpdt_obs::telemetry_from_env();
     let seed = 2013;
     let mut report = BenchReport::new("fig5");
 

@@ -254,6 +254,10 @@ impl BenchReport {
 /// SIMD on vs off, crash-kill vs clean), and per-stage timings would differ
 /// on every run.  No-op (with a note) when `GPDT_OBS=off`.
 pub fn write_obs_sidecar(name: &str) {
+    // Flush the Chrome-trace span capture first (a no-op unless `GPDT_TRACE`
+    // is set): the sidecar call marks the end of a fig run, which is exactly
+    // when the timeline is complete.
+    gpdt_obs::trace::dump_if_enabled();
     if !gpdt_obs::enabled() {
         eprintln!("[{name}] GPDT_OBS=off; skipping metrics sidecar");
         return;

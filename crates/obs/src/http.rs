@@ -1,0 +1,301 @@
+//! A dependency-free HTTP/1.1 telemetry responder on `std::net::TcpListener`
+//! — just enough protocol to be scraped by Prometheus, `curl`, or a raw
+//! `TcpStream` in tests.  Off by default; `GPDT_METRICS_ADDR` (e.g.
+//! `127.0.0.1:9464`, port `0` for an OS-assigned port) turns it on via
+//! [`crate::telemetry_from_env`].
+//!
+//! Routes:
+//!
+//! | path        | body                                                       |
+//! |-------------|------------------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition of the live registry snapshot   |
+//! | `/health`   | JSON: up/degraded, ingest progress, shard restarts, watchdog verdicts |
+//! | `/flightrec`| the flight recorder ring as JSON, live                     |
+//!
+//! One short-lived connection per request (`Connection: close`), served from
+//! a single poll thread: the accept loop runs nonblocking with a 10ms nap,
+//! so dropping the server joins promptly and no request can wedge it for
+//! longer than the 500ms per-connection I/O timeout.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::recorder::FlightRecorder;
+use crate::registry::Registry;
+use crate::series::TimeSeries;
+use crate::watchdog::Watchdog;
+use crate::{expo, health};
+
+/// What the responder serves from — injectable so tests can run a private
+/// registry/recorder pair instead of the process-global ones.
+#[derive(Clone)]
+pub struct ServeContext {
+    /// The registry `/metrics` snapshots.
+    pub registry: &'static Registry,
+    /// The recorder `/flightrec` dumps.
+    pub recorder: &'static FlightRecorder,
+    /// The sampler's windowed series, when one is running (unused by the
+    /// current routes directly, but the watchdog verdicts on `/health` are
+    /// computed from it by the sampler thread).
+    pub series: Option<Arc<Mutex<TimeSeries>>>,
+    /// The watchdog whose verdicts `/health` reports.
+    pub watchdog: Option<Arc<Watchdog>>,
+}
+
+impl ServeContext {
+    /// The process-global registry and recorder, no sampler attached.
+    pub fn global() -> ServeContext {
+        ServeContext {
+            registry: crate::registry(),
+            recorder: crate::flight(),
+            series: None,
+            watchdog: None,
+        }
+    }
+}
+
+/// The serving thread's handle.  Dropping it stops the listener and joins.
+pub struct TelemetryServer {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (host:port; port 0 for an OS-assigned one) and starts
+    /// serving.
+    pub fn bind(addr: &str, ctx: ServeContext) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("gpdt-obs-http".into())
+            .spawn(move || {
+                while !thread_shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: telemetry bodies are small and
+                            // scrapers are few; a wedged peer is bounded by
+                            // the I/O timeouts.
+                            let _ = serve_one(stream, &ctx);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .expect("spawning the telemetry server thread never fails");
+        Ok(TelemetryServer {
+            local_addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address — with port 0 binds, where the OS actually put us.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, ctx: &ServeContext) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let path = match read_request_path(&mut stream) {
+        Ok(path) => path,
+        Err(_) => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = expo::render(&ctx.registry.snapshot());
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/health" => {
+            let verdicts = ctx
+                .watchdog
+                .as_ref()
+                .map(|w| w.verdicts())
+                .unwrap_or_default();
+            let body = health::render_json(&verdicts, ctx.recorder);
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/flightrec" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &ctx.recorder.to_json(),
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "unknown path\n"),
+    }
+}
+
+/// Reads up to the end of the request headers and returns the request-line
+/// path.  Anything that is not a well-formed `GET <path> HTTP/1.x` request
+/// line within 8KB is an error.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if method != "GET" || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported request line: {request_line:?}"),
+        ));
+    }
+    // Strip any query string; the routes take no parameters.
+    Ok(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal scrape client: one GET, read to EOF, split head and body.
+    pub(crate) fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_flightrec_and_404() {
+        let _guard = crate::gate_test_lock();
+        crate::set_enabled(true);
+        let registry: &'static Registry = Box::leak(Box::default());
+        let recorder: &'static FlightRecorder =
+            Box::leak(Box::new(FlightRecorder::with_capacity(8)));
+        registry.counter("ep.requests").add(3);
+        recorder.record("ep.event", Some(1), "hello");
+        let server = TelemetryServer::bind(
+            "127.0.0.1:0",
+            ServeContext {
+                registry,
+                recorder,
+                series: None,
+                watchdog: None,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert!(body.contains("gpdt_ep_requests 3\n"));
+
+        let (head, body) = scrape(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.starts_with("{\"status\":"));
+        assert!(body.contains("\"flight_events_recorded\":1"));
+
+        let (head, body) = scrape(addr, "/flightrec");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("\"kind\":\"ep.event\""));
+        assert!(body.contains("\"dropped\":0"));
+
+        let (head, _) = scrape(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        // Query strings are tolerated and stripped.
+        let (head, _) = scrape(addr, "/metrics?format=prometheus");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        drop(server);
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        s.set_read_timeout(Some(Duration::from_millis(200)))?;
+                        s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n")?;
+                        let mut out = String::new();
+                        s.read_to_string(&mut out).map(|_| out.is_empty())
+                    })
+                    .unwrap_or(true),
+            "a dropped server must stop answering"
+        );
+    }
+
+    #[test]
+    fn rejects_non_get_requests() {
+        let registry: &'static Registry = Box::leak(Box::default());
+        let recorder: &'static FlightRecorder =
+            Box::leak(Box::new(FlightRecorder::with_capacity(2)));
+        let server = TelemetryServer::bind(
+            "127.0.0.1:0",
+            ServeContext {
+                registry,
+                recorder,
+                series: None,
+                watchdog: None,
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+}

@@ -21,27 +21,47 @@
 //!   injected faults) with tick timestamps, dumpable to JSON so a crash
 //!   leaves a post-mortem artifact instead of a bare exit code.
 //!
+//! On top of the primitives sits the **live telemetry plane**
+//! ([`telemetry_from_env`]): a background [`Sampler`] diffing registry
+//! snapshots into windowed [`TimeSeries`] rings (rates/sec, "fsync p99 over
+//! the last 10s"), a dependency-free HTTP responder ([`TelemetryServer`])
+//! serving `/metrics` (Prometheus text exposition, [`expo`]), `/health`
+//! ([`health`]) and `/flightrec`, an SLO [`Watchdog`] journalling
+//! `watchdog.fired`/`watchdog.cleared` transitions, and a Chrome-trace span
+//! capture ([`trace`], `GPDT_TRACE=<path>`) loadable in Perfetto.
+//!
 //! Everything is gated by the `GPDT_OBS` environment variable (`on` by
 //! default; `off`/`0`/`false` disables).  Disabled call sites reduce to one
 //! relaxed atomic load ([`enabled`]) — telemetry can never change results,
-//! only record them, and the `fig5` byte-compare CI step holds the stack to
-//! that.
+//! only record them, and the `fig5` byte-compare CI steps hold the stack to
+//! that even while it is being scraped under load.
 //!
 //! `GPDT_OBS_DUMP` sets where flight-recorder dumps land (default
-//! `gpdt-flightrec.json` under the system temp directory).
+//! `gpdt-flightrec.json` under the system temp directory);
+//! `GPDT_OBS_EVENTS` sizes the global flight-recorder ring.
 
+pub mod expo;
+pub mod health;
+mod http;
 mod recorder;
 mod registry;
+mod series;
 mod span;
+pub mod trace;
+pub mod watchdog;
 
+pub use http::{ServeContext, TelemetryServer};
 pub use recorder::{flight, install_panic_hook, record_event, FlightEvent, FlightRecorder};
 pub use registry::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricSource, Registry, Snapshot,
 };
+pub use series::{sample_interval_from_env, Sampler, TimeSeries, Window};
 pub use span::{time_nanos, Span};
+pub use watchdog::{Rule, RuleKind, Verdict, Watchdog};
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Gate state: 0 = unresolved, 1 = off, 2 = on.
 static GATE: AtomicU8 = AtomicU8::new(0);
@@ -94,6 +114,67 @@ pub fn dump_path() -> PathBuf {
     std::env::var_os("GPDT_OBS_DUMP")
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("gpdt-flightrec.json"))
+}
+
+/// Nanoseconds since the process telemetry epoch — the one clock the
+/// sampler's windows, the watchdog's verdicts, and the trace events all
+/// share.  The epoch is the first call from any of them (monotonic, so
+/// never negative or jumping).
+pub fn now_nanos() -> u64 {
+    trace::epoch().elapsed().as_nanos() as u64
+}
+
+/// Starts the process-wide live telemetry plane from the environment, once;
+/// later calls are no-ops.  A no-op too when observability is off.
+///
+/// * `GPDT_METRICS_ADDR=<host:port>` binds the scrape endpoint
+///   (`/metrics`, `/health`, `/flightrec`) and implies the sampler.
+/// * `GPDT_OBS_SAMPLE_MS=<ms>` starts the windowed sampler at that cadence
+///   even with no endpoint (the watchdog journals to the flight recorder
+///   regardless of anyone scraping).
+///
+/// The sampler and server are leaked: this is the serve-until-exit path
+/// (`MonitorService::run`, the fig bins).  Tests wanting start/stop control
+/// construct [`Sampler`] and [`TelemetryServer`] directly instead.
+pub fn telemetry_from_env() {
+    static STARTED: AtomicBool = AtomicBool::new(false);
+    if STARTED.swap(true, Ordering::SeqCst) || !enabled() {
+        return;
+    }
+    let addr = std::env::var("GPDT_METRICS_ADDR")
+        .ok()
+        .filter(|a| !a.trim().is_empty());
+    let sample_requested = std::env::var_os("GPDT_OBS_SAMPLE_MS").is_some();
+    if addr.is_none() && !sample_requested {
+        return;
+    }
+    let watchdog = Arc::new(Watchdog::from_env());
+    let sampler = Sampler::start(
+        sample_interval_from_env(),
+        registry(),
+        Some(Arc::clone(&watchdog)),
+        flight(),
+    );
+    let series = sampler.series();
+    std::mem::forget(sampler); // serve until process exit
+    if let Some(addr) = addr {
+        let ctx = ServeContext {
+            registry: registry(),
+            recorder: flight(),
+            series: Some(series),
+            watchdog: Some(watchdog),
+        };
+        match TelemetryServer::bind(&addr, ctx) {
+            Ok(server) => {
+                eprintln!(
+                    "gpdt-obs: serving /metrics /health /flightrec on http://{}",
+                    server.local_addr()
+                );
+                std::mem::forget(server);
+            }
+            Err(e) => eprintln!("gpdt-obs: GPDT_METRICS_ADDR={addr} bind failed: {e}"),
+        }
+    }
 }
 
 /// Serialises tests that touch the global gate (it is process-wide state and

@@ -15,6 +15,15 @@ use crate::registry::json_string;
 /// growing, small enough to be free to keep around.
 const DEFAULT_CAPACITY: usize = 1024;
 
+/// Ring capacity for the [global recorder](flight): `GPDT_OBS_EVENTS`
+/// (clamped to at least 1), defaulting to [`DEFAULT_CAPACITY`].
+fn capacity_from_env() -> usize {
+    std::env::var("GPDT_OBS_EVENTS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_CAPACITY)
+}
+
 /// One recorded supervision event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightEvent {
@@ -105,16 +114,29 @@ impl FlightRecorder {
         self.lock().next_seq
     }
 
+    /// Events the ring has evicted to stay within capacity — nonzero means
+    /// the dump is a suffix of the real history, not all of it.
+    pub fn dropped(&self) -> u64 {
+        let ring = self.lock();
+        ring.next_seq - ring.events.len() as u64
+    }
+
     /// A copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<FlightEvent> {
         self.lock().events.iter().cloned().collect()
     }
 
     /// Serialises the retained events as
-    /// `{"recorded":N,"events":[{"seq":..,"tick":..,"kind":..,"detail":..},..]}`.
+    /// `{"recorded":N,"dropped":N,"events":[{"seq":..,"tick":..,"kind":..,
+    /// "detail":..},..]}` — `dropped` counts ring evictions, so saturation
+    /// is visible in the dump instead of silent.
     pub fn to_json(&self) -> String {
         let ring = self.lock();
-        let mut out = format!("{{\"recorded\":{},\"events\":[", ring.next_seq);
+        let mut out = format!(
+            "{{\"recorded\":{},\"dropped\":{},\"events\":[",
+            ring.next_seq,
+            ring.next_seq - ring.events.len() as u64
+        );
         for (i, event) in ring.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -147,10 +169,11 @@ impl FlightRecorder {
     }
 }
 
-/// The global flight recorder.
+/// The global flight recorder.  Its capacity comes from `GPDT_OBS_EVENTS`
+/// (default 1024), read once on first use.
 pub fn flight() -> &'static FlightRecorder {
     static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
-    FLIGHT.get_or_init(FlightRecorder::default)
+    FLIGHT.get_or_init(|| FlightRecorder::with_capacity(capacity_from_env()))
 }
 
 /// Records into the [global recorder](flight) — the one-line call sites use.
@@ -187,6 +210,7 @@ mod tests {
             rec.record("test.event", Some(i), format!("event {i}"));
         }
         assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 2);
         let events = rec.events();
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].seq, 2, "oldest two evicted");
@@ -203,7 +227,7 @@ mod tests {
         let json = rec.to_json();
         assert_eq!(
             json,
-            "{\"recorded\":2,\"events\":[\
+            "{\"recorded\":2,\"dropped\":0,\"events\":[\
              {\"seq\":0,\"tick\":7,\"kind\":\"service.retry\",\
              \"detail\":\"attempt 1 of 3, \\\"transient\\\"\"},\
              {\"seq\":1,\"tick\":null,\"kind\":\"service.degraded.enter\",\

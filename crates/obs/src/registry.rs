@@ -74,6 +74,8 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -82,6 +84,8 @@ impl Default for Histogram {
             buckets: [0u64; BUCKETS].map(AtomicU64::new),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -93,7 +97,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// The largest value a bucket can hold (its reported representative).
-fn bucket_upper(index: usize) -> u64 {
+pub(crate) fn bucket_upper(index: usize) -> u64 {
     if index == 0 {
         0
     } else if index >= 64 {
@@ -110,6 +114,8 @@ impl Histogram {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of samples recorded.
@@ -122,11 +128,28 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Smallest sample recorded (`0` before any sample lands).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest sample recorded (`0` before any sample lands).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of the buckets.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
             sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
             buckets: self
                 .buckets
                 .iter()
@@ -143,6 +166,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// Smallest sample (exact, not a bucket bound; `0` when empty).
+    pub min: u64,
+    /// Largest sample (exact, not a bucket bound; `0` when empty).
+    pub max: u64,
     /// Per-bucket sample counts (see [`Histogram`] for the bucket layout).
     pub buckets: Vec<u64>,
 }
@@ -334,7 +361,7 @@ impl Snapshot {
 
     /// Serialises the snapshot as one JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
-    /// "sum":..,"p50":..,"p95":..,"p99":..}}}`.
+    /// "sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         push_pairs(&mut out, &self.counters);
@@ -346,10 +373,13 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\
+                 \"p95\":{},\"p99\":{}}}",
                 json_string(name),
                 h.count,
                 h.sum,
+                h.min,
+                h.max,
                 h.mean(),
                 h.quantile(0.50),
                 h.quantile(0.95),
@@ -449,6 +479,9 @@ mod tests {
         }
         assert_eq!(h.count(), 6);
         assert_eq!(h.sum(), 1_001_006);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(Histogram::default().min(), 0, "empty histogram reports 0");
 
         let snap = r.snapshot();
         assert_eq!(snap.counter("t.count"), Some(5));
@@ -501,8 +534,8 @@ mod tests {
         assert_eq!(
             json,
             "{\"counters\":{\"a.one\":1,\"b.two\":2},\"gauges\":{\"g\":9},\
-             \"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"mean\":3,\"p50\":3,\
-             \"p95\":3,\"p99\":3}}}"
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"min\":3,\"max\":3,\
+             \"mean\":3,\"p50\":3,\"p95\":3,\"p99\":3}}}"
         );
     }
 

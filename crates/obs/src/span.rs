@@ -16,14 +16,18 @@ use crate::registry::Histogram;
 pub struct Span {
     start: Option<Instant>,
     hist: Option<&'static Histogram>,
+    name: &'static str,
 }
 
 impl Span {
-    /// A live span recording into `hist` when dropped.
-    pub fn active(hist: &'static Histogram) -> Span {
+    /// A live span named `name` recording into `hist` when dropped.  The
+    /// name doubles as the trace-event label when `GPDT_TRACE` capture is
+    /// on (see [`crate::trace`]).
+    pub fn active(name: &'static str, hist: &'static Histogram) -> Span {
         Span {
             start: Some(Instant::now()),
             hist: Some(hist),
+            name,
         }
     }
 
@@ -32,6 +36,7 @@ impl Span {
         Span {
             start: None,
             hist: None,
+            name: "",
         }
     }
 
@@ -46,7 +51,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let (Some(start), Some(hist)) = (self.start, self.hist) {
-            hist.record(start.elapsed().as_nanos() as u64);
+            let nanos = start.elapsed().as_nanos() as u64;
+            hist.record(nanos);
+            crate::trace::record_span(self.name, start, nanos);
         }
     }
 }
@@ -75,7 +82,7 @@ pub fn time_nanos<T>(f: impl FnOnce() -> T) -> (T, u64) {
 macro_rules! span {
     ($name:expr) => {
         if $crate::enabled() {
-            $crate::Span::active($crate::histogram!($name))
+            $crate::Span::active($name, $crate::histogram!($name))
         } else {
             $crate::Span::disabled()
         }
@@ -92,7 +99,7 @@ mod tests {
         let r = Registry::default();
         let h = r.histogram("sp.stage");
         {
-            let _span = Span::active(h);
+            let _span = Span::active("sp.stage", h);
             std::hint::black_box(17u64);
         }
         assert_eq!(h.count(), 1);

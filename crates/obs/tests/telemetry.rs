@@ -1,0 +1,114 @@
+//! End-to-end telemetry-plane test: a private registry/recorder pair served
+//! over a real socket, scraped with a raw `TcpStream`, and the scraped
+//! `/metrics` exposition parsed back and compared — field for field —
+//! against the snapshot it was rendered from.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gpdt_obs::{expo, FlightRecorder, Registry, Rule, RuleKind, ServeContext, TelemetryServer};
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\nAccept: */*\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("well-formed response");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn scraped_metrics_parse_back_to_the_exact_snapshot() {
+    gpdt_obs::set_enabled(true);
+    let registry: &'static Registry = Box::leak(Box::default());
+    let recorder: &'static FlightRecorder = Box::leak(Box::new(FlightRecorder::with_capacity(16)));
+
+    // A representative mix: dotted names with underscores (the lossy
+    // sanitisation case), counters, gauges, empty and loaded histograms
+    // with extreme samples.
+    registry.counter("vfs.bytes_written").add(987_654_321);
+    registry.counter("store.tail_repairs").inc();
+    registry.gauge("engine.load.ticks_ingested").set(42);
+    let h = registry.histogram("vfs.fsync.nanos");
+    for v in [0u64, 1, 999, 1_000_000, 50_000_000, u64::MAX] {
+        h.record(v);
+    }
+    registry.histogram("engine.idle"); // registered, never recorded
+    recorder.record("test.boot", Some(0), "telemetry test");
+
+    let server = TelemetryServer::bind(
+        "127.0.0.1:0",
+        ServeContext {
+            registry,
+            recorder,
+            series: None,
+            watchdog: Some(Arc::new(gpdt_obs::Watchdog::new(vec![Rule {
+                name: "never_fires",
+                kind: RuleKind::Stall {
+                    metric: "no.such.metric",
+                    max_age_nanos: u64::MAX,
+                },
+            }]))),
+        },
+    )
+    .expect("bind port 0");
+    let addr = server.local_addr();
+
+    // No writers are running, so the served snapshot is stable: what the
+    // handler snapshots at scrape time equals what we snapshot here.
+    let reference = registry.snapshot();
+    let (head, body) = scrape(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    let parsed = expo::parse(&body).expect("scraped exposition parses");
+    assert_eq!(
+        parsed, reference,
+        "scraped /metrics must round-trip to the exact snapshot"
+    );
+
+    // And the exposition itself carries the exact sum/count satellites.
+    assert!(body.contains("gpdt_vfs_fsync_nanos_count 6\n"), "{body}");
+    assert!(body.contains("gpdt_vfs_fsync_nanos_min 0\n"));
+    assert!(body.contains(&format!("gpdt_vfs_fsync_nanos_max {}\n", u64::MAX)));
+
+    let (head, body) = scrape(addr, "/health");
+    assert!(head.starts_with("HTTP/1.1 200 OK"));
+    assert!(head.contains("application/json"));
+    assert!(body.contains("\"watchdog\":[{\"rule\":\"never_fires\""));
+    assert!(body.contains("\"flight_events_recorded\":1"));
+
+    let (_, body) = scrape(addr, "/flightrec");
+    assert!(body.starts_with("{\"recorded\":1,\"dropped\":0,"));
+    assert!(body.contains("\"kind\":\"test.boot\""));
+
+    // Scrapes under concurrent writers never tear a line: every scrape
+    // parses, and totals are monotone between scrapes.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let c = registry.counter("vfs.bytes_written");
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                c.add(17);
+                registry.histogram("vfs.fsync.nanos").record(123);
+            }
+        });
+        let mut last = 0u64;
+        for _ in 0..20 {
+            let (_, body) = scrape(addr, "/metrics");
+            let snap = expo::parse(&body).expect("mid-write scrape parses");
+            let v = snap.counter("vfs.bytes_written").unwrap();
+            assert!(v >= last, "counter went backwards across scrapes");
+            last = v;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+}

@@ -508,6 +508,10 @@ impl MonitorService {
         E: MonitoredEngine,
         F: FnOnce(&ServiceHandle<'_>) -> T,
     {
+        // Bring up the live telemetry plane (sampler, SLO watchdog, and the
+        // /metrics + /health + /flightrec endpoint) if the environment asks
+        // for it; a no-op otherwise, and idempotent across nested services.
+        gpdt_obs::telemetry_from_env();
         let store = RwLock::new(store);
         let errors = Mutex::new(Vec::new());
         let degraded = RwLock::new(None);
@@ -697,6 +701,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
             // Degraded entry is a post-mortem moment: persist the event
             // trail now, in case the process never recovers.
             gpdt_obs::flight().dump();
+            gpdt_obs::health::set_degraded(self.batches_ingested, &reason);
         }
         *self
             .degraded
@@ -711,6 +716,7 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
                 self.last_tick,
                 format!("recovered at batch {}", self.batches_ingested),
             );
+            gpdt_obs::health::set_recovered();
         }
         *self
             .degraded
@@ -798,6 +804,12 @@ impl<'a, E: MonitoredEngine> IngestWorker<'a, E> {
         self.batches_ingested += 1;
         self.ticks_ingested += u64::from(batch_domain.len());
         self.last_tick = Some(batch_domain.end);
+        if gpdt_obs::enabled() {
+            // `service.batches` feeds the watchdog's ingest-stall rule; the
+            // health surface tracks tick progress and per-shard restarts.
+            gpdt_obs::counter!("service.batches").inc();
+            gpdt_obs::health::note_ingest(self.last_tick, &self.engine.load().per_shard_restarts);
+        }
         self.replay.push(batch);
         if self.replay.len() as u64 >= self.policy.checkpoint_interval.max(1) {
             self.refresh_recovery_ckpt();

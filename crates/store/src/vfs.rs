@@ -78,8 +78,13 @@ impl Write for RealFile {
 
 impl VfsFile for RealFile {
     fn sync(&mut self) -> io::Result<()> {
-        self.0.sync_all()?;
-        record_sync();
+        if gpdt_obs::enabled() {
+            let (result, nanos) = gpdt_obs::time_nanos(|| self.0.sync_all());
+            result?;
+            record_sync(nanos);
+        } else {
+            self.0.sync_all()?;
+        }
         Ok(())
     }
 }
@@ -94,9 +99,13 @@ fn record_write(bytes: usize) {
     }
 }
 
-fn record_sync() {
+fn record_sync(nanos: u64) {
     if gpdt_obs::enabled() {
         gpdt_obs::counter!("vfs.fsync").inc();
+        // The latency histogram behind the watchdog's fsync-p99 rule.  The
+        // timing happens outside the fault plan, so it never perturbs the
+        // RNG draw sequence.
+        gpdt_obs::histogram!("vfs.fsync.nanos").record(nanos);
     }
 }
 
@@ -430,6 +439,7 @@ impl Write for FaultFile {
 
 impl VfsFile for FaultFile {
     fn sync(&mut self) -> io::Result<()> {
+        let start = gpdt_obs::enabled().then(std::time::Instant::now);
         let mut s = self.state.lock().expect("fault vfs state poisoned");
         if let Some(n) = s.plan.transient_sync_one_in {
             if n > 0 && s.next_rand().is_multiple_of(n) {
@@ -444,7 +454,7 @@ impl VfsFile for FaultFile {
         if let Some(file) = s.files.get_mut(&self.path) {
             file.durable_len = file.data.len();
         }
-        record_sync();
+        record_sync(start.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0));
         Ok(())
     }
 }

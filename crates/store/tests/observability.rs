@@ -192,6 +192,11 @@ fn seeded_fault_run_is_observable_end_to_end() {
         }
         handle.flush();
         assert!(handle.stats().degraded_since.is_some());
+        // The process-wide health surface mirrors the transition (this is
+        // what the /health endpoint serves).
+        let health = gpdt_obs::health::info();
+        assert!(health.degraded_since.is_some(), "{health:?}");
+        assert!(gpdt_obs::health::degraded_since_nanos().is_some());
         // On demand: the flight recorder over the service channel.
         let journal = handle.flight_recorder();
         assert!(journal.contains("service.degraded.enter"), "{journal}");
@@ -203,6 +208,16 @@ fn seeded_fault_run_is_observable_end_to_end() {
     });
     let stats = outcome.value;
     assert_eq!(stats.degraded_since, None);
+    let health = gpdt_obs::health::info();
+    assert_eq!(
+        health.degraded_since, None,
+        "recovery must clear the health surface: {health:?}"
+    );
+    assert_eq!(health.batches_applied, stats.batches_ingested);
+    assert_eq!(
+        health.last_ingest_tick.map(u64::from),
+        Some(u64::from(db.time_domain().unwrap().end))
+    );
     assert!(stats.retries > 0, "{stats:?}");
     assert_eq!(stats.panics_recovered, 1);
     assert_eq!(outcome.engine.inner.closed_crowds(), reference.crowds);

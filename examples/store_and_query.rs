@@ -25,9 +25,41 @@ use gpdt_trajectory::TimeInterval;
 use gpdt_workload::EventRates;
 use std::io::Write;
 
+/// One-shot GET against the example's own telemetry endpoint; returns the
+/// response body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to own telemetry port");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: demo\r\n\r\n").as_bytes())
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
+
+/// The `"status"` value of a `/health` JSON body.
+fn health_status(body: &str) -> &str {
+    body.split_once("\"status\":\"")
+        .and_then(|(_, rest)| rest.split('"').next())
+        .unwrap_or("unparsable")
+}
+
 fn main() {
     // A crash in the demo should leave the flight-recorder trail on disk.
     gpdt_obs::install_panic_hook();
+    // The live telemetry plane, self-scraped: the demo binds its own
+    // /metrics + /health + /flightrec endpoint on a loopback port and asks
+    // it how the run is doing — once mid-stream, once after the crash
+    // recovery.  (A real deployment sets `GPDT_METRICS_ADDR` and points
+    // Prometheus at it; the self-scrape keeps the demo dependency-free.)
+    let telemetry = TelemetryServer::bind("127.0.0.1:0", ServeContext::global())
+        .expect("bind the telemetry endpoint on a loopback port");
     let mut config = ScenarioConfig::small_demo(23);
     config.num_taxis = 250;
     config.duration = 120;
@@ -79,6 +111,14 @@ fn main() {
         outcome.store.len(),
         outcome.value.len()
     );
+    // Ask the telemetry plane how the first half went, the way an external
+    // monitor would — over HTTP, before the crash.
+    let health = scrape(telemetry.local_addr(), "/health");
+    println!(
+        "         self-scrape http://{}/health → status \"{}\"",
+        telemetry.local_addr(),
+        health_status(&health)
+    );
 
     // ---- Phase 2: crash. Drop every in-memory structure. ----
     drop(outcome);
@@ -126,6 +166,15 @@ fn main() {
         config.duration,
         store.len(),
         store.segment_count()
+    );
+    // The endpoint survived the "crash" (only the engine was dropped, the
+    // process lived) and now reports the recovered run.
+    let health = scrape(telemetry.local_addr(), "/health");
+    let status = health_status(&health);
+    println!("         self-scrape after recovery → status \"{status}\"");
+    assert!(
+        status == "up" || !gpdt_obs::enabled(),
+        "a recovered, non-degraded run must report up: {health}"
     );
 
     // ---- Phase 4: query the durable history. ----

@@ -46,6 +46,7 @@ pub use gpdt_clustering as clustering;
 pub use gpdt_core as core;
 pub use gpdt_geo as geo;
 pub use gpdt_index as index;
+pub use gpdt_obs as obs;
 pub use gpdt_shard as shard;
 pub use gpdt_store as store;
 pub use gpdt_trajectory as trajectory;
@@ -59,6 +60,7 @@ pub mod prelude {
         GatheringParams, GatheringPipeline, RangeSearchStrategy, TadVariant,
     };
     pub use gpdt_geo::{Mbr, Point};
+    pub use gpdt_obs::{ServeContext, TelemetryServer};
     pub use gpdt_shard::{GridPartitioner, Partitioner, ShardedEngine};
     pub use gpdt_store::{
         EngineCheckpoint, MonitorService, PatternRecord, PatternStore, StoredGathering,
